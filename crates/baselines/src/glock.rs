@@ -1,0 +1,243 @@
+//! A single-global-lock "TM".
+//!
+//! Not one of the paper's comparison points: this runtime exists so the test
+//! suite has a trivially correct, serial oracle with the same interface as
+//! the real STMs. Transactions take one global mutex for their whole
+//! duration, so every history is serial by construction.
+
+use crate::common::UndoLog;
+use ebr::{Collector, LocalHandle, TxMem};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tm_api::abort::TxResult;
+use tm_api::traits::Dtor;
+use tm_api::{
+    StatsRegistry, ThreadStats, TmHandle, TmRuntime, TmStatsSnapshot, Transaction, TxKind,
+    TxOutcome, TxWord,
+};
+
+/// Shared state of the global-lock TM.
+#[derive(Debug)]
+pub struct GlockRuntime {
+    mutex: Mutex<()>,
+    stats: StatsRegistry,
+    ebr: Arc<Collector>,
+    next_tid: AtomicU64,
+}
+
+impl Default for GlockRuntime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GlockRuntime {
+    /// Create a new global-lock runtime.
+    pub fn new() -> Self {
+        Self {
+            mutex: Mutex::new(()),
+            stats: StatsRegistry::new(),
+            ebr: Arc::new(Collector::new()),
+            next_tid: AtomicU64::new(1),
+        }
+    }
+}
+
+/// Transaction descriptor of the global-lock TM.
+pub struct GlockTx {
+    rt: Arc<GlockRuntime>,
+    stats: Arc<ThreadStats>,
+    ebr: LocalHandle,
+    mem: TxMem,
+    undo: UndoLog,
+    reads: u64,
+    /// Whether the global mutex is currently held by this descriptor.
+    holding: bool,
+}
+
+impl GlockTx {
+    fn begin(&mut self) {
+        self.stats.starts.inc();
+        self.ebr.pin();
+        // Safety of the raw lock/unlock pairing: `holding` tracks ownership
+        // and `finish` is always called exactly once per `begin`.
+        std::mem::forget(self.rt.mutex.lock());
+        self.holding = true;
+        self.reads = 0;
+    }
+
+    fn finish(&mut self, committed: bool) {
+        if committed {
+            self.undo.clear();
+            self.mem.on_commit(&mut self.ebr);
+        } else {
+            self.undo.rollback();
+            self.mem.on_abort();
+        }
+        if self.holding {
+            // Safety: we forgot the guard in `begin`, so the mutex is held by us.
+            unsafe { self.rt.mutex.force_unlock() };
+            self.holding = false;
+        }
+        self.ebr.unpin();
+    }
+}
+
+impl Transaction for GlockTx {
+    fn read(&mut self, word: &TxWord) -> TxResult<u64> {
+        self.reads += 1;
+        self.stats.reads.inc();
+        Ok(word.tm_load())
+    }
+
+    fn write(&mut self, word: &TxWord, value: u64) -> TxResult<()> {
+        self.stats.writes.inc();
+        self.undo.push(word, word.tm_load());
+        word.tm_store(value);
+        Ok(())
+    }
+
+    fn defer_alloc(&mut self, ptr: *mut u8, dtor: Dtor) {
+        self.mem.record_alloc(ptr, dtor, 0);
+    }
+
+    fn defer_retire(&mut self, ptr: *mut u8, dtor: Dtor) {
+        self.mem.record_retire(ptr, dtor, 0);
+    }
+
+    fn read_count(&self) -> u64 {
+        self.reads
+    }
+}
+
+/// Per-thread handle of the global-lock TM.
+pub struct GlockHandle {
+    tx: GlockTx,
+}
+
+impl TmHandle for GlockHandle {
+    type Tx = GlockTx;
+
+    fn txn_budget<R>(
+        &mut self,
+        kind: TxKind,
+        max_attempts: u64,
+        mut body: impl FnMut(&mut Self::Tx) -> TxResult<R>,
+    ) -> TxOutcome<R> {
+        let _ = kind;
+        let mut attempts = 0u64;
+        loop {
+            if attempts >= max_attempts {
+                self.tx.stats.gave_up.inc();
+                return TxOutcome::GaveUp;
+            }
+            attempts += 1;
+            self.tx.begin();
+            match body(&mut self.tx) {
+                Ok(r) => {
+                    self.tx.finish(true);
+                    self.tx.stats.commits.inc();
+                    if kind == TxKind::ReadOnly {
+                        self.tx.stats.ro_commits.inc();
+                    } else {
+                        self.tx.stats.update_commits.inc();
+                    }
+                    return TxOutcome::Committed(r);
+                }
+                Err(_) => {
+                    // Only explicit user aborts can reach this point.
+                    self.tx.finish(false);
+                    self.tx.stats.aborts.inc();
+                }
+            }
+        }
+    }
+}
+
+impl TmRuntime for GlockRuntime {
+    type Handle = GlockHandle;
+
+    fn register(self: &Arc<Self>) -> Self::Handle {
+        let _tid = self.next_tid.fetch_add(1, Ordering::Relaxed);
+        GlockHandle {
+            tx: GlockTx {
+                rt: Arc::clone(self),
+                stats: self.stats.register(),
+                ebr: LocalHandle::new(Arc::clone(&self.ebr)),
+                mem: TxMem::new(),
+                undo: UndoLog::default(),
+                reads: 0,
+                holding: false,
+            },
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "GlobalLock"
+    }
+
+    fn stats(&self) -> TmStatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_api::TVar;
+
+    #[test]
+    fn simple_read_write_commit() {
+        let rt = Arc::new(GlockRuntime::new());
+        let mut h = rt.register();
+        let x = TVar::new(1u64);
+        let got = h.txn(TxKind::ReadWrite, |tx| {
+            let v = tx.read_var(&x)?;
+            tx.write_var(&x, v + 10)?;
+            tx.read_var(&x)
+        });
+        assert_eq!(got, 11);
+        assert_eq!(x.load_direct(), 11);
+        assert_eq!(rt.stats().commits, 1);
+    }
+
+    #[test]
+    fn explicit_abort_rolls_back_and_gives_up() {
+        let rt = Arc::new(GlockRuntime::new());
+        let mut h = rt.register();
+        let x = TVar::new(5u64);
+        let out = h.txn_budget(TxKind::ReadWrite, 3, |tx| {
+            tx.write_var(&x, 99)?;
+            Err::<(), _>(tm_api::Abort)
+        });
+        assert_eq!(out, TxOutcome::GaveUp);
+        assert_eq!(x.load_direct(), 5, "writes rolled back on abort");
+        assert_eq!(rt.stats().aborts, 3);
+        assert_eq!(rt.stats().gave_up, 1);
+    }
+
+    #[test]
+    fn concurrent_increments_are_atomic() {
+        let rt = Arc::new(GlockRuntime::new());
+        let counter = Arc::new(TVar::new(0u64));
+        let threads = 4;
+        let per = 1000;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let rt = Arc::clone(&rt);
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    let mut h = rt.register();
+                    for _ in 0..per {
+                        h.txn(TxKind::ReadWrite, |tx| {
+                            let v = tx.read_var(&*counter)?;
+                            tx.write_var(&*counter, v + 1)
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load_direct(), threads * per);
+    }
+}

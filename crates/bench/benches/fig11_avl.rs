@@ -1,0 +1,62 @@
+//! Criterion companion to Figure 11: per-operation cost of the AVL-tree
+//! workloads for Multiverse and DCTL. Full reproduction:
+//! `cargo run --release -p bench --bin fig11_avl`.
+
+use baselines::DctlRuntime;
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::driver::{prefill, run_one_op};
+use harness::workload::{KeyDist, OpGenerator, WorkloadMix, WorkloadSpec};
+use multiverse::{MultiverseConfig, MultiverseRuntime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+use tm_api::TmRuntime;
+use txstructs::TxAvlTree;
+
+fn bench_case<R: TmRuntime>(c: &mut Criterion, tm_name: &str, rt: Arc<R>, case: &str, spec: &WorkloadSpec) {
+    let set = Arc::new(TxAvlTree::new());
+    prefill(&rt, &set, spec);
+    let gen = OpGenerator::new(spec);
+    let mut h = rt.register();
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut group = c.benchmark_group(format!("fig11_avl/{case}"));
+    group.sample_size(10).measurement_time(Duration::from_millis(600));
+    group.bench_function(tm_name, |b| {
+        b.iter(|| {
+            for _ in 0..64 {
+                run_one_op(set.as_ref(), &mut h, &gen, &mut rng);
+            }
+        })
+    });
+    group.finish();
+    drop(h);
+    rt.shutdown();
+}
+
+fn all(c: &mut Criterion) {
+    let mk = |mix| WorkloadSpec {
+        key_range: 20_000,
+        prefill: 10_000,
+        mix,
+        rq_size: 100,
+        dist: KeyDist::Uniform,
+        dedicated_updaters: 0,
+    };
+    for (case, spec) in [
+        ("no_rq", mk(WorkloadMix::no_rq_90_5_5())),
+        ("rq001", mk(WorkloadMix::rq_8999_001_5_5())),
+    ] {
+        bench_case(
+            c,
+            "multiverse",
+            MultiverseRuntime::start(MultiverseConfig::paper_defaults()),
+            case,
+            &spec,
+        );
+        bench_case(c, "dctl", Arc::new(DctlRuntime::with_defaults()), case, &spec);
+    }
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

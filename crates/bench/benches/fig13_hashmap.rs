@@ -1,0 +1,55 @@
+//! Criterion companion to Figure 13: per-operation cost of the hashmap
+//! workloads (including the atomic size queries) for Multiverse and DCTL.
+//! Full reproduction: `cargo run --release -p bench --bin fig13_hashmap`.
+
+use baselines::DctlRuntime;
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::driver::{prefill, run_one_op};
+use harness::workload::{OpGenerator, WorkloadMix, WorkloadSpec};
+use multiverse::{MultiverseConfig, MultiverseRuntime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+use tm_api::TmRuntime;
+use txstructs::TxHashMap;
+
+fn bench_case<R: TmRuntime>(c: &mut Criterion, tm_name: &str, rt: Arc<R>, case: &str, spec: &WorkloadSpec) {
+    let set = Arc::new(TxHashMap::new(spec.prefill as usize * 10));
+    prefill(&rt, &set, spec);
+    let gen = OpGenerator::new(spec);
+    let mut h = rt.register();
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut group = c.benchmark_group(format!("fig13_hashmap/{case}"));
+    group.sample_size(10).measurement_time(Duration::from_millis(600));
+    group.bench_function(tm_name, |b| {
+        b.iter(|| {
+            for _ in 0..64 {
+                run_one_op(set.as_ref(), &mut h, &gen, &mut rng);
+            }
+        })
+    });
+    group.finish();
+    drop(h);
+    rt.shutdown();
+}
+
+fn all(c: &mut Criterion) {
+    for (case, mix) in [
+        ("no_sq", WorkloadMix::no_rq_90_5_5()),
+        ("sq001", WorkloadMix::rq_8999_001_5_5()),
+    ] {
+        let spec = WorkloadSpec::paper_hashmap(0.02, mix, 0);
+        bench_case(
+            c,
+            "multiverse",
+            MultiverseRuntime::start(MultiverseConfig::paper_defaults()),
+            case,
+            &spec,
+        );
+        bench_case(c, "dctl", Arc::new(DctlRuntime::with_defaults()), case, &spec);
+    }
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion companion to Figure 1: per-operation cost of the Figure-1
+//! workload mix (89.99% search / 0.01% RQ / 5% insert / 5% delete) on the
+//! (a,b)-tree, for every TM. The full multi-threaded reproduction lives in
+//! `cargo run --release -p bench --bin fig1_teaser`.
+
+use baselines::{DctlRuntime, NorecRuntime, TinyStmRuntime, Tl2Runtime};
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::driver::{prefill, run_one_op};
+use harness::workload::{KeyDist, OpGenerator, WorkloadMix, WorkloadSpec};
+use multiverse::{MultiverseConfig, MultiverseRuntime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+use tm_api::TmRuntime;
+use txstructs::TxAbTree;
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        key_range: 20_000,
+        prefill: 10_000,
+        mix: WorkloadMix::rq_8999_001_5_5(),
+        rq_size: 100,
+        dist: KeyDist::Uniform,
+        dedicated_updaters: 0,
+    }
+}
+
+fn bench_tm<R: TmRuntime>(c: &mut Criterion, name: &str, rt: Arc<R>) {
+    let set = Arc::new(TxAbTree::new());
+    let spec = spec();
+    prefill(&rt, &set, &spec);
+    let gen = OpGenerator::new(&spec);
+    let mut h = rt.register();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("fig1_abtree_mix");
+    group.sample_size(10).measurement_time(Duration::from_millis(700));
+    group.bench_function(name, |b| {
+        b.iter(|| {
+            for _ in 0..64 {
+                run_one_op(set.as_ref(), &mut h, &gen, &mut rng);
+            }
+        })
+    });
+    group.finish();
+    drop(h);
+    rt.shutdown();
+}
+
+fn all(c: &mut Criterion) {
+    bench_tm(c, "multiverse", MultiverseRuntime::start(MultiverseConfig::paper_defaults()));
+    bench_tm(c, "dctl", Arc::new(DctlRuntime::with_defaults()));
+    bench_tm(c, "tl2", Arc::new(Tl2Runtime::with_defaults()));
+    bench_tm(c, "norec", Arc::new(NorecRuntime::new()));
+    bench_tm(c, "tinystm", Arc::new(TinyStmRuntime::with_defaults()));
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

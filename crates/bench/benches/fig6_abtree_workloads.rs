@@ -1,0 +1,70 @@
+//! Criterion companion to Figure 6: per-operation cost of the no-RQ and
+//! 0.01%-RQ (a,b)-tree workloads under uniform and Zipfian key access, for
+//! Multiverse and DCTL (the paper's headline comparison). The full grid with
+//! dedicated updaters and thread sweeps is produced by
+//! `cargo run --release -p bench --bin fig6_abtree`.
+
+use baselines::DctlRuntime;
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::driver::{prefill, run_one_op};
+use harness::workload::{KeyDist, OpGenerator, WorkloadMix, WorkloadSpec};
+use multiverse::{MultiverseConfig, MultiverseRuntime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+use tm_api::TmRuntime;
+use txstructs::TxAbTree;
+
+fn spec(mix: WorkloadMix, dist: KeyDist) -> WorkloadSpec {
+    WorkloadSpec {
+        key_range: 20_000,
+        prefill: 10_000,
+        mix,
+        rq_size: 100,
+        dist,
+        dedicated_updaters: 0,
+    }
+}
+
+fn bench_case<R: TmRuntime>(c: &mut Criterion, tm_name: &str, rt: Arc<R>, case: &str, spec: &WorkloadSpec) {
+    let set = Arc::new(TxAbTree::new());
+    prefill(&rt, &set, spec);
+    let gen = OpGenerator::new(spec);
+    let mut h = rt.register();
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut group = c.benchmark_group(format!("fig6/{case}"));
+    group.sample_size(10).measurement_time(Duration::from_millis(600));
+    group.bench_function(tm_name, |b| {
+        b.iter(|| {
+            for _ in 0..64 {
+                run_one_op(set.as_ref(), &mut h, &gen, &mut rng);
+            }
+        })
+    });
+    group.finish();
+    drop(h);
+    rt.shutdown();
+}
+
+fn all(c: &mut Criterion) {
+    let cases = [
+        ("uniform_no_rq", spec(WorkloadMix::no_rq_90_5_5(), KeyDist::Uniform)),
+        ("uniform_rq001", spec(WorkloadMix::rq_8999_001_5_5(), KeyDist::Uniform)),
+        ("zipf_no_rq", spec(WorkloadMix::no_rq_90_5_5(), KeyDist::Zipfian(0.9))),
+        ("zipf_rq001", spec(WorkloadMix::rq_8999_001_5_5(), KeyDist::Zipfian(0.9))),
+    ];
+    for (case, spec) in &cases {
+        bench_case(
+            c,
+            "multiverse",
+            MultiverseRuntime::start(MultiverseConfig::paper_defaults()),
+            case,
+            spec,
+        );
+        bench_case(c, "dctl", Arc::new(DctlRuntime::with_defaults()), case, spec);
+    }
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Micro-benchmarks of the raw TM operations (single-threaded): a read-only
+//! transaction over a handful of words, a small update transaction, and a
+//! read-modify-write counter — for every TM in the repository.
+
+use baselines::{DctlRuntime, NorecRuntime, TinyStmRuntime, Tl2Runtime};
+use criterion::{criterion_group, criterion_main, Criterion};
+use multiverse::{MultiverseConfig, MultiverseRuntime};
+use std::sync::Arc;
+use std::time::Duration;
+use tm_api::{TmHandle, TmRuntime, Transaction, TVar, TxKind};
+
+const WORDS: usize = 64;
+
+fn bench_tm<R: TmRuntime>(c: &mut Criterion, name: &str, rt: Arc<R>) {
+    let vars: Vec<TVar<u64>> = (0..WORDS).map(|i| TVar::new(i as u64)).collect();
+    let mut h = rt.register();
+    let mut group = c.benchmark_group(format!("stm/{name}"));
+    group.sample_size(20).measurement_time(Duration::from_millis(600));
+    group.bench_function("read_only_8_words", |b| {
+        b.iter(|| {
+            h.txn(TxKind::ReadOnly, |tx| {
+                let mut sum = 0u64;
+                for v in vars.iter().take(8) {
+                    sum = sum.wrapping_add(tx.read_var(v)?);
+                }
+                Ok(sum)
+            })
+        })
+    });
+    group.bench_function("update_2_words", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            h.txn(TxKind::ReadWrite, |tx| {
+                tx.write_var(&vars[(i as usize) % WORDS], i)?;
+                tx.write_var(&vars[(i as usize + 7) % WORDS], i)
+            })
+        })
+    });
+    group.bench_function("counter_rmw", |b| {
+        b.iter(|| {
+            h.txn(TxKind::ReadWrite, |tx| {
+                let v = tx.read_var(&vars[0])?;
+                tx.write_var(&vars[0], v + 1)
+            })
+        })
+    });
+    group.finish();
+    drop(h);
+    rt.shutdown();
+}
+
+fn all(c: &mut Criterion) {
+    bench_tm(c, "multiverse", MultiverseRuntime::start(MultiverseConfig::small()));
+    bench_tm(c, "dctl", Arc::new(DctlRuntime::with_defaults()));
+    bench_tm(c, "tl2", Arc::new(Tl2Runtime::with_defaults()));
+    bench_tm(c, "norec", Arc::new(NorecRuntime::new()));
+    bench_tm(c, "tinystm", Arc::new(TinyStmRuntime::with_defaults()));
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Micro-benchmarks of the Multiverse substrates: versioned locks, the bloom
+//! filter table, the global clock, version-list operations and epoch-based
+//! reclamation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use multiverse::version::{VersionList, VersionNode};
+use std::time::Duration;
+use tm_api::{BloomTable, GlobalClock, LockTable};
+
+fn substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(30).measurement_time(Duration::from_millis(500));
+
+    let locks = LockTable::new(1 << 16);
+    group.bench_function("lock_table/lock_unlock", |b| {
+        let mut addr = 0usize;
+        b.iter(|| {
+            addr = addr.wrapping_add(64);
+            let idx = locks.index_of(addr);
+            if let Ok(prev) = locks.lock_at(idx).try_lock(1, false) {
+                locks.lock_at(idx).unlock_restore(prev);
+            }
+        })
+    });
+
+    let bloom = BloomTable::new(1 << 16);
+    group.bench_function("bloom/add_and_contains", |b| {
+        let mut addr = 0usize;
+        b.iter(|| {
+            addr = addr.wrapping_add(8);
+            bloom.try_add(addr & 0xFFFF, addr);
+            bloom.contains(addr & 0xFFFF, addr)
+        })
+    });
+
+    let clock = GlobalClock::new();
+    group.bench_function("clock/read", |b| b.iter(|| clock.read()));
+    group.bench_function("clock/increment", |b| b.iter(|| clock.increment()));
+
+    group.bench_function("version_list/traverse_depth_8", |b| {
+        // A list with 8 committed versions; the reader's clock selects the
+        // oldest one, so every traversal walks the full depth.
+        let list = VersionList::with_initial(1, 0);
+        for ts in 2..9u64 {
+            list.push_head(VersionNode::boxed(list.head(), ts, ts, false));
+        }
+        b.iter(|| list.traverse(1).unwrap())
+    });
+
+    group.bench_function("ebr/pin_unpin", |b| {
+        let (_c, mut h) = ebr::new_collector_and_handle();
+        b.iter(|| {
+            h.pin();
+            h.unpin();
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, substrates);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figure 10: energy efficiency (throughput per joule) for the (a,b)-tree
+//! workloads of Figure 6 row two (16 dedicated updaters, uniform keys).
+//!
+//! RAPL is unavailable in unprivileged containers, so the harness substitutes
+//! process CPU time for package energy (see DESIGN.md): the reported metric
+//! is worker operations per CPU-second ("ops/cpu-sec" column).
+
+use bench::print_scale_banner;
+use harness::{
+    default_thread_sweep, print_results, run_sweep, BenchArgs, FigureSpec, KeyDist, StructKind,
+    TmKind, WorkloadMix, WorkloadSpec,
+};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let scale = args.scale_or(0.02);
+    let seconds = args.seconds_or(2.0);
+    let updaters = args.updaters_or(4);
+    print_scale_banner("Figure 10", scale, seconds);
+    let workloads = vec![
+        (
+            format!("uniform, {updaters} updaters, 90% search / 0% RQ"),
+            WorkloadSpec::paper_tree(scale, WorkloadMix::no_rq_90_5_5(), KeyDist::Uniform, updaters),
+        ),
+        (
+            format!("uniform, {updaters} updaters, 89.99% search / 0.01% RQ"),
+            WorkloadSpec::paper_tree(scale, WorkloadMix::rq_8999_001_5_5(), KeyDist::Uniform, updaters),
+        ),
+    ];
+    let fig = FigureSpec {
+        id: "fig10",
+        title: "throughput per unit of CPU work (energy proxy, row two of fig6)".into(),
+        tms: TmKind::paper_set(),
+        structure: StructKind::AbTree,
+        workloads,
+        threads: default_thread_sweep(),
+        seconds,
+        seed: 10,
+    }
+    .with_args(&args);
+    let points = run_sweep(&fig);
+    print_results(&fig, &points, args.csv);
+    if !args.csv {
+        println!("note: the ops/cpu-sec column is the Figure 10 metric (energy proxy).");
+    }
+}

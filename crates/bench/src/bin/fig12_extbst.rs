@@ -1,0 +1,41 @@
+//! Figures 12 / 18 / 21: external binary search tree throughput grid.
+
+use bench::print_scale_banner;
+use harness::{
+    default_thread_sweep, print_results, run_sweep, BenchArgs, FigureSpec, KeyDist, StructKind,
+    TmKind, WorkloadMix, WorkloadSpec,
+};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let scale = args.scale_or(0.02);
+    let seconds = args.seconds_or(2.0);
+    let updaters = args.updaters_or(4);
+    print_scale_banner("Figure 12 (external BST)", scale, seconds);
+    let mut workloads = Vec::new();
+    for ups in [0usize, updaters] {
+        for (label, mix) in [
+            ("90% search, 0% RQ", WorkloadMix::no_rq_90_5_5()),
+            ("89.9% search, 0.1% RQ", WorkloadMix::rq_899_01_5_5()),
+            ("89.99% search, 0.01% RQ", WorkloadMix::rq_8999_001_5_5()),
+        ] {
+            workloads.push((
+                format!("uniform, {ups} updaters, {label}, 5% ins, 5% del"),
+                WorkloadSpec::paper_tree(scale, mix, KeyDist::Uniform, ups),
+            ));
+        }
+    }
+    let fig = FigureSpec {
+        id: "fig12",
+        title: "external BST (also figs 18/21)".into(),
+        tms: TmKind::paper_set(),
+        structure: StructKind::ExtBst,
+        workloads,
+        threads: default_thread_sweep(),
+        seconds,
+        seed: 12,
+    }
+    .with_args(&args);
+    let points = run_sweep(&fig);
+    print_results(&fig, &points, args.csv);
+}

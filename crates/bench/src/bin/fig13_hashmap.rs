@@ -1,0 +1,42 @@
+//! Figure 13: hashmap with atomic size queries (SQ) instead of range queries,
+//! {1, 16} dedicated updaters (the paper always uses at least one because
+//! hashmap updates are so cheap).
+
+use bench::print_scale_banner;
+use harness::{
+    default_thread_sweep, print_results, run_sweep, BenchArgs, FigureSpec, StructKind, TmKind,
+    WorkloadMix, WorkloadSpec,
+};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let scale = args.scale_or(0.05);
+    let seconds = args.seconds_or(2.0);
+    let updaters = args.updaters_or(4);
+    print_scale_banner("Figure 13 (hashmap)", scale, seconds);
+    let mut workloads = Vec::new();
+    for ups in [1usize, updaters.max(1)] {
+        for (label, mix) in [
+            ("90% search, 0% SQ", WorkloadMix::no_rq_90_5_5()),
+            ("89.99% search, 0.01% SQ", WorkloadMix::rq_8999_001_5_5()),
+        ] {
+            workloads.push((
+                format!("{ups} updaters, {label}, 5% ins, 5% del"),
+                WorkloadSpec::paper_hashmap(scale, mix, ups),
+            ));
+        }
+    }
+    let fig = FigureSpec {
+        id: "fig13",
+        title: "hashmap with atomic size queries".into(),
+        tms: TmKind::paper_set(),
+        structure: StructKind::HashMap,
+        workloads,
+        threads: default_thread_sweep(),
+        seconds,
+        seed: 13,
+    }
+    .with_args(&args);
+    let points = run_sweep(&fig);
+    print_results(&fig, &points, args.csv);
+}

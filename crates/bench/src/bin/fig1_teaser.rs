@@ -1,0 +1,33 @@
+//! Figure 1 (teaser): (a,b)-tree, 89.99% search / 0.01% RQ / 5% insert /
+//! 5% delete, uniform keys, RQ size = 1% of prefill, 16 dedicated updaters.
+//! Y axis = worker ops/sec, X axis = threads.
+
+use bench::print_scale_banner;
+use harness::{
+    default_thread_sweep, print_results, run_sweep, BenchArgs, FigureSpec, KeyDist, StructKind,
+    TmKind, WorkloadMix, WorkloadSpec,
+};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let scale = args.scale_or(0.02);
+    let seconds = args.seconds_or(2.0);
+    let updaters = args.updaters_or(4);
+    print_scale_banner("Figure 1", scale, seconds);
+    let fig = FigureSpec {
+        id: "fig1",
+        title: "(a,b)-tree teaser: 0.01% RQs with dedicated updaters".into(),
+        tms: TmKind::paper_set(),
+        structure: StructKind::AbTree,
+        workloads: vec![(
+            format!("uniform, {updaters} updaters, 89.99% search / 0.01% RQ / 5% ins / 5% del"),
+            WorkloadSpec::paper_tree(scale, WorkloadMix::rq_8999_001_5_5(), KeyDist::Uniform, updaters),
+        )],
+        threads: default_thread_sweep(),
+        seconds,
+        seed: 1,
+    }
+    .with_args(&args);
+    let points = run_sweep(&fig);
+    print_results(&fig, &points, args.csv);
+}

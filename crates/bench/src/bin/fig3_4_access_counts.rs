@@ -1,0 +1,102 @@
+//! Figures 3 and 4: the example executions motivating Mode U.
+//!
+//! A versioned range query over `n` addresses races with a continuous stream
+//! of updates. In Mode Q the reader must itself version each address and is
+//! aborted by the updater over and over — O(n²) accesses to commit one query
+//! (Figure 3). In Mode U the updaters version every address they write, so
+//! the query commits without aborting — O(n) accesses (Figure 4).
+//!
+//! The binary measures, for Multiverse forced to Mode Q and forced to Mode U,
+//! the number of transactional reads performed per *committed* range query
+//! over an array of `n` transactional words while one updater continuously
+//! writes them.
+
+use harness::BenchArgs;
+use multiverse::{MultiverseConfig, MultiverseRuntime};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use tm_api::{TmHandle, TmRuntime, Transaction, TVar, TxKind};
+
+fn run_case(cfg: MultiverseConfig, label: &str, n: usize, queries: u64, csv: bool) {
+    let rt = MultiverseRuntime::start(cfg);
+    let vars: Arc<Vec<TVar<u64>>> = Arc::new((0..n).map(|i| TVar::new(i as u64)).collect());
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut reads_per_query = Vec::new();
+    std::thread::scope(|s| {
+        // The dedicated updater: continuously writes one address after another.
+        {
+            let rt = Arc::clone(&rt);
+            let vars = Arc::clone(&vars);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut h = rt.register();
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let slot = i % vars.len();
+                    h.txn(TxKind::ReadWrite, |tx| {
+                        let v = tx.read_var(&vars[slot])?;
+                        tx.write_var(&vars[slot], v + 1)
+                    });
+                    i += 1;
+                }
+            });
+        }
+        // The range-query thread.
+        let rt2 = Arc::clone(&rt);
+        let vars2 = Arc::clone(&vars);
+        let stop2 = Arc::clone(&stop);
+        let handle = s.spawn(move || {
+            let mut h = rt2.register();
+            let mut per_query = Vec::new();
+            for _ in 0..queries {
+                let before = rt2.stats().reads;
+                h.txn(TxKind::ReadOnly, |tx| {
+                    let mut sum = 0u64;
+                    for v in vars2.iter() {
+                        sum = sum.wrapping_add(tx.read_var(v)?);
+                    }
+                    Ok(sum)
+                });
+                let after = rt2.stats().reads;
+                per_query.push(after - before);
+            }
+            stop2.store(true, Ordering::Relaxed);
+            per_query
+        });
+        reads_per_query = handle.join().unwrap();
+    });
+    let stats = rt.stats();
+    let avg = reads_per_query.iter().sum::<u64>() as f64 / reads_per_query.len().max(1) as f64;
+    if csv {
+        println!(
+            "fig3_4,{label},{n},{queries},{:.1},{},{}",
+            avg, stats.aborts, stats.versioned_commits
+        );
+    } else {
+        println!(
+            "{label:<22} n={n:<6} avg reads per committed RQ: {avg:>10.1} (ideal n = {n}) \
+             aborts={} versioned commits={}",
+            stats.aborts, stats.versioned_commits
+        );
+    }
+    rt.shutdown();
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let n = (args.scale_or(1.0) * 2048.0) as usize;
+    let queries = 20u64;
+    if args.csv {
+        println!("figure,mode,n,queries,avg_reads_per_rq,aborts,versioned_commits");
+    } else {
+        println!("== fig3/fig4 — accesses needed to commit an n-address range query under updates ==");
+    }
+    // Figure 3: Mode Q — the reader versions addresses itself and keeps
+    // getting aborted, so it performs far more than n reads per commit.
+    let mut q = MultiverseConfig::small_mode_q_only();
+    q.k1_versioned_after = 1; // go versioned immediately so the effect is isolated
+    run_case(q, "Mode Q only (fig 3)", n, queries, args.csv);
+    // Figure 4: Mode U — updaters version for the reader; ~n reads per commit.
+    let u = MultiverseConfig::small_mode_u_only();
+    run_case(u, "Mode U only (fig 4)", n, queries, args.csv);
+}

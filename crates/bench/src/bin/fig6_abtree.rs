@@ -1,0 +1,34 @@
+//! Figure 6: (a,b)-tree throughput grid — {0, 16} dedicated updaters ×
+//! {0%, 0.01%} range queries × {uniform, Zipfian 0.9} key access.
+//!
+//! The same binary also reproduces Figures 14, 16 and 19 (the identical
+//! workloads on other machines): re-run it on the target host.
+
+use bench::{fig6_workloads, print_scale_banner};
+use harness::{
+    default_thread_sweep, print_results, run_sweep, BenchArgs, FigureSpec, KeyDist, StructKind,
+    TmKind,
+};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let scale = args.scale_or(0.02);
+    let seconds = args.seconds_or(2.0);
+    let updaters = args.updaters_or(4);
+    print_scale_banner("Figure 6", scale, seconds);
+    let mut workloads = fig6_workloads(scale, updaters, KeyDist::Uniform);
+    workloads.extend(fig6_workloads(scale, updaters, KeyDist::Zipfian(0.9)));
+    let fig = FigureSpec {
+        id: "fig6",
+        title: "(a,b)-tree workload grid (also figs 14/16/19 on other hosts)".into(),
+        tms: TmKind::paper_set(),
+        structure: StructKind::AbTree,
+        workloads,
+        threads: default_thread_sweep(),
+        seconds,
+        seed: 6,
+    }
+    .with_args(&args);
+    let points = run_sweep(&fig);
+    print_results(&fig, &points, args.csv);
+}

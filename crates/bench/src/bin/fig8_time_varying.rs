@@ -1,0 +1,56 @@
+//! Figure 8: throughput over time for a time-varying workload.
+//!
+//! Four intervals: intervals 1 and 3 have no range queries and no dedicated
+//! updaters; intervals 2 and 4 add 0.01% range queries of 10% of the prefill
+//! and 4 dedicated updaters. Series: Multiverse, its Mode-Q-only and
+//! Mode-U-only ablations, and the baseline TMs. Throughput is sampled every
+//! 200 ms.
+
+use bench::print_scale_banner;
+use harness::registry::run_time_varying_abtree;
+use harness::{BenchArgs, Interval, KeyDist, TmKind, WorkloadMix, WorkloadSpec};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let scale = args.scale_or(0.02);
+    let interval_seconds = args.seconds_or(2.0);
+    let updaters = args.updaters_or(4);
+    let threads = args
+        .threads
+        .first()
+        .copied()
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
+    print_scale_banner("Figure 8", scale, interval_seconds);
+
+    let quiet = WorkloadSpec::paper_tree(scale, WorkloadMix::fig8_no_rq(), KeyDist::Uniform, 0);
+    let mut rq = WorkloadSpec::paper_tree(scale, WorkloadMix::fig8_rq(), KeyDist::Uniform, updaters);
+    // Figure 8 uses a larger RQ: 10% of the prefill instead of 1%.
+    rq.rq_size = (rq.prefill / 10).max(16);
+    let intervals = vec![
+        Interval { seconds: interval_seconds, spec: quiet.clone() },
+        Interval { seconds: interval_seconds, spec: rq.clone() },
+        Interval { seconds: interval_seconds, spec: quiet },
+        Interval { seconds: interval_seconds, spec: rq },
+    ];
+
+    let tms = args.tms.clone().unwrap_or_else(TmKind::fig8_set);
+    if args.csv {
+        println!("figure,tm,elapsed_seconds,ops_per_second");
+    } else {
+        println!("== fig8 — throughput over time, {threads} worker threads ==");
+    }
+    for tm in tms {
+        let r = run_time_varying_abtree(tm, &intervals, threads, 200, 8);
+        if args.csv {
+            for (t, ops) in &r.samples {
+                println!("fig8,{},{:.2},{:.1}", r.tm, t, ops);
+            }
+        } else {
+            println!("\n-- {} (total committed worker ops: {}) --", r.tm, r.total_ops);
+            println!("{:>8}  {:>14}", "time(s)", "ops/sec");
+            for (t, ops) in &r.samples {
+                println!("{:>8.2}  {:>14.0}", t, ops);
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure 9: maximum memory usage for the (a,b)-tree workloads of Figure 6
+//! row one (0 dedicated updaters, uniform key access), with and without
+//! range queries.
+//!
+//! Reported per point: max resident set size of the process (KiB, the paper's
+//! metric) and the bytes of versioning metadata the TM holds at the end of
+//! the trial (which isolates the multiversioning overhead).
+
+use bench::print_scale_banner;
+use harness::{
+    default_thread_sweep, print_results, run_sweep, BenchArgs, FigureSpec, KeyDist, StructKind,
+    TmKind, WorkloadMix, WorkloadSpec,
+};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let scale = args.scale_or(0.02);
+    let seconds = args.seconds_or(2.0);
+    print_scale_banner("Figure 9", scale, seconds);
+    let workloads = vec![
+        (
+            "uniform, 0 updaters, 90% search / 0% RQ".to_string(),
+            WorkloadSpec::paper_tree(scale, WorkloadMix::no_rq_90_5_5(), KeyDist::Uniform, 0),
+        ),
+        (
+            "uniform, 0 updaters, 89.99% search / 0.01% RQ".to_string(),
+            WorkloadSpec::paper_tree(scale, WorkloadMix::rq_8999_001_5_5(), KeyDist::Uniform, 0),
+        ),
+    ];
+    let fig = FigureSpec {
+        id: "fig9",
+        title: "maximum memory usage ((a,b)-tree, row one of fig6)".into(),
+        tms: TmKind::paper_set(),
+        structure: StructKind::AbTree,
+        workloads,
+        threads: default_thread_sweep(),
+        seconds,
+        seed: 9,
+    }
+    .with_args(&args);
+    let points = run_sweep(&fig);
+    print_results(&fig, &points, args.csv);
+    if !args.csv {
+        println!(
+            "note: compare the maxRSS(KB) and version-bytes columns; the paper's Figure 9 plots \
+             max resident memory."
+        );
+    }
+}

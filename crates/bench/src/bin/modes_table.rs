@@ -1,0 +1,31 @@
+//! Table 1: the behaviour of unversioned transactions, versioned transactions
+//! and the background thread in each TM mode, printed from the same
+//! predicates the runtime uses.
+
+use multiverse::Mode;
+
+fn main() {
+    println!("== Table 1 — differences between TM modes ==\n");
+    println!(
+        "{:<10} {:<40} {:<40} {:<26}",
+        "Mode", "Unversioned (writers)", "Versioned (readers)", "Background thread"
+    );
+    for mode in [Mode::Q, Mode::QtoU, Mode::U, Mode::UtoQ] {
+        let writers = if mode.writers_version() {
+            "writes forced to version"
+        } else {
+            "writes add versions iff address already versioned"
+        };
+        let readers = match mode {
+            Mode::U => "reads assume all addresses are versioned",
+            Mode::UtoQ => "versioned txns forced back to Mode Q behaviour",
+            _ => "reads version addresses on demand",
+        };
+        let bg = if mode.unversioning_enabled() {
+            "unversioning enabled"
+        } else {
+            "unversioning disabled"
+        };
+        println!("{:<10} {:<40} {:<40} {:<26}", mode.name(), writers, readers, bg);
+    }
+}

@@ -1,0 +1,92 @@
+//! # ebr — epoch-based reclamation for transactional memory
+//!
+//! Unversioned STMs that skip commit-time revalidation for read-only
+//! transactions (TL2, DCTL) permit a use-after-free race: a read-only
+//! transaction can keep traversing nodes that a concurrent committed
+//! transaction has already unlinked *and freed* (paper §4.5 gives a linked
+//! list example, reproduced in `tests/reclamation_race.rs`). Multiverse
+//! additionally needs to reclaim version-list nodes and VLT bucket nodes that
+//! readers may still be traversing.
+//!
+//! This crate provides the epoch-based reclamation (EBR) substrate every TM
+//! in the repository uses:
+//!
+//! * a [`Collector`] holding the global epoch and the participant registry,
+//! * per-thread [`LocalHandle`]s with `pin`/`unpin` (a transaction attempt is
+//!   pinned for its whole duration) and `retire`,
+//! * *transaction-friendly* retirement: the TMs buffer retires in the
+//!   transaction descriptor and only hand them to EBR at commit; on abort the
+//!   retires are revoked, exactly as the paper describes ("when we rollback
+//!   the effects of an update transaction we also revoke any of its
+//!   retires").
+//!
+//! The implementation is deliberately self-contained (no `crossbeam-epoch`)
+//! so the whole reclamation path of the paper is reproduced and testable.
+
+mod collector;
+mod local;
+mod retired;
+mod txmem;
+
+pub use collector::Collector;
+pub use local::{Guard, LocalHandle};
+pub use retired::{Dtor, Retired};
+pub use txmem::TxMem;
+
+use std::sync::Arc;
+
+/// Create a collector and a first local handle for the calling thread.
+///
+/// Convenience for tests and examples; real runtimes keep the
+/// [`Collector`] in their shared state and register a handle per thread.
+pub fn new_collector_and_handle() -> (Arc<Collector>, LocalHandle) {
+    let c = Arc::new(Collector::new());
+    let h = LocalHandle::new(Arc::clone(&c));
+    (c, h)
+}
+
+/// Helper producing a destructor that drops a `Box<T>`.
+///
+/// # Safety of use
+/// The returned function must only be applied to pointers obtained from
+/// `Box::into_raw(Box::<T>::new(..))`.
+pub fn boxed_dtor<T>() -> Dtor {
+    unsafe fn drop_box<T>(p: *mut u8) {
+        drop(unsafe { Box::from_raw(p as *mut T) });
+    }
+    drop_box::<T>
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static DROPS: AtomicUsize = AtomicUsize::new(0);
+
+    struct CountsDrops;
+    impl Drop for CountsDrops {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn boxed_dtor_drops_value() {
+        let before = DROPS.load(Ordering::SeqCst);
+        let p = Box::into_raw(Box::new(CountsDrops)) as *mut u8;
+        unsafe { boxed_dtor::<CountsDrops>()(p) };
+        assert_eq!(DROPS.load(Ordering::SeqCst), before + 1);
+    }
+
+    #[test]
+    fn convenience_constructor_is_usable() {
+        let (c, mut h) = new_collector_and_handle();
+        let p = Box::into_raw(Box::new(1234u64)) as *mut u8;
+        h.pin();
+        h.retire(p, boxed_dtor::<u64>(), 8);
+        h.unpin();
+        drop(h);
+        drop(c);
+    }
+}

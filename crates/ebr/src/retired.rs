@@ -1,0 +1,70 @@
+//! Retired garbage descriptors.
+
+/// Destructor invoked to free a retired allocation.
+pub type Dtor = unsafe fn(*mut u8);
+
+/// A single retired allocation awaiting a grace period.
+#[derive(Debug)]
+pub struct Retired {
+    ptr: *mut u8,
+    dtor: Dtor,
+    bytes: usize,
+    epoch: u64,
+}
+
+// Retired items are only ever *freed* by one thread at a time (either the
+// owning local handle or the collector once orphaned), so moving them across
+// threads is safe even though they carry a raw pointer.
+unsafe impl Send for Retired {}
+
+impl Retired {
+    /// Describe a retired allocation of `bytes` bytes retired at `epoch`.
+    pub fn new(ptr: *mut u8, dtor: Dtor, bytes: usize, epoch: u64) -> Self {
+        Self {
+            ptr,
+            dtor,
+            bytes,
+            epoch,
+        }
+    }
+
+    /// Epoch at which the allocation was retired.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Size hint of the allocation (for memory accounting).
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Free the allocation.
+    ///
+    /// # Safety
+    /// Must only be called once, after the grace period has elapsed (no
+    /// thread pinned at an epoch older than `epoch() + 2` can still hold a
+    /// reference).
+    pub unsafe fn reclaim(self) {
+        (self.dtor)(self.ptr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    unsafe fn drop_box_u64(p: *mut u8) {
+        drop(unsafe { Box::from_raw(p as *mut u64) });
+    }
+
+    #[test]
+    fn retired_records_metadata() {
+        let b = Box::into_raw(Box::new(7u64));
+        let r = Retired::new(b as *mut u8, drop_box_u64, 8, 3);
+        assert_eq!(r.epoch(), 3);
+        assert_eq!(r.bytes(), 8);
+        unsafe { r.reclaim() };
+    }
+}

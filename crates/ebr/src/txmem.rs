@@ -1,0 +1,156 @@
+//! Transactional memory-management buffers.
+//!
+//! The paper (§4.5) requires that
+//!
+//! * allocations performed during a transaction are buffered "such that they
+//!   can be rolled back if the transaction aborts", and
+//! * retires (frees of unlinked nodes / replaced versions) performed during a
+//!   transaction only take effect if the transaction commits — "when we
+//!   rollback the effects of an update transaction we also revoke any of its
+//!   retires".
+//!
+//! [`TxMem`] is that buffer. Every TM in this repository embeds one in its
+//! transaction descriptor and calls [`TxMem::on_commit`] / [`TxMem::on_abort`]
+//! from its commit / abort paths.
+
+use crate::local::LocalHandle;
+use crate::retired::Dtor;
+
+/// A deferred memory operation recorded during a transaction.
+#[derive(Debug)]
+struct Deferred {
+    ptr: *mut u8,
+    dtor: Dtor,
+    bytes: usize,
+}
+
+/// Per-transaction buffers of deferred allocations and retires.
+#[derive(Debug, Default)]
+pub struct TxMem {
+    allocs: Vec<Deferred>,
+    retires: Vec<Deferred>,
+}
+
+impl TxMem {
+    /// Create empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an allocation made by the running transaction.
+    pub fn record_alloc(&mut self, ptr: *mut u8, dtor: Dtor, bytes: usize) {
+        self.allocs.push(Deferred { ptr, dtor, bytes });
+    }
+
+    /// Record a retire (logical free) performed by the running transaction.
+    pub fn record_retire(&mut self, ptr: *mut u8, dtor: Dtor, bytes: usize) {
+        self.retires.push(Deferred { ptr, dtor, bytes });
+    }
+
+    /// Number of buffered allocations.
+    pub fn alloc_count(&self) -> usize {
+        self.allocs.len()
+    }
+
+    /// Number of buffered retires.
+    pub fn retire_count(&self) -> usize {
+        self.retires.len()
+    }
+
+    /// The transaction committed: allocations become owned by the structure
+    /// (nothing to do) and retires are handed to epoch-based reclamation.
+    pub fn on_commit(&mut self, ebr: &mut LocalHandle) {
+        self.allocs.clear();
+        for d in self.retires.drain(..) {
+            ebr.retire(d.ptr, d.dtor, d.bytes);
+        }
+    }
+
+    /// The transaction aborted: retires are revoked (the nodes are still
+    /// reachable) and buffered allocations are freed immediately (they never
+    /// became visible to other threads).
+    pub fn on_abort(&mut self) {
+        self.retires.clear();
+        for d in self.allocs.drain(..) {
+            // Safety: the allocation was never published (the publishing write
+            // was rolled back by the TM before calling on_abort), so this
+            // thread is the only owner.
+            unsafe { (d.dtor)(d.ptr) };
+        }
+    }
+
+    /// True when no deferred operation is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.allocs.is_empty() && self.retires.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boxed_dtor;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static DROPS: AtomicUsize = AtomicUsize::new(0);
+    struct D;
+    impl Drop for D {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn abort_frees_allocs_and_revokes_retires() {
+        let before = DROPS.load(Ordering::SeqCst);
+        let mut mem = TxMem::new();
+        let alloc = Box::into_raw(Box::new(D)) as *mut u8;
+        let retired = Box::into_raw(Box::new(D));
+        mem.record_alloc(alloc, boxed_dtor::<D>(), 1);
+        mem.record_retire(retired as *mut u8, boxed_dtor::<D>(), 1);
+        assert_eq!(mem.alloc_count(), 1);
+        assert_eq!(mem.retire_count(), 1);
+        mem.on_abort();
+        assert!(mem.is_empty());
+        // Only the buffered allocation was dropped; the retired node survives.
+        assert_eq!(DROPS.load(Ordering::SeqCst), before + 1);
+        drop(unsafe { Box::from_raw(retired) });
+        assert_eq!(DROPS.load(Ordering::SeqCst), before + 2);
+    }
+
+    #[test]
+    fn commit_keeps_allocs_and_retires_through_ebr() {
+        let before = DROPS.load(Ordering::SeqCst);
+        let (c, mut h) = crate::new_collector_and_handle();
+        let mut mem = TxMem::new();
+        let alloc = Box::into_raw(Box::new(D));
+        let retired = Box::into_raw(Box::new(D)) as *mut u8;
+        mem.record_alloc(alloc as *mut u8, boxed_dtor::<D>(), 1);
+        mem.record_retire(retired, boxed_dtor::<D>(), 1);
+        mem.on_commit(&mut h);
+        assert!(mem.is_empty());
+        // The allocation is untouched; the retire waits for a grace period.
+        assert_eq!(DROPS.load(Ordering::SeqCst), before);
+        c.try_advance();
+        c.try_advance();
+        h.collect();
+        assert_eq!(DROPS.load(Ordering::SeqCst), before + 1);
+        drop(unsafe { Box::from_raw(alloc) });
+        assert_eq!(DROPS.load(Ordering::SeqCst), before + 2);
+    }
+
+    #[test]
+    fn buffers_are_reusable_after_commit_and_abort() {
+        let (_c, mut h) = crate::new_collector_and_handle();
+        let mut mem = TxMem::new();
+        for _ in 0..3 {
+            let p = Box::into_raw(Box::new(7u64)) as *mut u8;
+            mem.record_alloc(p, boxed_dtor::<u64>(), 8);
+            mem.on_abort();
+            assert!(mem.is_empty());
+            let q = Box::into_raw(Box::new(7u64)) as *mut u8;
+            mem.record_retire(q, boxed_dtor::<u64>(), 8);
+            mem.on_commit(&mut h);
+            assert!(mem.is_empty());
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! A tiny dependency-free command-line parser shared by the figure binaries.
+//!
+//! Supported flags:
+//!
+//! ```text
+//! --threads 1,2,4,8        thread counts to sweep
+//! --seconds 5              seconds per trial
+//! --scale 0.1              workload scale factor (1.0 = paper-sized, 1M keys)
+//! --updaters 16            dedicated updater threads (figure-specific default otherwise)
+//! --tms multiverse,dctl    subset of TMs to run
+//! --csv                    machine-readable output
+//! ```
+
+use crate::registry::TmKind;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default)]
+pub struct BenchArgs {
+    /// Thread counts to sweep (empty = figure default).
+    pub threads: Vec<usize>,
+    /// Seconds per trial.
+    pub seconds: Option<f64>,
+    /// Workload scale factor (fraction of the paper's 1M-key prefill).
+    pub scale: Option<f64>,
+    /// Dedicated updater override.
+    pub updaters: Option<usize>,
+    /// TM subset.
+    pub tms: Option<Vec<TmKind>>,
+    /// Emit CSV instead of a text table.
+    pub csv: bool,
+}
+
+impl BenchArgs {
+    /// Parse the given argument list (without the program name).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = BenchArgs::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--threads" => {
+                    let v = it.next().ok_or("--threads needs a value")?;
+                    out.threads = v
+                        .split(',')
+                        .map(|s| s.trim().parse::<usize>().map_err(|e| e.to_string()))
+                        .collect::<Result<Vec<_>, _>>()?;
+                }
+                "--seconds" => {
+                    out.seconds =
+                        Some(it.next().ok_or("--seconds needs a value")?.parse().map_err(
+                            |e: std::num::ParseFloatError| e.to_string(),
+                        )?);
+                }
+                "--scale" => {
+                    out.scale = Some(it.next().ok_or("--scale needs a value")?.parse().map_err(
+                        |e: std::num::ParseFloatError| e.to_string(),
+                    )?);
+                }
+                "--updaters" => {
+                    out.updaters =
+                        Some(it.next().ok_or("--updaters needs a value")?.parse().map_err(
+                            |e: std::num::ParseIntError| e.to_string(),
+                        )?);
+                }
+                "--tms" => {
+                    let v = it.next().ok_or("--tms needs a value")?;
+                    let tms = v
+                        .split(',')
+                        .map(|s| TmKind::parse(s.trim()).ok_or_else(|| format!("unknown tm '{s}'")))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    out.tms = Some(tms);
+                }
+                "--csv" => out.csv = true,
+                "--help" | "-h" => {
+                    return Err(
+                        "usage: [--threads 1,2,4] [--seconds N] [--scale F] [--updaters N] \
+                         [--tms multiverse,dctl,...] [--csv]"
+                            .to_string(),
+                    )
+                }
+                other => return Err(format!("unknown argument '{other}'")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parse from the process arguments, printing an error and exiting on
+    /// failure.
+    pub fn from_env() -> Self {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The workload scale factor (default keeps a laptop run in seconds).
+    pub fn scale_or(&self, default: f64) -> f64 {
+        self.scale.unwrap_or(default)
+    }
+
+    /// Seconds per trial with a figure-specific default.
+    pub fn seconds_or(&self, default: f64) -> f64 {
+        self.seconds.unwrap_or(default)
+    }
+
+    /// Dedicated updaters with a figure-specific default.
+    pub fn updaters_or(&self, default: usize) -> usize {
+        self.updaters.unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<BenchArgs, String> {
+        BenchArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = parse(&[
+            "--threads", "1,2,4", "--seconds", "2.5", "--scale", "0.1", "--updaters", "8",
+            "--tms", "multiverse,dctl", "--csv",
+        ])
+        .unwrap();
+        assert_eq!(a.threads, vec![1, 2, 4]);
+        assert_eq!(a.seconds, Some(2.5));
+        assert_eq!(a.scale, Some(0.1));
+        assert_eq!(a.updaters, Some(8));
+        assert_eq!(a.tms, Some(vec![TmKind::Multiverse, TmKind::Dctl]));
+        assert!(a.csv);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse(&[]).unwrap();
+        assert!(a.threads.is_empty());
+        assert_eq!(a.seconds_or(5.0), 5.0);
+        assert_eq!(a.scale_or(0.02), 0.02);
+        assert_eq!(a.updaters_or(16), 16);
+        assert!(!a.csv);
+    }
+
+    #[test]
+    fn rejects_unknown_args_and_tms() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--tms", "nosuchtm"]).is_err());
+        assert!(parse(&["--threads"]).is_err());
+    }
+}

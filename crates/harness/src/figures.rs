@@ -1,0 +1,207 @@
+//! Figure runners: sweep TMs × thread counts × workloads and print the
+//! series the paper's plots show (one row per point), optionally as CSV.
+
+use crate::cli::BenchArgs;
+use crate::driver::{TrialConfig, TrialResult};
+use crate::registry::{run_workload, StructKind, TmKind};
+use crate::workload::WorkloadSpec;
+
+/// A declarative description of one figure reproduction.
+#[derive(Debug, Clone)]
+pub struct FigureSpec {
+    /// Figure identifier ("fig1", "fig6", ...).
+    pub id: &'static str,
+    /// Human-readable title printed above the results.
+    pub title: String,
+    /// TMs to compare (the series of the plot).
+    pub tms: Vec<TmKind>,
+    /// Data structure under test.
+    pub structure: StructKind,
+    /// Workloads (sub-plots), each with a label.
+    pub workloads: Vec<(String, WorkloadSpec)>,
+    /// Thread counts (the x axis).
+    pub threads: Vec<usize>,
+    /// Seconds per trial.
+    pub seconds: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl FigureSpec {
+    /// Apply command-line overrides (threads / seconds / TM subset).
+    pub fn with_args(mut self, args: &BenchArgs) -> Self {
+        if !args.threads.is_empty() {
+            self.threads = args.threads.clone();
+        }
+        if let Some(s) = args.seconds {
+            self.seconds = s;
+        }
+        if let Some(tms) = &args.tms {
+            self.tms = tms.clone();
+        }
+        self
+    }
+}
+
+/// One measured point of a figure.
+#[derive(Debug, Clone)]
+pub struct FigurePoint {
+    /// The workload label (sub-plot).
+    pub workload: String,
+    /// The trial metrics.
+    pub result: TrialResult,
+}
+
+/// Run every (workload × TM × thread-count) combination of `fig`.
+pub fn run_sweep(fig: &FigureSpec) -> Vec<FigurePoint> {
+    let mut out = Vec::new();
+    for (label, spec) in &fig.workloads {
+        for &tm in &fig.tms {
+            for &threads in &fig.threads {
+                let trial = TrialConfig {
+                    threads,
+                    seconds: fig.seconds,
+                    seed: fig.seed,
+                };
+                eprintln!(
+                    "[{}] workload='{}' tm={} threads={} ...",
+                    fig.id,
+                    label,
+                    tm.name(),
+                    threads
+                );
+                let result = run_workload(tm, fig.structure, spec, &trial);
+                out.push(FigurePoint {
+                    workload: label.clone(),
+                    result,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Print the results of a sweep, mirroring the series/rows of the paper's
+/// figure. With `csv` the output is machine-readable.
+pub fn print_results(fig: &FigureSpec, points: &[FigurePoint], csv: bool) {
+    if csv {
+        println!(
+            "figure,workload,structure,tm,threads,updaters,ops,range_queries,throughput_ops_per_s,\
+             abort_ratio,gave_up,ops_per_cpu_second,max_rss_kb,versioning_bytes"
+        );
+        for p in points {
+            let r = &p.result;
+            println!(
+                "{},{},{},{},{},{},{},{},{:.1},{:.4},{},{:.1},{},{}",
+                fig.id,
+                p.workload,
+                r.structure,
+                r.tm,
+                r.threads,
+                r.updaters,
+                r.ops,
+                r.range_queries,
+                r.throughput,
+                r.stats.abort_ratio(),
+                r.stats.gave_up,
+                r.ops_per_cpu_second,
+                r.max_rss_kb,
+                r.versioning_bytes
+            );
+        }
+        return;
+    }
+    println!("== {} — {} ==", fig.id, fig.title);
+    println!("structure: {}", fig.structure.name());
+    let mut last_workload = String::new();
+    for p in points {
+        if p.workload != last_workload {
+            println!("\n-- workload: {} --", p.workload);
+            println!(
+                "{:<22} {:>7} {:>14} {:>10} {:>10} {:>14} {:>12} {:>14}",
+                "tm",
+                "threads",
+                "ops/sec",
+                "rq/sec",
+                "abort%",
+                "ops/cpu-sec",
+                "maxRSS(KB)",
+                "version-bytes"
+            );
+            last_workload = p.workload.clone();
+        }
+        let r = &p.result;
+        println!(
+            "{:<22} {:>7} {:>14.0} {:>10.1} {:>10.2} {:>14.0} {:>12} {:>14}",
+            r.tm,
+            r.threads,
+            r.throughput,
+            r.range_queries as f64 / r.wall_seconds.max(1e-9),
+            100.0 * r.stats.abort_ratio(),
+            r.ops_per_cpu_second,
+            r.max_rss_kb,
+            r.versioning_bytes
+        );
+    }
+    println!();
+}
+
+/// Default thread sweep: powers of two up to the host's parallelism.
+pub fn default_thread_sweep() -> Vec<usize> {
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut v = vec![1usize];
+    let mut t = 2;
+    while t < max {
+        v.push(t);
+        t *= 2;
+    }
+    if *v.last().unwrap() != max {
+        v.push(max);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{KeyDist, WorkloadMix};
+
+    #[test]
+    fn default_sweep_is_sorted_and_capped() {
+        let sweep = default_thread_sweep();
+        assert_eq!(sweep[0], 1);
+        assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+        let max = std::thread::available_parallelism().unwrap().get();
+        assert_eq!(*sweep.last().unwrap(), max);
+    }
+
+    #[test]
+    fn tiny_sweep_runs_and_prints() {
+        let fig = FigureSpec {
+            id: "test",
+            title: "tiny smoke sweep".into(),
+            tms: vec![TmKind::Dctl, TmKind::Multiverse],
+            structure: StructKind::AbTree,
+            workloads: vec![(
+                "90/0/5/5".into(),
+                WorkloadSpec {
+                    key_range: 512,
+                    prefill: 256,
+                    mix: WorkloadMix::no_rq_90_5_5(),
+                    rq_size: 16,
+                    dist: KeyDist::Uniform,
+                    dedicated_updaters: 0,
+                },
+            )],
+            threads: vec![1, 2],
+            seconds: 0.05,
+            seed: 11,
+        };
+        let points = run_sweep(&fig);
+        assert_eq!(points.len(), 4);
+        print_results(&fig, &points, false);
+        print_results(&fig, &points, true);
+    }
+}

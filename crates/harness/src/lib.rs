@@ -1,0 +1,35 @@
+//! # harness — the paper's benchmark methodology, reproduced
+//!
+//! The evaluation section of the paper (§5) is driven by a purpose-built
+//! benchmark rather than STAMP/TPC-C/YCSB, because those suites cannot
+//! exercise long-running range queries under a steady stream of conflicting
+//! updates. This crate reproduces that methodology:
+//!
+//! * operation-mix workloads over a key range (search / range query /
+//!   insert / delete percentages), with uniform or Zipfian key access;
+//! * **dedicated updater threads** that never perform read-only operations
+//!   and whose throughput is *not* counted, so a TM cannot look good on
+//!   range-query workloads merely because every thread eventually rolls a
+//!   range query at the same time (Figure 7's pitfall);
+//! * prefilled structures, timed trials, multiple TMs × thread counts;
+//! * time-varying workloads sampled every 200 ms (Figure 8);
+//! * maximum-resident-set and versioning-metadata memory accounting
+//!   (Figure 9) and a CPU-time energy proxy (Figure 10 substitute, see
+//!   DESIGN.md).
+
+pub mod cli;
+pub mod driver;
+pub mod figures;
+pub mod measure;
+pub mod registry;
+pub mod timevarying;
+pub mod workload;
+pub mod zipf;
+
+pub use cli::BenchArgs;
+pub use driver::{run_trial, TrialConfig, TrialResult};
+pub use figures::{default_thread_sweep, print_results, run_sweep, FigurePoint, FigureSpec};
+pub use registry::{run_workload, StructKind, TmKind};
+pub use timevarying::{run_time_varying, Interval, TimeVaryingResult};
+pub use workload::{KeyDist, OpKind, WorkloadMix, WorkloadSpec};
+pub use zipf::Zipf;

@@ -1,0 +1,151 @@
+//! Process-level measurements used by the memory and energy figures.
+//!
+//! * Maximum resident set size is read from `/proc/self/status` (`VmHWM`),
+//!   matching the paper's "max resident memory" metric (Figure 9).
+//! * The paper measures package energy with RAPL (`perf -e energy-pkg`),
+//!   which is unavailable inside unprivileged containers; we substitute the
+//!   process CPU time (utime + stime from `/proc/self/stat`) as a monotone
+//!   proxy — wasted aborted work burns CPU time exactly like it burns joules
+//!   (see DESIGN.md, substitutions).
+
+use std::fs;
+use std::time::Instant;
+
+/// Kernel clock ticks per second assumed when converting `/proc` CPU times.
+/// (Linux has reported 100 via `sysconf(_SC_CLK_TCK)` on every mainstream
+/// distribution for decades; we avoid a libc dependency.)
+const CLK_TCK: f64 = 100.0;
+
+/// Maximum resident set size of this process in kilobytes (`VmHWM`), or 0 if
+/// it cannot be read (non-Linux platforms).
+pub fn max_rss_kb() -> u64 {
+    let Ok(status) = fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb;
+        }
+    }
+    // Some container kernels omit VmHWM; fall back to the current RSS, which
+    // is a lower bound on the high-water mark.
+    current_rss_kb()
+}
+
+/// Current resident set size in kilobytes (`VmRSS`), or 0 if unavailable.
+pub fn current_rss_kb() -> u64 {
+    let Ok(status) = fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            return rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+        }
+    }
+    0
+}
+
+/// Total CPU seconds (user + system) consumed by this process so far, or 0.0
+/// if `/proc` is unavailable.
+pub fn process_cpu_seconds() -> f64 {
+    let Ok(stat) = fs::read_to_string("/proc/self/stat") else {
+        return 0.0;
+    };
+    // Field 2 (comm) may contain spaces; it is wrapped in parentheses, so
+    // split after the closing one.
+    let Some(after_comm) = stat.rsplit_once(')').map(|(_, rest)| rest) else {
+        return 0.0;
+    };
+    let fields: Vec<&str> = after_comm.split_whitespace().collect();
+    // After the ')' the next field is state (index 0), so utime/stime (fields
+    // 14/15 of the full line) are at indices 11 and 12 here.
+    let utime: f64 = fields.get(11).and_then(|s| s.parse().ok()).unwrap_or(0.0);
+    let stime: f64 = fields.get(12).and_then(|s| s.parse().ok()).unwrap_or(0.0);
+    (utime + stime) / CLK_TCK
+}
+
+/// Measures the CPU time and wall time spent between `start` and `finish`.
+#[derive(Debug)]
+pub struct EnergyProbe {
+    cpu_at_start: f64,
+    wall_at_start: Instant,
+}
+
+/// Result of an [`EnergyProbe`] measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergySample {
+    /// CPU seconds consumed during the window (the energy proxy).
+    pub cpu_seconds: f64,
+    /// Wall-clock seconds of the window.
+    pub wall_seconds: f64,
+}
+
+impl EnergyProbe {
+    /// Start a measurement window.
+    pub fn start() -> Self {
+        Self {
+            cpu_at_start: process_cpu_seconds(),
+            wall_at_start: Instant::now(),
+        }
+    }
+
+    /// Finish the window.
+    pub fn finish(&self) -> EnergySample {
+        EnergySample {
+            cpu_seconds: (process_cpu_seconds() - self.cpu_at_start).max(0.0),
+            wall_seconds: self.wall_at_start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rss_is_reported_on_linux() {
+        let hwm = max_rss_kb();
+        let rss = current_rss_kb();
+        // In this repository's CI/containers /proc is always present.
+        assert!(hwm > 0);
+        assert!(rss > 0);
+        assert!(hwm >= rss / 2, "high-water mark should not be far below RSS");
+    }
+
+    #[test]
+    fn cpu_time_is_monotone() {
+        let a = process_cpu_seconds();
+        // Burn a little CPU.
+        let mut x = 0u64;
+        for i in 0..2_000_000u64 {
+            x = x.wrapping_add(i * i);
+        }
+        std::hint::black_box(x);
+        let b = process_cpu_seconds();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn energy_probe_measures_a_window() {
+        let probe = EnergyProbe::start();
+        let mut x = 0u64;
+        for i in 0..2_000_000u64 {
+            x = x.wrapping_add(i.rotate_left(7));
+        }
+        std::hint::black_box(x);
+        let sample = probe.finish();
+        assert!(sample.wall_seconds > 0.0);
+        assert!(sample.cpu_seconds >= 0.0);
+    }
+}

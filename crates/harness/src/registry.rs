@@ -1,0 +1,360 @@
+//! Name-based dispatch over the TMs and data structures, so the figure
+//! binaries can iterate `for tm in TmKind::paper_set()` without generics
+//! leaking into their `main`s.
+
+use crate::driver::{run_trial, TrialConfig, TrialResult};
+use crate::timevarying::{run_time_varying, Interval, TimeVaryingResult};
+use crate::workload::WorkloadSpec;
+use baselines::{DctlRuntime, GlockRuntime, NorecRuntime, TinyStmRuntime, Tl2Runtime};
+use multiverse::{MultiverseConfig, MultiverseRuntime};
+use std::sync::Arc;
+use tm_api::TmRuntime;
+use txstructs::{TxAbTree, TxAvlTree, TxExtBst, TxHashMap, TxList, TxSet};
+
+/// The TM algorithms the harness can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TmKind {
+    /// Multiverse with dynamic mode switching (the paper's system).
+    Multiverse,
+    /// Multiverse restricted to Mode Q (Figure 8 ablation).
+    MultiverseModeQ,
+    /// Multiverse restricted to Mode U (Figure 8 ablation).
+    MultiverseModeU,
+    /// DCTL (deferred clock, encounter-time locking, irrevocable fallback).
+    Dctl,
+    /// TL2 (commit-time locking, buffered writes).
+    Tl2,
+    /// NOrec (global sequence lock, value validation).
+    Norec,
+    /// TinySTM-style (encounter-time locking, commit-time clock).
+    TinyStm,
+    /// Single global lock (test oracle; not part of the paper's evaluation).
+    Glock,
+}
+
+impl TmKind {
+    /// The five TMs compared in the paper's figures.
+    pub fn paper_set() -> Vec<TmKind> {
+        vec![
+            TmKind::Multiverse,
+            TmKind::Dctl,
+            TmKind::Tl2,
+            TmKind::Norec,
+            TmKind::TinyStm,
+        ]
+    }
+
+    /// The Figure 8 set: Multiverse plus its forced-mode ablations plus DCTL.
+    pub fn fig8_set() -> Vec<TmKind> {
+        vec![
+            TmKind::Multiverse,
+            TmKind::MultiverseModeQ,
+            TmKind::MultiverseModeU,
+            TmKind::Dctl,
+            TmKind::Tl2,
+        ]
+    }
+
+    /// Every TM the harness knows about.
+    pub fn all() -> Vec<TmKind> {
+        vec![
+            TmKind::Multiverse,
+            TmKind::MultiverseModeQ,
+            TmKind::MultiverseModeU,
+            TmKind::Dctl,
+            TmKind::Tl2,
+            TmKind::Norec,
+            TmKind::TinyStm,
+            TmKind::Glock,
+        ]
+    }
+
+    /// Display / CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TmKind::Multiverse => "multiverse",
+            TmKind::MultiverseModeQ => "multiverse-modeq",
+            TmKind::MultiverseModeU => "multiverse-modeu",
+            TmKind::Dctl => "dctl",
+            TmKind::Tl2 => "tl2",
+            TmKind::Norec => "norec",
+            TmKind::TinyStm => "tinystm",
+            TmKind::Glock => "glock",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<TmKind> {
+        Self::all().into_iter().find(|t| t.name() == s.to_lowercase())
+    }
+
+    fn multiverse_config(self, stripes: usize) -> MultiverseConfig {
+        let mut cfg = MultiverseConfig::paper_defaults();
+        cfg.stripes = stripes;
+        match self {
+            TmKind::MultiverseModeQ => cfg.forced_mode = Some(multiverse::ForcedMode::ModeQ),
+            TmKind::MultiverseModeU => cfg.forced_mode = Some(multiverse::ForcedMode::ModeU),
+            _ => {}
+        }
+        cfg
+    }
+}
+
+/// The data structures of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StructKind {
+    /// (a,b)-tree with a=4, b=16 (main-paper figures).
+    AbTree,
+    /// Internal AVL tree (appendix).
+    Avl,
+    /// External BST (appendix).
+    ExtBst,
+    /// Hashmap with size queries (appendix).
+    HashMap,
+    /// Sorted linked list (§4.5 example).
+    List,
+}
+
+impl StructKind {
+    /// Display / CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StructKind::AbTree => "abtree",
+            StructKind::Avl => "avl",
+            StructKind::ExtBst => "extbst",
+            StructKind::HashMap => "hashmap",
+            StructKind::List => "list",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<StructKind> {
+        [
+            StructKind::AbTree,
+            StructKind::Avl,
+            StructKind::ExtBst,
+            StructKind::HashMap,
+            StructKind::List,
+        ]
+        .into_iter()
+        .find(|k| k.name() == s.to_lowercase())
+    }
+}
+
+/// Stripe-table size used by the benchmark runtimes; smaller than the paper's
+/// 2^20 default so that many back-to-back trials stay memory friendly, large
+/// enough that stripe collisions are negligible for scaled-down prefills.
+const BENCH_STRIPES: usize = 1 << 18;
+
+fn run_generic<R, S>(tm: Arc<R>, set: S, spec: &WorkloadSpec, trial: &TrialConfig) -> TrialResult
+where
+    R: TmRuntime,
+    S: TxSet,
+{
+    let set = Arc::new(set);
+    let result = run_trial(&tm, &set, spec, trial);
+    tm.shutdown();
+    result
+}
+
+fn with_tm_struct<S: TxSet>(
+    tm: TmKind,
+    set: S,
+    spec: &WorkloadSpec,
+    trial: &TrialConfig,
+) -> TrialResult {
+    match tm {
+        TmKind::Multiverse | TmKind::MultiverseModeQ | TmKind::MultiverseModeU => {
+            let rt = MultiverseRuntime::start(tm.multiverse_config(BENCH_STRIPES));
+            run_generic(rt, set, spec, trial)
+        }
+        TmKind::Dctl => {
+            let mut cfg = baselines::DctlConfig::default();
+            cfg.stripes = BENCH_STRIPES;
+            run_generic(Arc::new(DctlRuntime::new(cfg)), set, spec, trial)
+        }
+        TmKind::Tl2 => {
+            let cfg = baselines::Tl2Config {
+                stripes: BENCH_STRIPES,
+            };
+            run_generic(Arc::new(Tl2Runtime::new(cfg)), set, spec, trial)
+        }
+        TmKind::Norec => run_generic(Arc::new(NorecRuntime::new()), set, spec, trial),
+        TmKind::TinyStm => {
+            let mut cfg = baselines::TinyStmConfig::default();
+            cfg.stripes = BENCH_STRIPES;
+            run_generic(Arc::new(TinyStmRuntime::new(cfg)), set, spec, trial)
+        }
+        TmKind::Glock => run_generic(Arc::new(GlockRuntime::new()), set, spec, trial),
+    }
+}
+
+/// Run one trial of `spec` with the named TM and structure.
+pub fn run_workload(
+    tm: TmKind,
+    structure: StructKind,
+    spec: &WorkloadSpec,
+    trial: &TrialConfig,
+) -> TrialResult {
+    match structure {
+        StructKind::AbTree => with_tm_struct(tm, TxAbTree::new(), spec, trial),
+        StructKind::Avl => with_tm_struct(tm, TxAvlTree::new(), spec, trial),
+        StructKind::ExtBst => with_tm_struct(tm, TxExtBst::new(), spec, trial),
+        StructKind::HashMap => {
+            // The paper uses 1M buckets for a 100k prefill (10x); keep the
+            // same ratio at smaller scales.
+            let buckets = (spec.prefill as usize * 10).max(1024);
+            with_tm_struct(tm, TxHashMap::new(buckets), spec, trial)
+        }
+        StructKind::List => with_tm_struct(tm, TxList::new(), spec, trial),
+    }
+}
+
+fn time_varying_generic<R, S>(
+    tm: Arc<R>,
+    set: S,
+    intervals: &[Interval],
+    threads: usize,
+    sample_ms: u64,
+    seed: u64,
+) -> TimeVaryingResult
+where
+    R: TmRuntime,
+    S: TxSet,
+{
+    let set = Arc::new(set);
+    let r = run_time_varying(&tm, &set, intervals, threads, sample_ms, seed);
+    tm.shutdown();
+    r
+}
+
+/// Run the Figure 8 style time-varying trial on the (a,b)-tree with the named
+/// TM.
+pub fn run_time_varying_abtree(
+    tm: TmKind,
+    intervals: &[Interval],
+    threads: usize,
+    sample_ms: u64,
+    seed: u64,
+) -> TimeVaryingResult {
+    match tm {
+        TmKind::Multiverse | TmKind::MultiverseModeQ | TmKind::MultiverseModeU => {
+            let rt = MultiverseRuntime::start(tm.multiverse_config(BENCH_STRIPES));
+            time_varying_generic(rt, TxAbTree::new(), intervals, threads, sample_ms, seed)
+        }
+        TmKind::Dctl => time_varying_generic(
+            Arc::new(DctlRuntime::with_defaults()),
+            TxAbTree::new(),
+            intervals,
+            threads,
+            sample_ms,
+            seed,
+        ),
+        TmKind::Tl2 => time_varying_generic(
+            Arc::new(Tl2Runtime::with_defaults()),
+            TxAbTree::new(),
+            intervals,
+            threads,
+            sample_ms,
+            seed,
+        ),
+        TmKind::Norec => time_varying_generic(
+            Arc::new(NorecRuntime::new()),
+            TxAbTree::new(),
+            intervals,
+            threads,
+            sample_ms,
+            seed,
+        ),
+        TmKind::TinyStm => time_varying_generic(
+            Arc::new(TinyStmRuntime::with_defaults()),
+            TxAbTree::new(),
+            intervals,
+            threads,
+            sample_ms,
+            seed,
+        ),
+        TmKind::Glock => time_varying_generic(
+            Arc::new(GlockRuntime::new()),
+            TxAbTree::new(),
+            intervals,
+            threads,
+            sample_ms,
+            seed,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{KeyDist, WorkloadMix};
+
+    #[test]
+    fn names_roundtrip() {
+        for tm in TmKind::all() {
+            assert_eq!(TmKind::parse(tm.name()), Some(tm));
+        }
+        for s in ["abtree", "avl", "extbst", "hashmap", "list"] {
+            assert_eq!(StructKind::parse(s).unwrap().name(), s);
+        }
+        assert_eq!(TmKind::parse("nope"), None);
+        assert_eq!(StructKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn paper_set_has_five_tms_and_fig8_has_ablations() {
+        assert_eq!(TmKind::paper_set().len(), 5);
+        assert!(TmKind::fig8_set().contains(&TmKind::MultiverseModeQ));
+        assert!(TmKind::fig8_set().contains(&TmKind::MultiverseModeU));
+    }
+
+    #[test]
+    fn dispatch_runs_every_tm_on_a_tiny_workload() {
+        let spec = WorkloadSpec {
+            key_range: 512,
+            prefill: 256,
+            mix: WorkloadMix::new(90.0, 0.0, 5.0, 5.0),
+            rq_size: 16,
+            dist: KeyDist::Uniform,
+            dedicated_updaters: 0,
+        };
+        let trial = TrialConfig {
+            threads: 2,
+            seconds: 0.05,
+            seed: 3,
+        };
+        for tm in TmKind::all() {
+            let r = run_workload(tm, StructKind::AbTree, &spec, &trial);
+            assert!(r.ops > 0, "{:?} performed no operations", tm);
+        }
+    }
+
+    #[test]
+    fn dispatch_runs_every_structure_on_dctl() {
+        let spec = WorkloadSpec {
+            key_range: 512,
+            prefill: 128,
+            mix: WorkloadMix::new(88.0, 2.0, 5.0, 5.0),
+            rq_size: 32,
+            dist: KeyDist::Uniform,
+            dedicated_updaters: 0,
+        };
+        let trial = TrialConfig {
+            threads: 2,
+            seconds: 0.05,
+            seed: 4,
+        };
+        for st in [
+            StructKind::AbTree,
+            StructKind::Avl,
+            StructKind::ExtBst,
+            StructKind::HashMap,
+            StructKind::List,
+        ] {
+            let r = run_workload(TmKind::Dctl, st, &spec, &trial);
+            assert!(r.ops > 0, "{:?} performed no operations", st);
+            assert_eq!(r.structure, st.name().replace("extbst", "external-bst").replace("avl", "avl-tree").replace("list", "linked-list"));
+        }
+    }
+}

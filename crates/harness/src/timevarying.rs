@@ -1,0 +1,188 @@
+//! Time-varying workloads with 200 ms throughput sampling (Figure 8).
+//!
+//! The trial is split into intervals; each interval has its own operation mix
+//! and dedicated-updater count. Worker threads pick up the new workload when
+//! they finish their current operation — exactly like the paper, a thread
+//! stuck retrying a large range query keeps retrying it into the next
+//! interval, which is what makes the figure interesting.
+
+use crate::driver::{prefill, run_one_op};
+use crate::workload::{OpGenerator, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tm_api::TmRuntime;
+use txstructs::TxSet;
+
+/// One interval of a time-varying trial.
+#[derive(Debug, Clone)]
+pub struct Interval {
+    /// Interval length in seconds.
+    pub seconds: f64,
+    /// The workload active during the interval.
+    pub spec: WorkloadSpec,
+}
+
+/// Result of a time-varying trial.
+#[derive(Debug, Clone)]
+pub struct TimeVaryingResult {
+    /// TM algorithm name.
+    pub tm: &'static str,
+    /// `(elapsed_seconds, ops_per_second)` samples taken every `sample_ms`.
+    pub samples: Vec<(f64, f64)>,
+    /// Total committed worker operations.
+    pub total_ops: u64,
+}
+
+/// Run a time-varying trial: `intervals` back to back, sampling worker
+/// throughput every `sample_ms` milliseconds.
+pub fn run_time_varying<R, S>(
+    tm: &Arc<R>,
+    set: &Arc<S>,
+    intervals: &[Interval],
+    threads: usize,
+    sample_ms: u64,
+    seed: u64,
+) -> TimeVaryingResult
+where
+    R: TmRuntime,
+    S: TxSet,
+{
+    assert!(!intervals.is_empty(), "need at least one interval");
+    prefill(tm, set, &intervals[0].spec);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let current = Arc::new(AtomicUsize::new(0));
+    let ops_counter = Arc::new(AtomicU64::new(0));
+    let max_updaters = intervals
+        .iter()
+        .map(|i| i.spec.dedicated_updaters)
+        .max()
+        .unwrap_or(0);
+    let generators: Vec<OpGenerator> = intervals.iter().map(|i| OpGenerator::new(&i.spec)).collect();
+    let generators = Arc::new(generators);
+    let intervals_owned: Arc<Vec<Interval>> = Arc::new(intervals.to_vec());
+
+    let mut samples = Vec::new();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let tm = Arc::clone(tm);
+            let set = Arc::clone(set);
+            let stop = Arc::clone(&stop);
+            let current = Arc::clone(&current);
+            let ops_counter = Arc::clone(&ops_counter);
+            let generators = Arc::clone(&generators);
+            s.spawn(move || {
+                let mut h = tm.register();
+                let mut rng = StdRng::seed_from_u64(seed ^ (t as u64 + 1).wrapping_mul(0x51f1));
+                while !stop.load(Ordering::Relaxed) {
+                    let idx = current.load(Ordering::Relaxed).min(generators.len() - 1);
+                    run_one_op(set.as_ref(), &mut h, &generators[idx], &mut rng);
+                    ops_counter.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        for u in 0..max_updaters {
+            let tm = Arc::clone(tm);
+            let set = Arc::clone(set);
+            let stop = Arc::clone(&stop);
+            let current = Arc::clone(&current);
+            let generators = Arc::clone(&generators);
+            let intervals = Arc::clone(&intervals_owned);
+            s.spawn(move || {
+                let mut h = tm.register();
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD ^ (u as u64 + 7));
+                while !stop.load(Ordering::Relaxed) {
+                    let idx = current.load(Ordering::Relaxed).min(generators.len() - 1);
+                    if u >= intervals[idx].spec.dedicated_updaters {
+                        // This updater is not active in the current interval.
+                        std::thread::sleep(Duration::from_millis(1));
+                        continue;
+                    }
+                    let key = generators[idx].key(&mut rng);
+                    if rng.gen_bool(0.5) {
+                        set.insert(&mut h, key, key);
+                    } else {
+                        set.remove(&mut h, key);
+                    }
+                }
+            });
+        }
+
+        // Sampler (runs on this thread): advance intervals and record the
+        // throughput of every sampling window.
+        let start = Instant::now();
+        let total: f64 = intervals_owned.iter().map(|i| i.seconds).sum();
+        let mut boundaries = Vec::new();
+        let mut acc = 0.0;
+        for i in intervals_owned.iter() {
+            acc += i.seconds;
+            boundaries.push(acc);
+        }
+        let mut last_ops = 0u64;
+        let mut last_t = 0.0f64;
+        loop {
+            std::thread::sleep(Duration::from_millis(sample_ms));
+            let elapsed = start.elapsed().as_secs_f64();
+            let idx = boundaries.iter().position(|&b| elapsed < b).unwrap_or(intervals_owned.len() - 1);
+            current.store(idx, Ordering::Relaxed);
+            let now_ops = ops_counter.load(Ordering::Relaxed);
+            let window = (elapsed - last_t).max(1e-9);
+            samples.push((elapsed, (now_ops - last_ops) as f64 / window));
+            last_ops = now_ops;
+            last_t = elapsed;
+            if elapsed >= total {
+                break;
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    TimeVaryingResult {
+        tm: tm.name(),
+        samples,
+        total_ops: ops_counter.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{KeyDist, WorkloadMix};
+    use baselines::DctlRuntime;
+    use txstructs::TxAbTree;
+
+    fn spec(rq: f64, updaters: usize) -> WorkloadSpec {
+        WorkloadSpec {
+            key_range: 2_000,
+            prefill: 1_000,
+            mix: WorkloadMix::new(80.0 - rq, rq, 10.0, 10.0),
+            rq_size: 200,
+            dist: KeyDist::Uniform,
+            dedicated_updaters: updaters,
+        }
+    }
+
+    #[test]
+    fn samples_cover_both_intervals() {
+        let tm = Arc::new(DctlRuntime::with_defaults());
+        let set = Arc::new(TxAbTree::new());
+        let intervals = vec![
+            Interval {
+                seconds: 0.3,
+                spec: spec(0.0, 0),
+            },
+            Interval {
+                seconds: 0.3,
+                spec: spec(1.0, 1),
+            },
+        ];
+        let r = run_time_varying(&tm, &set, &intervals, 2, 50, 9);
+        assert!(r.total_ops > 0);
+        assert!(r.samples.len() >= 6, "expected ~12 samples, got {}", r.samples.len());
+        let last = r.samples.last().unwrap().0;
+        assert!(last >= 0.55, "sampling should span the whole trial");
+    }
+}

@@ -1,0 +1,265 @@
+//! Workload specifications: operation mixes, key distributions and the
+//! per-figure parameters of the paper's evaluation (§5).
+
+use crate::zipf::Zipf;
+use rand::Rng;
+
+/// Percentages of each operation type. The remainder up to 100% (if any) is
+/// treated as searches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadMix {
+    /// Point-lookup percentage.
+    pub search: f64,
+    /// Range-query (or size-query) percentage.
+    pub range_query: f64,
+    /// Insert percentage.
+    pub insert: f64,
+    /// Delete percentage.
+    pub delete: f64,
+}
+
+impl WorkloadMix {
+    /// A mix given as `(search, rq, insert, delete)` percentages.
+    pub fn new(search: f64, range_query: f64, insert: f64, delete: f64) -> Self {
+        let m = Self {
+            search,
+            range_query,
+            insert,
+            delete,
+        };
+        debug_assert!(m.total() <= 100.0 + 1e-9, "mix sums to more than 100%");
+        m
+    }
+
+    /// Total declared percentage.
+    pub fn total(&self) -> f64 {
+        self.search + self.range_query + self.insert + self.delete
+    }
+
+    /// The workload of Figure 6 column 1 / Figure 1 without range queries.
+    pub fn no_rq_90_5_5() -> Self {
+        Self::new(90.0, 0.0, 5.0, 5.0)
+    }
+
+    /// The 0.01%-range-query workload of Figure 1 / Figure 6 column 2.
+    pub fn rq_8999_001_5_5() -> Self {
+        Self::new(89.99, 0.01, 5.0, 5.0)
+    }
+
+    /// The 0.1%-range-query workload of the appendix figures.
+    pub fn rq_899_01_5_5() -> Self {
+        Self::new(89.9, 0.1, 5.0, 5.0)
+    }
+
+    /// The interval workload of Figure 8 without range queries.
+    pub fn fig8_no_rq() -> Self {
+        Self::new(80.0, 0.0, 10.0, 10.0)
+    }
+
+    /// The interval workload of Figure 8 with 0.01% range queries.
+    pub fn fig8_rq() -> Self {
+        Self::new(79.99, 0.01, 10.0, 10.0)
+    }
+}
+
+/// Key-access distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Uniform over the key range.
+    Uniform,
+    /// Zipfian with the given exponent (the paper uses 0.9).
+    Zipfian(f64),
+}
+
+/// One operation drawn from a workload mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Point lookup.
+    Search,
+    /// Range query (size query for the hashmap).
+    RangeQuery,
+    /// Insert.
+    Insert,
+    /// Delete.
+    Delete,
+}
+
+/// A complete workload description.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Keys are drawn from `0..key_range`.
+    pub key_range: u64,
+    /// Number of keys inserted before the timed trial starts.
+    pub prefill: u64,
+    /// Operation mix.
+    pub mix: WorkloadMix,
+    /// Number of keys covered by one range query.
+    pub rq_size: u64,
+    /// Key-access distribution.
+    pub dist: KeyDist,
+    /// Number of dedicated updater threads (not counted in throughput).
+    pub dedicated_updaters: usize,
+}
+
+impl WorkloadSpec {
+    /// The paper's standard tree setup scaled by `scale`: prefill
+    /// `1_000_000 * scale` keys out of a key range twice that size, range
+    /// queries covering 1% of the prefill.
+    pub fn paper_tree(scale: f64, mix: WorkloadMix, dist: KeyDist, updaters: usize) -> Self {
+        let prefill = ((1_000_000.0 * scale) as u64).max(64);
+        Self {
+            key_range: prefill * 2,
+            prefill,
+            mix,
+            rq_size: (prefill / 100).max(8),
+            dist,
+            dedicated_updaters: updaters,
+        }
+    }
+
+    /// The paper's hashmap setup scaled by `scale`: 1M buckets / 100k keys at
+    /// scale 1.0; range queries become full size queries.
+    pub fn paper_hashmap(scale: f64, mix: WorkloadMix, updaters: usize) -> Self {
+        let prefill = ((100_000.0 * scale) as u64).max(64);
+        Self {
+            key_range: prefill * 2,
+            prefill,
+            mix,
+            rq_size: u64::MAX,
+            dist: KeyDist::Uniform,
+            dedicated_updaters: updaters,
+        }
+    }
+}
+
+/// Per-thread operation generator.
+#[derive(Debug, Clone)]
+pub struct OpGenerator {
+    mix: WorkloadMix,
+    key_range: u64,
+    rq_size: u64,
+    zipf: Option<Zipf>,
+}
+
+impl OpGenerator {
+    /// Build a generator for `spec`.
+    pub fn new(spec: &WorkloadSpec) -> Self {
+        let zipf = match spec.dist {
+            KeyDist::Uniform => None,
+            KeyDist::Zipfian(theta) => Some(Zipf::new(spec.key_range, theta)),
+        };
+        Self {
+            mix: spec.mix,
+            key_range: spec.key_range,
+            rq_size: spec.rq_size,
+            zipf,
+        }
+    }
+
+    /// Draw a key according to the configured distribution.
+    pub fn key<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match &self.zipf {
+            None => rng.gen_range(0..self.key_range),
+            Some(z) => z.sample(rng),
+        }
+    }
+
+    /// Draw the next operation kind according to the mix.
+    pub fn op<R: Rng + ?Sized>(&self, rng: &mut R) -> OpKind {
+        let roll: f64 = rng.gen::<f64>() * 100.0;
+        if roll < self.mix.range_query {
+            OpKind::RangeQuery
+        } else if roll < self.mix.range_query + self.mix.insert {
+            OpKind::Insert
+        } else if roll < self.mix.range_query + self.mix.insert + self.mix.delete {
+            OpKind::Delete
+        } else {
+            OpKind::Search
+        }
+    }
+
+    /// Draw the `[lo, hi]` bounds of a range query.
+    pub fn range<R: Rng + ?Sized>(&self, rng: &mut R) -> (u64, u64) {
+        if self.rq_size == u64::MAX {
+            return (0, u64::MAX);
+        }
+        let lo = self.key(rng);
+        (lo, lo.saturating_add(self.rq_size.saturating_sub(1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_mixes_sum_to_100() {
+        for m in [
+            WorkloadMix::no_rq_90_5_5(),
+            WorkloadMix::rq_8999_001_5_5(),
+            WorkloadMix::rq_899_01_5_5(),
+            WorkloadMix::fig8_no_rq(),
+            WorkloadMix::fig8_rq(),
+        ] {
+            assert!((m.total() - 100.0).abs() < 1e-9, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn op_frequencies_respect_the_mix() {
+        let spec = WorkloadSpec::paper_tree(0.001, WorkloadMix::new(50.0, 0.0, 25.0, 25.0), KeyDist::Uniform, 0);
+        let gen = OpGenerator::new(&spec);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 4];
+        let n = 100_000;
+        for _ in 0..n {
+            match gen.op(&mut rng) {
+                OpKind::Search => counts[0] += 1,
+                OpKind::RangeQuery => counts[1] += 1,
+                OpKind::Insert => counts[2] += 1,
+                OpKind::Delete => counts[3] += 1,
+            }
+        }
+        assert!((counts[0] as f64 / n as f64 - 0.50).abs() < 0.02);
+        assert_eq!(counts[1], 0);
+        assert!((counts[2] as f64 / n as f64 - 0.25).abs() < 0.02);
+        assert!((counts[3] as f64 / n as f64 - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn keys_and_ranges_stay_in_domain() {
+        let spec = WorkloadSpec::paper_tree(0.01, WorkloadMix::rq_8999_001_5_5(), KeyDist::Zipfian(0.9), 16);
+        let gen = OpGenerator::new(&spec);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            assert!(gen.key(&mut rng) < spec.key_range);
+        }
+        let (lo, hi) = gen.range(&mut rng);
+        assert!(hi >= lo);
+        assert_eq!(hi - lo + 1, spec.rq_size);
+    }
+
+    #[test]
+    fn paper_tree_spec_scales() {
+        let spec = WorkloadSpec::paper_tree(1.0, WorkloadMix::rq_8999_001_5_5(), KeyDist::Uniform, 16);
+        assert_eq!(spec.prefill, 1_000_000);
+        assert_eq!(spec.key_range, 2_000_000);
+        assert_eq!(spec.rq_size, 10_000);
+        assert_eq!(spec.dedicated_updaters, 16);
+        let small = WorkloadSpec::paper_tree(0.01, WorkloadMix::no_rq_90_5_5(), KeyDist::Uniform, 0);
+        assert_eq!(small.prefill, 10_000);
+        assert_eq!(small.rq_size, 100);
+    }
+
+    #[test]
+    fn hashmap_spec_uses_full_size_queries() {
+        let spec = WorkloadSpec::paper_hashmap(1.0, WorkloadMix::rq_8999_001_5_5(), 1);
+        assert_eq!(spec.prefill, 100_000);
+        assert_eq!(spec.rq_size, u64::MAX);
+        let gen = OpGenerator::new(&spec);
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(gen.range(&mut rng), (0, u64::MAX));
+    }
+}

@@ -1,0 +1,155 @@
+//! Tunable parameters of the Multiverse STM.
+
+use tm_api::DEFAULT_STRIPES;
+
+/// Restrict the TM to a single mode (used by the Figure 8 ablation, where the
+/// paper compares full Multiverse against "Mode Q only" and "Mode U only"
+//  variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForcedMode {
+    /// Never leave Mode Q (versioned readers version addresses on demand).
+    ModeQ,
+    /// Start in and never leave Mode U (every writer versions every address).
+    ModeU,
+}
+
+/// Configuration of a [`crate::MultiverseRuntime`].
+///
+/// The field names follow the paper's parameter names (§4.1–§4.4, §5
+/// "Tunable Parameters"); defaults are the values used in the evaluation.
+#[derive(Debug, Clone)]
+pub struct MultiverseConfig {
+    /// Number of stripes in the lock table, VLT and bloom table (all three
+    /// are the same size so one address mapping serves them all).
+    pub stripes: usize,
+    /// K1: failed commit attempts before an unversioned read-only transaction
+    /// switches to the versioned code path.
+    pub k1_versioned_after: u64,
+    /// K2: attempts after which a read-only transaction attempts the
+    /// Mode Q → Mode QtoU CAS *if* its read count is at least the global
+    /// minimum Mode-U read count.
+    pub k2_mode_u_after: u64,
+    /// K3: attempts after which a *versioned* transaction always attempts the
+    /// Mode Q → Mode QtoU CAS.
+    pub k3_versioned_mode_u_after: u64,
+    /// S: consecutive small transactions needed to clear a thread's sticky
+    /// Mode-U flag; also the divisor for the small-transaction read count.
+    pub s_small_txns: u64,
+    /// L: number of commit-timestamp-delta averages collected before the
+    /// background thread computes an unversioning threshold.
+    pub l_delta_samples: usize,
+    /// P: fraction (0..=1) of the (descending) delta averages used to compute
+    /// the unversioning threshold. The paper uses 10%.
+    pub p_prefix_fraction: f64,
+    /// Lower bound on the unversioning threshold (clock ticks). Prevents the
+    /// background thread from unversioning buckets the instant the workload
+    /// pauses; tests lower it to force unversioning.
+    pub min_unversion_threshold: u64,
+    /// Microseconds the background thread sleeps between iterations.
+    pub bg_sleep_us: u64,
+    /// Restrict the TM to a single mode (Figure 8 ablation). `None` enables
+    /// full dynamic mode switching.
+    pub forced_mode: Option<ForcedMode>,
+}
+
+impl Default for MultiverseConfig {
+    fn default() -> Self {
+        Self {
+            stripes: DEFAULT_STRIPES,
+            k1_versioned_after: 100,
+            k2_mode_u_after: 16,
+            k3_versioned_mode_u_after: 28,
+            s_small_txns: 10,
+            l_delta_samples: 10,
+            p_prefix_fraction: 0.10,
+            min_unversion_threshold: 8,
+            bg_sleep_us: 200,
+            forced_mode: None,
+        }
+    }
+}
+
+impl MultiverseConfig {
+    /// Defaults from the paper's evaluation (§5).
+    pub fn paper_defaults() -> Self {
+        Self::default()
+    }
+
+    /// A configuration suited to unit tests and doctests: a small table and
+    /// aggressive heuristics so the versioned path and the mode machinery are
+    /// exercised quickly.
+    pub fn small() -> Self {
+        Self {
+            stripes: 1 << 12,
+            k1_versioned_after: 3,
+            k2_mode_u_after: 4,
+            k3_versioned_mode_u_after: 6,
+            s_small_txns: 4,
+            l_delta_samples: 2,
+            p_prefix_fraction: 0.5,
+            min_unversion_threshold: 2,
+            bg_sleep_us: 50,
+            forced_mode: None,
+        }
+    }
+
+    /// Same as [`Self::small`] but locked to Mode Q.
+    pub fn small_mode_q_only() -> Self {
+        Self {
+            forced_mode: Some(ForcedMode::ModeQ),
+            ..Self::small()
+        }
+    }
+
+    /// Same as [`Self::small`] but locked to Mode U.
+    pub fn small_mode_u_only() -> Self {
+        Self {
+            forced_mode: Some(ForcedMode::ModeU),
+            ..Self::small()
+        }
+    }
+
+    /// Number of entries used for the prefix average, at least 1.
+    pub fn prefix_len(&self) -> usize {
+        ((self.l_delta_samples as f64 * self.p_prefix_fraction).ceil() as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_5() {
+        let c = MultiverseConfig::paper_defaults();
+        assert_eq!(c.k1_versioned_after, 100);
+        assert_eq!(c.k2_mode_u_after, 16);
+        assert_eq!(c.k3_versioned_mode_u_after, 28);
+        assert_eq!(c.s_small_txns, 10);
+        assert_eq!(c.l_delta_samples, 10);
+        assert!((c.p_prefix_fraction - 0.10).abs() < 1e-9);
+        assert!(c.forced_mode.is_none());
+    }
+
+    #[test]
+    fn prefix_len_is_at_least_one() {
+        let mut c = MultiverseConfig::paper_defaults();
+        assert_eq!(c.prefix_len(), 1);
+        c.l_delta_samples = 100;
+        assert_eq!(c.prefix_len(), 10);
+        c.p_prefix_fraction = 0.0;
+        assert_eq!(c.prefix_len(), 1);
+    }
+
+    #[test]
+    fn forced_mode_configs() {
+        assert_eq!(
+            MultiverseConfig::small_mode_q_only().forced_mode,
+            Some(ForcedMode::ModeQ)
+        );
+        assert_eq!(
+            MultiverseConfig::small_mode_u_only().forced_mode,
+            Some(ForcedMode::ModeU)
+        );
+    }
+}

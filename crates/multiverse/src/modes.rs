@@ -1,0 +1,136 @@
+//! The four TM modes and their encoding.
+//!
+//! The global mode is a monotonically increasing counter; the mode is the
+//! counter modulo four, so the TM can only ever progress through the cyclic
+//! order Q → QtoU → U → UtoQ → Q → … (paper §3.3.1). Workers may perform the
+//! Q → QtoU transition with a CAS on the counter; every other transition is
+//! performed by the background thread.
+
+/// The global (or a transaction's local) TM mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Versioned readers version addresses on demand; writers only maintain
+    /// version lists that already exist. Unversioning is enabled.
+    Q,
+    /// Transient: new/retrying writers already version everything they write,
+    /// but readers still behave as in Mode Q until the Mode-Q writers drain.
+    QtoU,
+    /// Every writer versions every address it writes; versioned readers may
+    /// assume all relevant addresses are versioned.
+    U,
+    /// Transient: versioned readers fall back to Mode-Q behaviour while the
+    /// Mode-U readers drain; writers still version.
+    UtoQ,
+}
+
+impl Mode {
+    /// Decode a mode counter into a mode.
+    #[inline(always)]
+    pub fn from_counter(counter: u64) -> Mode {
+        match counter % 4 {
+            0 => Mode::Q,
+            1 => Mode::QtoU,
+            2 => Mode::U,
+            _ => Mode::UtoQ,
+        }
+    }
+
+    /// Whether *updating* transactions must version every address they write
+    /// in this (local) mode. True in every mode except Mode Q (Table 1).
+    #[inline(always)]
+    pub fn writers_version(self) -> bool {
+        !matches!(self, Mode::Q)
+    }
+
+    /// Whether *versioned read-only* transactions may assume every relevant
+    /// address is already versioned. Only true in Mode U (Table 1).
+    #[inline(always)]
+    pub fn readers_assume_versioned(self) -> bool {
+        matches!(self, Mode::U)
+    }
+
+    /// Whether the background thread may unversion VLT buckets. Only in
+    /// Mode Q (Table 1).
+    #[inline(always)]
+    pub fn unversioning_enabled(self) -> bool {
+        matches!(self, Mode::Q)
+    }
+
+    /// The next mode in the fixed cyclic order.
+    #[inline]
+    pub fn next(self) -> Mode {
+        match self {
+            Mode::Q => Mode::QtoU,
+            Mode::QtoU => Mode::U,
+            Mode::U => Mode::UtoQ,
+            Mode::UtoQ => Mode::Q,
+        }
+    }
+
+    /// Short human-readable name (used by the mode-table reproduction).
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Q => "Q",
+            Mode::QtoU => "QtoU",
+            Mode::U => "U",
+            Mode::UtoQ => "UtoQ",
+        }
+    }
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_encoding_cycles_in_fixed_order() {
+        assert_eq!(Mode::from_counter(0), Mode::Q);
+        assert_eq!(Mode::from_counter(1), Mode::QtoU);
+        assert_eq!(Mode::from_counter(2), Mode::U);
+        assert_eq!(Mode::from_counter(3), Mode::UtoQ);
+        assert_eq!(Mode::from_counter(4), Mode::Q);
+        for c in 0..32u64 {
+            assert_eq!(Mode::from_counter(c).next(), Mode::from_counter(c + 1));
+        }
+    }
+
+    #[test]
+    fn table_1_writer_behaviour() {
+        // "Writes add versions iff address is already versioned" only in Q;
+        // forced to version in QtoU, U and UtoQ.
+        assert!(!Mode::Q.writers_version());
+        assert!(Mode::QtoU.writers_version());
+        assert!(Mode::U.writers_version());
+        assert!(Mode::UtoQ.writers_version());
+    }
+
+    #[test]
+    fn table_1_reader_behaviour() {
+        // "Reads assume all addresses are versioned" only in Mode U.
+        assert!(!Mode::Q.readers_assume_versioned());
+        assert!(!Mode::QtoU.readers_assume_versioned());
+        assert!(Mode::U.readers_assume_versioned());
+        assert!(!Mode::UtoQ.readers_assume_versioned());
+    }
+
+    #[test]
+    fn table_1_background_thread_behaviour() {
+        // "Unversioning enabled" only in Mode Q.
+        assert!(Mode::Q.unversioning_enabled());
+        assert!(!Mode::QtoU.unversioning_enabled());
+        assert!(!Mode::U.unversioning_enabled());
+        assert!(!Mode::UtoQ.unversioning_enabled());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Mode::Q.to_string(), "Q");
+        assert_eq!(Mode::UtoQ.to_string(), "UtoQ");
+    }
+}

@@ -1,0 +1,651 @@
+//! The shared Multiverse runtime, the per-thread handle, and the background
+//! thread that performs mode transitions and unversioning (paper §3.3, §4.3,
+//! §4.4, Listing 6).
+
+use crate::config::{ForcedMode, MultiverseConfig};
+use crate::modes::Mode;
+use crate::registry::WorkerRegistry;
+use crate::txn::{dtor_version_node, dtor_vlt_node, MultiverseTx};
+use crate::vlt::{Vlt, VltNode};
+use crate::version::VersionNode;
+use ebr::{Collector, LocalHandle};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tm_api::abort::TxResult;
+use tm_api::{
+    Backoff, BloomTable, CachePadded, GlobalClock, LockTable, StatsRegistry, TmHandle, TmRuntime,
+    TmStatsSnapshot, TxKind, TxOutcome,
+};
+
+/// Sentinel: the first observed Mode-U timestamp is not currently valid.
+const FIRST_OBS_INVALID: u64 = u64::MAX;
+/// Thread id used by the background thread when claiming stripe locks.
+const BG_TID: u64 = tm_api::MAX_TID;
+
+/// Shared state of the Multiverse STM.
+#[derive(Debug)]
+pub struct MultiverseRuntime {
+    pub(crate) cfg: MultiverseConfig,
+    pub(crate) clock: GlobalClock,
+    pub(crate) locks: LockTable,
+    pub(crate) vlt: Vlt,
+    pub(crate) bloom: BloomTable,
+    pub(crate) stats: StatsRegistry,
+    pub(crate) ebr: Arc<Collector>,
+    pub(crate) registry: WorkerRegistry,
+    global_mode_counter: CachePadded<AtomicU64>,
+    first_obs_mode_u_ts: CachePadded<AtomicU64>,
+    min_mode_u_read_count: CachePadded<AtomicU64>,
+    version_bytes: AtomicI64,
+    next_tid: AtomicU64,
+    stop_bg: AtomicBool,
+    bg_join: Mutex<Option<JoinHandle<()>>>,
+    /// Buckets unversioned by the background thread (diagnostic counter).
+    buckets_unversioned: AtomicU64,
+    /// Mode transitions performed (workers' CAS plus background thread).
+    mode_transitions: AtomicU64,
+}
+
+impl MultiverseRuntime {
+    /// Create the runtime **and start its background thread**.
+    pub fn start(cfg: MultiverseConfig) -> Arc<Self> {
+        let forced = cfg.forced_mode;
+        let clock = GlobalClock::new();
+        let initial_counter = match forced {
+            Some(ForcedMode::ModeU) => 2, // Mode U
+            _ => 0,                       // Mode Q
+        };
+        let initial_first_obs = match forced {
+            Some(ForcedMode::ModeU) => clock.read(),
+            _ => FIRST_OBS_INVALID,
+        };
+        let stripes = cfg.stripes;
+        let rt = Arc::new(Self {
+            clock,
+            locks: LockTable::new(stripes),
+            vlt: Vlt::new(stripes),
+            bloom: BloomTable::new(stripes),
+            stats: StatsRegistry::new(),
+            ebr: Arc::new(Collector::new()),
+            registry: WorkerRegistry::new(),
+            global_mode_counter: CachePadded::new(AtomicU64::new(initial_counter)),
+            first_obs_mode_u_ts: CachePadded::new(AtomicU64::new(initial_first_obs)),
+            min_mode_u_read_count: CachePadded::new(AtomicU64::new(u64::MAX)),
+            version_bytes: AtomicI64::new(0),
+            next_tid: AtomicU64::new(1),
+            stop_bg: AtomicBool::new(false),
+            bg_join: Mutex::new(None),
+            buckets_unversioned: AtomicU64::new(0),
+            mode_transitions: AtomicU64::new(0),
+            cfg,
+        });
+        let weak = Arc::downgrade(&rt);
+        let join = std::thread::Builder::new()
+            .name("multiverse-bg".into())
+            .spawn(move || background_loop(weak))
+            .expect("failed to spawn the Multiverse background thread");
+        *rt.bg_join.lock().unwrap() = Some(join);
+        rt
+    }
+
+    /// Create a runtime with the paper's default parameters.
+    pub fn with_defaults() -> Arc<Self> {
+        Self::start(MultiverseConfig::default())
+    }
+
+    /// Stop and join the background thread. Idempotent.
+    pub fn shutdown_background(&self) {
+        self.stop_bg.store(true, Ordering::Release);
+        if let Some(join) = self.bg_join.lock().unwrap().take() {
+            let _ = join.join();
+        }
+    }
+
+    // ---- mode machinery -------------------------------------------------
+
+    /// The current global mode counter.
+    #[inline]
+    pub fn mode_counter(&self) -> u64 {
+        self.global_mode_counter.load(Ordering::SeqCst)
+    }
+
+    /// The current global mode.
+    #[inline]
+    pub fn current_mode(&self) -> Mode {
+        Mode::from_counter(self.mode_counter())
+    }
+
+    /// Worker-side Mode Q → Mode QtoU transition: CAS the counter from the
+    /// value the worker observed (which must decode to Mode Q).
+    pub(crate) fn try_initiate_qtou(&self, observed_counter: u64) -> bool {
+        if self.cfg.forced_mode.is_some() {
+            return false;
+        }
+        if Mode::from_counter(observed_counter) != Mode::Q {
+            return false;
+        }
+        let ok = self
+            .global_mode_counter
+            .compare_exchange(
+                observed_counter,
+                observed_counter + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok();
+        if ok {
+            self.mode_transitions.fetch_add(1, Ordering::Relaxed);
+        }
+        ok
+    }
+
+    /// Background-thread transition to the next mode in the fixed order.
+    fn advance_mode(&self, from_counter: u64) -> bool {
+        let ok = self
+            .global_mode_counter
+            .compare_exchange(
+                from_counter,
+                from_counter + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok();
+        if ok {
+            self.mode_transitions.fetch_add(1, Ordering::Relaxed);
+        }
+        ok
+    }
+
+    /// Total global mode transitions performed so far.
+    pub fn mode_transition_count(&self) -> u64 {
+        self.mode_transitions.load(Ordering::Relaxed)
+    }
+
+    /// Number of VLT buckets unversioned by the background thread.
+    pub fn unversioned_bucket_count(&self) -> u64 {
+        self.buckets_unversioned.load(Ordering::Relaxed)
+    }
+
+    /// The first observed Mode-U timestamp, if currently valid (§4.2).
+    #[inline]
+    pub(crate) fn first_obs_mode_u_ts(&self) -> Option<u64> {
+        match self.first_obs_mode_u_ts.load(Ordering::Acquire) {
+            FIRST_OBS_INVALID => None,
+            ts => Some(ts),
+        }
+    }
+
+    /// Global minimum read count among versioned transactions that committed
+    /// in Mode U (§4.2); `u64::MAX` until one commits.
+    #[inline]
+    pub(crate) fn min_mode_u_read_count(&self) -> u64 {
+        self.min_mode_u_read_count.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn update_min_mode_u_read_count(&self, reads: u64) {
+        self.min_mode_u_read_count
+            .fetch_min(reads, Ordering::Relaxed);
+    }
+
+    // ---- memory accounting ----------------------------------------------
+
+    pub(crate) fn add_version_bytes(&self, bytes: usize) {
+        self.version_bytes.fetch_add(bytes as i64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn sub_version_bytes(&self, bytes: usize) {
+        self.version_bytes.fetch_sub(bytes as i64, Ordering::Relaxed);
+    }
+
+    /// Approximate live bytes of versioning metadata (VLT nodes + version
+    /// nodes), plus garbage awaiting a grace period.
+    pub fn version_metadata_bytes(&self) -> usize {
+        let live = self.version_bytes.load(Ordering::Relaxed).max(0) as usize;
+        live + self.ebr.pending_bytes()
+    }
+}
+
+impl Drop for MultiverseRuntime {
+    fn drop(&mut self) {
+        // The background thread holds only a Weak reference, so reaching this
+        // point means it can no longer upgrade; make sure it exits and joins.
+        self.stop_bg.store(true, Ordering::Release);
+        if let Some(join) = self.bg_join.lock().unwrap().take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// Per-thread Multiverse handle.
+pub struct MultiverseHandle {
+    tx: MultiverseTx,
+    backoff: Backoff,
+}
+
+impl MultiverseHandle {
+    /// The runtime this handle belongs to.
+    pub fn runtime(&self) -> &Arc<MultiverseRuntime> {
+        &self.tx.rt
+    }
+}
+
+impl TmHandle for MultiverseHandle {
+    type Tx = MultiverseTx;
+
+    fn txn_budget<R>(
+        &mut self,
+        kind: TxKind,
+        max_attempts: u64,
+        mut body: impl FnMut(&mut Self::Tx) -> TxResult<R>,
+    ) -> TxOutcome<R> {
+        self.tx.reset_operation();
+        loop {
+            if self.tx.attempts >= max_attempts {
+                self.tx.stats.gave_up.inc();
+                return TxOutcome::GaveUp;
+            }
+            self.tx.begin(kind);
+            let result = body(&mut self.tx).and_then(|r| self.tx.try_commit().map(|()| r));
+            match result {
+                Ok(r) => {
+                    self.tx.finish_commit();
+                    self.tx.stats.commits.inc();
+                    if kind == TxKind::ReadOnly {
+                        self.tx.stats.ro_commits.inc();
+                    } else {
+                        self.tx.stats.update_commits.inc();
+                    }
+                    self.backoff.reset();
+                    return TxOutcome::Committed(r);
+                }
+                Err(_) => {
+                    self.tx.rollback();
+                    self.tx.stats.aborts.inc();
+                    self.tx.attempts += 1;
+                    self.backoff.abort_and_wait();
+                }
+            }
+        }
+    }
+}
+
+impl TmRuntime for MultiverseRuntime {
+    type Handle = MultiverseHandle;
+
+    fn register(self: &Arc<Self>) -> Self::Handle {
+        // Thread ids 1..MAX_TID-1: 0 is never used and MAX_TID is reserved
+        // for the background thread's lock acquisitions.
+        let raw = self.next_tid.fetch_add(1, Ordering::Relaxed);
+        let tid = 1 + (raw % (tm_api::MAX_TID - 1));
+        let slot = self.registry.register();
+        let stats = self.stats.register();
+        let ebr = LocalHandle::new(Arc::clone(&self.ebr));
+        MultiverseHandle {
+            tx: MultiverseTx::new(Arc::clone(self), tid, slot, stats, ebr),
+            backoff: Backoff::new(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self.cfg.forced_mode {
+            None => "Multiverse",
+            Some(ForcedMode::ModeQ) => "Multiverse-ModeQ",
+            Some(ForcedMode::ModeU) => "Multiverse-ModeU",
+        }
+    }
+
+    fn stats(&self) -> TmStatsSnapshot {
+        let mut snap = self.stats.snapshot();
+        snap.buckets_unversioned += self.unversioned_bucket_count();
+        snap
+    }
+
+    fn versioning_bytes(&self) -> usize {
+        self.version_metadata_bytes()
+    }
+
+    fn shutdown(&self) {
+        self.shutdown_background();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The background thread (Listing 6)
+// ---------------------------------------------------------------------------
+
+fn background_loop(weak: Weak<MultiverseRuntime>) {
+    let mut ebr_handle: Option<LocalHandle> = None;
+    let mut delta_samples: Vec<u64> = Vec::new();
+    loop {
+        let Some(rt) = weak.upgrade() else { return };
+        if rt.stop_bg.load(Ordering::Acquire) {
+            return;
+        }
+        let sleep = Duration::from_micros(rt.cfg.bg_sleep_us.max(1));
+        if ebr_handle.is_none() {
+            ebr_handle = Some(LocalHandle::new(Arc::clone(&rt.ebr)));
+        }
+        let ebr = ebr_handle.as_mut().expect("ebr handle initialized above");
+
+        if rt.cfg.forced_mode.is_none() {
+            run_mode_machine(&rt);
+        }
+        if rt.current_mode() == Mode::Q && rt.cfg.forced_mode != Some(ForcedMode::ModeU) {
+            run_unversioning(&rt, ebr, &mut delta_samples);
+        }
+        // Help the collector make progress even when workers are idle.
+        rt.ebr.try_advance();
+        rt.ebr.collect_orphans();
+        ebr.collect();
+
+        drop(rt);
+        std::thread::sleep(sleep);
+    }
+}
+
+/// One step of the mode state machine (Figure 5). The background thread owns
+/// every transition except Q → QtoU, which workers initiate.
+fn run_mode_machine(rt: &MultiverseRuntime) {
+    let counter = rt.mode_counter();
+    match Mode::from_counter(counter) {
+        Mode::Q => {
+            // Nothing to do: workers CAS the counter to enter QtoU.
+        }
+        Mode::QtoU => {
+            // Wait for updaters that still run with local Mode Q (they do not
+            // version their writes) to drain, then enter Mode U.
+            if !rt.registry.any_stale_worker(counter, |s| s.is_update()) {
+                if rt.advance_mode(counter) {
+                    // Record the first observed Mode-U timestamp used by the
+                    // earliest-safe-timestamp optimization (§4.2).
+                    rt.first_obs_mode_u_ts
+                        .store(rt.clock.read(), Ordering::Release);
+                }
+            }
+        }
+        Mode::U => {
+            // Stay in Mode U while any thread still wants it (sticky bits).
+            if !rt.registry.any_sticky_mode_u() {
+                rt.advance_mode(counter);
+            }
+        }
+        Mode::UtoQ => {
+            // Wait for versioned readers that still run with local Mode U to
+            // drain, then invalidate the Mode-U timestamp and return to Q.
+            if !rt.registry.any_stale_worker(counter, |s| s.is_versioned()) {
+                rt.first_obs_mode_u_ts
+                    .store(FIRST_OBS_INVALID, Ordering::Release);
+                rt.advance_mode(counter);
+            }
+        }
+    }
+}
+
+/// One unversioning pass (§4.4): compute the threshold from the commit-
+/// timestamp deltas and unversion every bucket whose newest version is older
+/// than the threshold.
+fn run_unversioning(rt: &MultiverseRuntime, ebr: &mut LocalHandle, samples: &mut Vec<u64>) {
+    if let Some(avg) = rt.registry.average_commit_ts_delta() {
+        samples.push(avg);
+        let l = rt.cfg.l_delta_samples.max(1);
+        if samples.len() > l {
+            let excess = samples.len() - l;
+            samples.drain(..excess);
+        }
+    }
+    let l = rt.cfg.l_delta_samples.max(1);
+    if samples.len() < l {
+        return;
+    }
+    let mut sorted = samples.clone();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let prefix_len = rt.cfg.prefix_len().min(sorted.len());
+    let prefix_avg = sorted[..prefix_len].iter().sum::<u64>() / prefix_len as u64;
+    let threshold = prefix_avg.max(rt.cfg.min_unversion_threshold);
+
+    let now = rt.clock.read();
+    ebr.pin();
+    for idx in 0..rt.vlt.len() {
+        if rt.current_mode() != Mode::Q {
+            break;
+        }
+        if rt.vlt.bucket_is_empty(idx) {
+            continue;
+        }
+        let Some(latest) = rt.vlt.newest_timestamp_in_bucket(idx) else {
+            continue;
+        };
+        if now.saturating_sub(latest) < threshold {
+            continue;
+        }
+        unversion_bucket(rt, ebr, idx);
+    }
+    ebr.unpin();
+}
+
+/// Unversion one VLT bucket: claim the stripe lock (with the versioning
+/// flag so readers wait instead of aborting), detach the bucket, reset the
+/// bloom filter and retire everything through EBR.
+fn unversion_bucket(rt: &MultiverseRuntime, ebr: &mut LocalHandle, idx: usize) {
+    let lock = rt.locks.lock_at(idx);
+    let Ok(prev) = lock.try_lock(BG_TID, true) else {
+        // A worker holds the stripe; skip this bucket for now.
+        return;
+    };
+    let chain = rt.vlt.take_bucket(idx);
+    rt.bloom.reset(idx);
+    lock.unlock_restore(prev);
+
+    let mut cur = chain;
+    while !cur.is_null() {
+        // Safety: the chain is detached; nodes stay alive until retired.
+        let node = unsafe { &*cur };
+        let next = node.next.load(Ordering::Acquire);
+        // Only the version-list head still needs retiring: superseded
+        // versions were retired when they were replaced (§4.5).
+        let head = node.vlist.detach_head();
+        if !head.is_null() {
+            ebr.retire(head as *mut u8, dtor_version_node, VersionNode::heap_bytes());
+        }
+        ebr.retire(cur as *mut u8, dtor_vlt_node, std::mem::size_of::<VltNode>());
+        rt.sub_version_bytes(VltNode::heap_bytes());
+        cur = next;
+    }
+    rt.buckets_unversioned.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MultiverseConfig;
+    use tm_api::{Transaction, TVar};
+
+    fn small_rt() -> Arc<MultiverseRuntime> {
+        MultiverseRuntime::start(MultiverseConfig::small())
+    }
+
+    #[test]
+    fn starts_in_mode_q_and_shuts_down() {
+        let rt = small_rt();
+        assert_eq!(rt.current_mode(), Mode::Q);
+        assert_eq!(rt.name(), "Multiverse");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn forced_mode_u_starts_in_mode_u() {
+        let rt = MultiverseRuntime::start(MultiverseConfig::small_mode_u_only());
+        assert_eq!(rt.current_mode(), Mode::U);
+        assert_eq!(rt.name(), "Multiverse-ModeU");
+        assert!(rt.first_obs_mode_u_ts().is_some());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn basic_read_write_commit() {
+        let rt = small_rt();
+        let mut h = rt.register();
+        let x = TVar::new(5u64);
+        let v = h.txn(TxKind::ReadWrite, |tx| {
+            let v = tx.read_var(&x)?;
+            tx.write_var(&x, v + 1)?;
+            tx.read_var(&x)
+        });
+        assert_eq!(v, 6);
+        assert_eq!(x.load_direct(), 6);
+        assert_eq!(rt.stats().update_commits, 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn read_only_transactions_do_not_advance_the_clock() {
+        let rt = small_rt();
+        let mut h = rt.register();
+        let x = TVar::new(5u64);
+        let before = rt.clock.read();
+        for _ in 0..10 {
+            let v = h.txn(TxKind::ReadOnly, |tx| tx.read_var(&x));
+            assert_eq!(v, 5);
+        }
+        assert_eq!(rt.clock.read(), before);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn explicit_abort_rolls_back_everything() {
+        let rt = small_rt();
+        let mut h = rt.register();
+        let x = TVar::new(1u64);
+        let out = h.txn_budget(TxKind::ReadWrite, 2, |tx| {
+            tx.write_var(&x, 100)?;
+            Err::<(), _>(tm_api::Abort)
+        });
+        assert!(!out.is_committed());
+        assert_eq!(x.load_direct(), 1);
+        assert_eq!(rt.stats().gave_up, 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn worker_cas_moves_q_to_qtou_and_bg_completes_the_cycle() {
+        let rt = small_rt();
+        assert_eq!(rt.current_mode(), Mode::Q);
+        assert!(rt.try_initiate_qtou(rt.mode_counter()));
+        // No stale workers exist, so the background thread should drive the
+        // TM through QtoU -> U; with no sticky flags it then returns to Q.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while rt.mode_counter() < 4 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(
+            rt.mode_counter() >= 4,
+            "background thread should cycle back to Mode Q (counter={})",
+            rt.mode_counter()
+        );
+        assert_eq!(rt.current_mode(), Mode::Q);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn concurrent_counter_increments() {
+        let rt = small_rt();
+        let counter = Arc::new(TVar::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let rt = Arc::clone(&rt);
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    let mut h = rt.register();
+                    for _ in 0..2000 {
+                        h.txn(TxKind::ReadWrite, |tx| {
+                            let v = tx.read_var(&*counter)?;
+                            tx.write_var(&*counter, v + 1)
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load_direct(), 8000);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn long_reader_commits_against_continuous_updates() {
+        // The headline behaviour: a read-only transaction over many addresses
+        // eventually commits (via the versioned path) even though updaters
+        // continuously modify the addresses it reads.
+        let rt = small_rt();
+        let vars: Arc<Vec<TVar<u64>>> = Arc::new((0..256).map(|i| TVar::new(i as u64)).collect());
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            for t in 0..2u64 {
+                let rt = Arc::clone(&rt);
+                let vars = Arc::clone(&vars);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    let mut h = rt.register();
+                    let mut i = t;
+                    while !stop.load(Ordering::Relaxed) {
+                        let slot = (i as usize * 17) % vars.len();
+                        h.txn(TxKind::ReadWrite, |tx| {
+                            let v = tx.read_var(&vars[slot])?;
+                            tx.write_var(&vars[slot], v + 1000)
+                        });
+                        i += 1;
+                    }
+                });
+            }
+            let rt2 = Arc::clone(&rt);
+            let vars2 = Arc::clone(&vars);
+            let stop2 = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut h = rt2.register();
+                for _ in 0..20 {
+                    // Each scan must observe a consistent snapshot: values are
+                    // initial + k*1000, so the sum modulo 1000 must equal the
+                    // initial sum modulo 1000.
+                    let sum = h.txn(TxKind::ReadOnly, |tx| {
+                        let mut sum = 0u64;
+                        for v in vars2.iter() {
+                            sum += tx.read_var(v)? % 1000;
+                        }
+                        Ok(sum)
+                    });
+                    assert_eq!(sum, (0..256u64).sum::<u64>());
+                }
+                stop2.store(true, Ordering::Relaxed);
+            });
+        });
+        let stats = rt.stats();
+        assert!(stats.commits > 0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn versioned_path_engages_after_k1_attempts() {
+        let rt = MultiverseRuntime::start(MultiverseConfig {
+            k1_versioned_after: 2,
+            ..MultiverseConfig::small()
+        });
+        let mut h = rt.register();
+        let x = TVar::new(0u64);
+        let mut saw_versioned = false;
+        // Force aborts by returning Err until the attempt becomes versioned.
+        let out = h.txn_budget(TxKind::ReadOnly, 10, |tx| {
+            let _ = tx.read_var(&x)?;
+            if tx.is_versioned() {
+                Ok(true)
+            } else {
+                Err(tm_api::Abort)
+            }
+        });
+        if let TxOutcome::Committed(v) = out {
+            saw_versioned = v;
+        }
+        assert!(saw_versioned, "transaction should switch to the versioned path");
+        assert!(rt.stats().versioned_commits >= 1);
+        rt.shutdown();
+    }
+}

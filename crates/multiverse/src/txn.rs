@@ -1,0 +1,622 @@
+//! The Multiverse transaction descriptor: unversioned and versioned code
+//! paths, Mode Q / Mode U read protocols, commit and abort (paper §4.1–§4.3,
+//! Listings 1–5).
+
+use crate::config::ForcedMode;
+use crate::modes::Mode;
+use crate::registry::ThreadSlot;
+use crate::runtime::MultiverseRuntime;
+use crate::version::{VersionList, VersionNode};
+use crate::vlt::VltNode;
+use ebr::{LocalHandle, TxMem};
+use std::sync::atomic::{fence, Ordering};
+use std::sync::Arc;
+use tm_api::abort::TxResult;
+use tm_api::backoff::SpinWait;
+use tm_api::traits::Dtor;
+use tm_api::vlock::LockState;
+use tm_api::{Abort, ThreadStats, Transaction, TxKind, TxWord};
+
+/// Sentinel for "no initial versioned timestamp recorded yet".
+pub(crate) const INVALID_TS: u64 = u64::MAX;
+
+/// Destructor for version nodes retired through EBR.
+pub(crate) unsafe fn dtor_version_node(p: *mut u8) {
+    drop(unsafe { Box::from_raw(p as *mut VersionNode) });
+}
+
+/// Destructor for VLT bucket nodes retired through EBR.
+pub(crate) unsafe fn dtor_vlt_node(p: *mut u8) {
+    drop(unsafe { Box::from_raw(p as *mut VltNode) });
+}
+
+/// Record of a version added to a version list by the running transaction,
+/// kept so commit can clear the TBD marks and abort can unlink the version.
+struct VersionedWrite {
+    vlist: *const VersionList,
+    node: *mut VersionNode,
+    older: *mut VersionNode,
+}
+
+/// An undo-log entry for the in-place (encounter-time) writes.
+struct UndoEntry {
+    word: *const TxWord,
+    old: u64,
+}
+
+/// The Multiverse transaction descriptor. One per registered thread, reused
+/// across attempts and operations.
+pub struct MultiverseTx {
+    pub(crate) rt: Arc<MultiverseRuntime>,
+    pub(crate) tid: u64,
+    pub(crate) slot: Arc<ThreadSlot>,
+    pub(crate) stats: Arc<ThreadStats>,
+    pub(crate) ebr: LocalHandle,
+    mem: TxMem,
+
+    // ---- per-attempt state ----
+    kind: TxKind,
+    rv: u64,
+    local_mode_counter: u64,
+    local_mode: Mode,
+    versioned: bool,
+    reads: u64,
+    read_set: Vec<usize>,
+    undo: Vec<UndoEntry>,
+    locked: Vec<usize>,
+    vwrites: Vec<VersionedWrite>,
+
+    // ---- per-operation state (persists across the retries of one txn) ----
+    pub(crate) attempts: u64,
+    initial_versioned_ts: u64,
+    last_attempt_reads: u64,
+
+    // ---- per-thread heuristic state ----
+    sticky_mode_u: bool,
+    pending_small_threshold: bool,
+    small_txn_threshold: u64,
+    consec_small: u64,
+}
+
+impl MultiverseTx {
+    pub(crate) fn new(
+        rt: Arc<MultiverseRuntime>,
+        tid: u64,
+        slot: Arc<ThreadSlot>,
+        stats: Arc<ThreadStats>,
+        ebr: LocalHandle,
+    ) -> Self {
+        Self {
+            rt,
+            tid,
+            slot,
+            stats,
+            ebr,
+            mem: TxMem::new(),
+            kind: TxKind::ReadOnly,
+            rv: 0,
+            local_mode_counter: 0,
+            local_mode: Mode::Q,
+            versioned: false,
+            reads: 0,
+            read_set: Vec::new(),
+            undo: Vec::new(),
+            locked: Vec::new(),
+            vwrites: Vec::new(),
+            attempts: 0,
+            initial_versioned_ts: INVALID_TS,
+            last_attempt_reads: 0,
+            sticky_mode_u: false,
+            pending_small_threshold: false,
+            small_txn_threshold: 0,
+            consec_small: 0,
+        }
+    }
+
+    /// Reset the per-operation state before the first attempt of a new
+    /// transaction (called by the handle's retry loop).
+    pub(crate) fn reset_operation(&mut self) {
+        self.attempts = 0;
+        self.initial_versioned_ts = INVALID_TS;
+        self.last_attempt_reads = 0;
+    }
+
+    /// `beginTxn` (Listing 1): record the local mode, the read clock, decide
+    /// whether this attempt runs on the versioned path, and announce the
+    /// attempt to the background thread.
+    pub(crate) fn begin(&mut self, kind: TxKind) {
+        self.kind = kind;
+        self.stats.starts.inc();
+        self.ebr.pin();
+        self.read_set.clear();
+        self.undo.clear();
+        self.vwrites.clear();
+        debug_assert!(self.locked.is_empty());
+        self.reads = 0;
+
+        // Decide the code path for this attempt: read-only transactions switch
+        // to the versioned path after K1 failed attempts, or earlier if their
+        // previous attempt already read at least as much as the smallest
+        // transaction known to have committed in Mode U (§4.1, §4.2).
+        let cfg = &self.rt.cfg;
+        let min_mode_u_reads = self.rt.min_mode_u_read_count();
+        self.versioned = kind == TxKind::ReadOnly
+            && (self.attempts >= cfg.k1_versioned_after
+                || (self.attempts >= 1 && self.last_attempt_reads >= min_mode_u_reads));
+
+        // Announce-and-confirm the local mode counter: store the observed
+        // counter, then re-read it; if it moved we adopt the newer value, so
+        // the background thread can never observe us running at a mode more
+        // than one step behind the counter it published before scanning.
+        loop {
+            let c1 = self.rt.mode_counter();
+            self.slot
+                .announce(c1, kind == TxKind::ReadWrite, self.versioned);
+            let c2 = self.rt.mode_counter();
+            if c1 == c2 {
+                self.local_mode_counter = c1;
+                break;
+            }
+        }
+        self.local_mode = Mode::from_counter(self.local_mode_counter);
+        self.rv = self.rt.clock.read();
+        if self.versioned && self.initial_versioned_ts == INVALID_TS {
+            // First attempt on the versioned path: remember the initial
+            // versioned timestamp for the commit-timestamp-delta heuristic.
+            self.initial_versioned_ts = self.rv;
+        }
+    }
+
+    /// Whether the current attempt runs on the versioned path.
+    pub fn is_versioned_attempt(&self) -> bool {
+        self.versioned
+    }
+
+    /// The local mode of the current attempt.
+    pub fn local_mode(&self) -> Mode {
+        self.local_mode
+    }
+
+    // ------------------------------------------------------------------
+    // Read paths
+    // ------------------------------------------------------------------
+
+    fn unversioned_read(&mut self, word: &TxWord, idx: usize) -> TxResult<u64> {
+        let val = word.tm_load();
+        fence(Ordering::Acquire);
+        // Wait out concurrent versioning of the stripe (flag bit), then
+        // validate against the read clock.
+        let st = self.rt.locks.lock_at(idx).load_wait_no_flag();
+        if !st.validate(self.rv, self.tid) {
+            return Err(Abort);
+        }
+        self.read_set.push(idx);
+        Ok(val)
+    }
+
+    /// `modeQ_versionedRead` (Listing 4): read through the version list,
+    /// versioning the address on demand if necessary.
+    fn mode_q_versioned_read(&mut self, word: &TxWord, idx: usize) -> TxResult<u64> {
+        let addr = word.addr();
+        if self.rt.bloom.try_add(idx, addr) {
+            // The filter says the address may already be versioned.
+            if let Some(vlist) = self.rt.vlt.find(idx, addr) {
+                return vlist.traverse(self.rv);
+            }
+        }
+        self.version_then_read(word, idx)
+    }
+
+    /// `versionThenRead` (Listing 4): claim the stripe lock with the
+    /// "versioning in progress" flag, create the version list, and return the
+    /// current value.
+    fn version_then_read(&mut self, word: &TxWord, idx: usize) -> TxResult<u64> {
+        let addr = word.addr();
+        let lock = self.rt.locks.lock_at(idx);
+        let mut spin = SpinWait::new();
+        let prev: LockState = loop {
+            match lock.try_lock(self.tid, true) {
+                Ok(prev) => break prev,
+                Err(_) => spin.spin(),
+            }
+        };
+        // Re-check: someone may have versioned the address while we waited.
+        if let Some(vlist) = self.rt.vlt.find(idx, addr) {
+            let vlist: *const VersionList = vlist;
+            lock.unlock_restore(prev);
+            // Safety: version lists are reclaimed through EBR; we are pinned.
+            return unsafe { &*vlist }.traverse(self.rv);
+        }
+        let data = word.tm_load();
+        // Earliest safe timestamp: the first observed Mode-U timestamp if the
+        // TM concurrently entered Mode U, otherwise the lock version (§4.1,
+        // §4.2 optimization).
+        let ts = self
+            .rt
+            .first_obs_mode_u_ts()
+            .unwrap_or(prev.version);
+        let node = VltNode::boxed(addr, ts, data);
+        self.rt.vlt.insert(idx, node);
+        self.rt.bloom.try_add(idx, addr);
+        self.rt.add_version_bytes(VltNode::heap_bytes());
+        self.stats.addresses_versioned.inc();
+        lock.unlock_restore(prev);
+        if !prev.validate(self.rv, self.tid) {
+            // The address changed after our read clock; the (now-created)
+            // version list stays, but this transaction must abort.
+            return Err(Abort);
+        }
+        Ok(data)
+    }
+
+    /// `modeU_versionedRead` (Listing 5): in Mode U every written address is
+    /// versioned, so an unversioned address cannot have changed since the TM
+    /// entered Mode U — but the check and the data read are not atomic, so a
+    /// careful retry protocol distinguishes lock-table collisions from real
+    /// concurrent writers.
+    fn mode_u_versioned_read(&mut self, word: &TxWord, idx: usize) -> TxResult<u64> {
+        let addr = word.addr();
+        let mut did_retry = false;
+        let mut last_ver = 0u64;
+        let mut last_val = 0u64;
+        loop {
+            if self.rt.bloom.contains(idx, addr) {
+                if let Some(vlist) = self.rt.vlt.find(idx, addr) {
+                    return vlist.traverse(self.rv);
+                }
+            }
+            // The address is not versioned.
+            let val = word.tm_load();
+            fence(Ordering::Acquire);
+            let st = self.rt.locks.lock_at(idx).load();
+            let first_obs = self.rt.first_obs_mode_u_ts();
+            let valid_ver =
+                st.version < self.rv || first_obs.map_or(false, |ts| ts < self.rv);
+            if did_retry {
+                let ver_changed = st.version != last_ver;
+                let val_changed = val != last_val;
+                if valid_ver && ver_changed {
+                    // Lock activity was a stripe collision: the address itself
+                    // is still unversioned, hence unwritten since Mode U began.
+                    return Ok(last_val);
+                }
+                if st.locked && valid_ver && !ver_changed && !val_changed {
+                    // The holder has not (yet) written this address; our first
+                    // read preceded any such write.
+                    return Ok(last_val);
+                }
+                if !st.locked && valid_ver {
+                    return Ok(last_val);
+                }
+                return Err(Abort);
+            }
+            if st.locked {
+                // Re-check whether the holder versioned the address, then
+                // re-read the data and the lock.
+                last_ver = st.version;
+                last_val = val;
+                did_retry = true;
+                continue;
+            }
+            if valid_ver {
+                return Ok(val);
+            }
+            return Err(Abort);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Write path
+    // ------------------------------------------------------------------
+
+    /// Append a (TBD) version carrying `value` to `vlist`
+    /// (`tryWriteToVersionList` / the shared tail of `TMWrite`, Listing 3).
+    /// Caller holds the stripe lock.
+    fn append_version(&mut self, vlist: *const VersionList, value: u64) {
+        // Safety: the list is protected by the stripe lock we hold and
+        // reclaimed only through EBR.
+        let list = unsafe { &*vlist };
+        let head = list.head();
+        if !head.is_null() && unsafe { &*head }.tbd.load(Ordering::Acquire) {
+            // We already added a TBD version for this address in this
+            // transaction (only the lock holder can have a pending version);
+            // just update its data.
+            unsafe { &*head }.data.store(value, Ordering::Release);
+            return;
+        }
+        let node = VersionNode::boxed(head, self.rv, value, true);
+        list.push_head(node);
+        self.rt.add_version_bytes(VersionNode::heap_bytes());
+        if !head.is_null() {
+            // `eventualFree`: the superseded version is retired when this
+            // transaction commits (and the retire is revoked if it aborts).
+            self.mem
+                .record_retire(head as *mut u8, dtor_version_node, VersionNode::heap_bytes());
+            self.rt.sub_version_bytes(VersionNode::heap_bytes());
+        }
+        self.vwrites.push(VersionedWrite {
+            vlist,
+            node,
+            older: head,
+        });
+    }
+
+    /// Mode-Q writer behaviour: only maintain version lists that already
+    /// exist.
+    fn try_write_to_version_list(&mut self, word: &TxWord, idx: usize, value: u64) {
+        let addr = word.addr();
+        if !self.rt.bloom.contains(idx, addr) {
+            return;
+        }
+        let Some(vlist) = self.rt.vlt.find(idx, addr) else {
+            return;
+        };
+        let vlist: *const VersionList = vlist;
+        self.append_version(vlist, value);
+    }
+
+    /// Writer behaviour in Modes QtoU / U / UtoQ: version the address first
+    /// if necessary, then append the new version.
+    fn write_versioning_forced(&mut self, word: &TxWord, idx: usize, old: u64, value: u64) {
+        let addr = word.addr();
+        let vlist: *const VersionList = match self.rt.vlt.find(idx, addr) {
+            Some(v) => v,
+            None => {
+                // First write to this address since the TM left Mode Q: create
+                // its version list. The initial version holds the value the
+                // address had before this write, valid since the first
+                // observed Mode-U timestamp (or the lock version if that is
+                // not available yet).
+                let lock_version = self.rt.locks.lock_at(idx).load().version;
+                let ts = self.rt.first_obs_mode_u_ts().unwrap_or(lock_version);
+                let node = VltNode::boxed(addr, ts, old);
+                self.rt.vlt.insert(idx, node);
+                self.rt.bloom.try_add(idx, addr);
+                self.rt.add_version_bytes(VltNode::heap_bytes());
+                self.stats.addresses_versioned.inc();
+                // Safety: we just created and published the node under the
+                // stripe lock; it is reclaimed only through EBR.
+                unsafe { &(*node).vlist }
+            }
+        };
+        self.append_version(vlist, value);
+    }
+
+    // ------------------------------------------------------------------
+    // Commit / abort
+    // ------------------------------------------------------------------
+
+    /// `tryCommit` (Listing 1). Returns `Err(Abort)` when validation fails.
+    pub(crate) fn try_commit(&mut self) -> TxResult<()> {
+        if self.kind == TxKind::ReadOnly {
+            self.on_read_only_commit();
+            return Ok(());
+        }
+        // Updating transaction: revalidate the read set.
+        for &idx in &self.read_set {
+            let st = self.rt.locks.lock_at(idx).load();
+            if !st.validate(self.rv, self.tid) {
+                return Err(Abort);
+            }
+        }
+        let commit_clock = self.rt.clock.read();
+        // Resolve the TBD versions before releasing any lock so versioned
+        // readers can never observe a committed write without its version.
+        for vw in &self.vwrites {
+            // Safety: nodes we created; still protected by the stripe lock.
+            unsafe { &*vw.node }.resolve_committed(commit_clock);
+        }
+        for &idx in &self.locked {
+            self.rt.locks.lock_at(idx).unlock_with_version(commit_clock);
+        }
+        self.locked.clear();
+        self.note_commit_heuristics();
+        Ok(())
+    }
+
+    fn on_read_only_commit(&mut self) {
+        if self.versioned {
+            self.stats.versioned_commits.inc();
+            let delta = self
+                .rt
+                .clock
+                .read()
+                .saturating_sub(self.initial_versioned_ts.min(self.rv));
+            self.slot.announce_commit_ts_delta(delta);
+            if self.local_mode == Mode::U {
+                self.stats.mode_u_commits.inc();
+                self.rt.update_min_mode_u_read_count(self.reads);
+            }
+        }
+        self.note_commit_heuristics();
+    }
+
+    /// Sticky-bit bookkeeping shared by all commits (§4.3): after a thread
+    /// attempts the Mode-QtoU CAS it stays "sticky" until it commits S
+    /// consecutive small transactions.
+    fn note_commit_heuristics(&mut self) {
+        if !self.sticky_mode_u {
+            return;
+        }
+        let s = self.rt.cfg.s_small_txns.max(1);
+        if self.pending_small_threshold {
+            // First commit after the CAS attempt defines what "small" means
+            // for this thread: 1/S of that transaction's size.
+            self.small_txn_threshold = (self.reads / s).max(1);
+            self.pending_small_threshold = false;
+            self.consec_small = 0;
+            return;
+        }
+        let small = !self.versioned || self.reads <= self.small_txn_threshold;
+        if small {
+            self.consec_small += 1;
+            if self.consec_small >= s {
+                self.sticky_mode_u = false;
+                self.slot.set_sticky_mode_u(false);
+            }
+        } else {
+            self.consec_small = 0;
+        }
+    }
+
+    /// Post-commit cleanup (memory management, announcements).
+    pub(crate) fn finish_commit(&mut self) {
+        self.mem.on_commit(&mut self.ebr);
+        self.undo.clear();
+        self.read_set.clear();
+        self.vwrites.clear();
+        self.slot.clear_active();
+        self.ebr.unpin();
+    }
+
+    /// `abort` (Listing 1): roll back in-place writes and versioned writes,
+    /// revoke retires, release locks at a fresh clock value, and run the
+    /// mode-switch heuristics.
+    pub(crate) fn rollback(&mut self) {
+        // 1. Roll back the in-place writes (newest first).
+        for e in self.undo.drain(..).rev() {
+            // Safety: words stay alive while this attempt is pinned.
+            unsafe { (*e.word).tm_store(e.old) };
+        }
+        // 2. Roll back versioned writes: mark deleted, unlink, retire.
+        for vw in self.vwrites.drain(..) {
+            // Safety: we created the node and still hold the stripe lock.
+            unsafe {
+                (*vw.node).resolve_deleted();
+                (*vw.vlist).restore_head(vw.older);
+            }
+            self.ebr
+                .retire(vw.node as *mut u8, dtor_version_node, VersionNode::heap_bytes());
+            self.rt.sub_version_bytes(VersionNode::heap_bytes());
+        }
+        // 3. Revoke retires and free buffered allocations.
+        self.mem.on_abort();
+        // 4. Release the write-set locks at a fresh clock value (the deferred
+        //    clock advances on aborts).
+        if !self.locked.is_empty() {
+            let next = self.rt.clock.increment();
+            for idx in self.locked.drain(..) {
+                self.rt.locks.lock_at(idx).unlock_with_version(next);
+            }
+        } else {
+            // Even read-only aborts advance the clock so their retry observes
+            // a fresher read clock (otherwise a reader that conflicts with an
+            // already-committed write would spin on the same read clock).
+            self.rt.clock.increment();
+        }
+        // 5. Heuristics: consider initiating the Mode Q -> QtoU transition.
+        if self.kind == TxKind::ReadOnly {
+            self.consider_mode_u_transition();
+        }
+        if self.versioned {
+            self.stats.versioned_aborts.inc();
+        }
+        self.last_attempt_reads = self.reads;
+        self.read_set.clear();
+        self.slot.clear_active();
+        self.ebr.unpin();
+    }
+
+    /// §4.3: after K2 attempts a read-only transaction whose read count is at
+    /// least the global minimum Mode-U read count attempts the Mode-QtoU CAS;
+    /// a versioned transaction always attempts it after K3 attempts. Either
+    /// way the thread sets its sticky Mode-U bit.
+    fn consider_mode_u_transition(&mut self) {
+        if self.rt.cfg.forced_mode.is_some() {
+            return;
+        }
+        if self.local_mode != Mode::Q {
+            return;
+        }
+        let cfg = &self.rt.cfg;
+        let min_reads = self.rt.min_mode_u_read_count();
+        let by_k2 = self.attempts >= cfg.k2_mode_u_after && self.reads >= min_reads;
+        let by_k3 = self.versioned && self.attempts >= cfg.k3_versioned_mode_u_after;
+        if !(by_k2 || by_k3) {
+            return;
+        }
+        let initiated = self.rt.try_initiate_qtou(self.local_mode_counter);
+        if initiated {
+            self.stats.mode_transitions.inc();
+        }
+        self.sticky_mode_u = true;
+        self.slot.set_sticky_mode_u(true);
+        self.pending_small_threshold = true;
+        self.consec_small = 0;
+    }
+}
+
+impl Transaction for MultiverseTx {
+    fn read(&mut self, word: &TxWord) -> TxResult<u64> {
+        self.reads += 1;
+        self.stats.reads.inc();
+        let idx = self.rt.locks.index_of(word.addr());
+        if self.versioned {
+            // Versioned readers use the Mode-U protocol only while their
+            // local mode is Mode U; in QtoU and UtoQ they behave as in Mode Q
+            // (Table 1).
+            if self.local_mode == Mode::U
+                || self.rt.cfg.forced_mode == Some(ForcedMode::ModeU)
+            {
+                return self.mode_u_versioned_read(word, idx);
+            }
+            return self.mode_q_versioned_read(word, idx);
+        }
+        self.unversioned_read(word, idx)
+    }
+
+    fn write(&mut self, word: &TxWord, value: u64) -> TxResult<()> {
+        self.stats.writes.inc();
+        if self.versioned {
+            // Only read-only transactions run on the versioned path (§3.2.2);
+            // a write here means the operation was declared ReadOnly but
+            // attempted a write — abort so it retries (it will stay
+            // unversioned because the kind check in begin() only versions
+            // ReadOnly transactions).
+            return Err(Abort);
+        }
+        let idx = self.rt.locks.index_of(word.addr());
+        let st = self.rt.locks.lock_at(idx).load_wait_no_flag();
+        let owned = st.locked && st.tid == self.tid;
+        if !owned {
+            if !st.validate(self.rv, self.tid) {
+                return Err(Abort);
+            }
+            match self.rt.locks.lock_at(idx).try_lock(self.tid, false) {
+                Ok(prev) => {
+                    if prev.version >= self.rv {
+                        self.rt.locks.lock_at(idx).unlock_restore(prev);
+                        return Err(Abort);
+                    }
+                    self.locked.push(idx);
+                }
+                Err(_) => return Err(Abort),
+            }
+        }
+        let old = word.tm_load();
+        self.undo.push(UndoEntry { word, old });
+        if self.local_mode.writers_version() {
+            self.write_versioning_forced(word, idx, old, value);
+        } else {
+            self.try_write_to_version_list(word, idx, value);
+        }
+        word.tm_store(value);
+        Ok(())
+    }
+
+    fn defer_alloc(&mut self, ptr: *mut u8, dtor: Dtor) {
+        self.mem.record_alloc(ptr, dtor, 0);
+    }
+
+    fn defer_retire(&mut self, ptr: *mut u8, dtor: Dtor) {
+        self.mem.record_retire(ptr, dtor, 0);
+    }
+
+    fn is_versioned(&self) -> bool {
+        self.versioned
+    }
+
+    fn read_count(&self) -> u64 {
+        self.reads
+    }
+}

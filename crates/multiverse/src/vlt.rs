@@ -1,0 +1,221 @@
+//! The Version List Table (VLT), paper §3.1 and Figure 2.
+//!
+//! The VLT is a hash table of the same size as the lock table; bucket `i`
+//! holds the version lists of every *versioned* address that maps to stripe
+//! `i`. A bucket is a singly linked list of [`VltNode`]s, each carrying the
+//! address it tracks and that address's [`VersionList`]. Mutating a bucket
+//! (inserting a node when an address becomes versioned, draining it when the
+//! background thread unversions the bucket) requires holding stripe `i`'s
+//! lock; readers traverse buckets without locks and rely on epoch-based
+//! reclamation for safety.
+
+use crate::version::{VersionList, VersionNode};
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+/// One entry of a VLT bucket: the version list of a single address.
+#[derive(Debug)]
+pub struct VltNode {
+    /// The transactional address whose versions this node tracks.
+    pub addr: usize,
+    /// The address's version list.
+    pub vlist: VersionList,
+    /// Next node in the same bucket.
+    pub next: AtomicPtr<VltNode>,
+}
+
+impl VltNode {
+    /// Allocate a bucket node for `addr` whose version list starts with the
+    /// initial version (`timestamp`, `data`).
+    pub fn boxed(addr: usize, timestamp: u64, data: u64) -> *mut Self {
+        Box::into_raw(Box::new(Self {
+            addr,
+            vlist: VersionList::with_initial(timestamp, data),
+            next: AtomicPtr::new(std::ptr::null_mut()),
+        }))
+    }
+
+    /// Approximate heap footprint of a bucket node plus its initial version.
+    pub const fn heap_bytes() -> usize {
+        std::mem::size_of::<VltNode>() + VersionNode::heap_bytes()
+    }
+}
+
+/// The Version List Table.
+#[derive(Debug)]
+pub struct Vlt {
+    buckets: Box<[AtomicPtr<VltNode>]>,
+}
+
+impl Vlt {
+    /// Create a VLT with `stripes` buckets (must equal the lock-table size).
+    pub fn new(stripes: usize) -> Self {
+        let stripes = stripes.next_power_of_two().max(2);
+        let buckets: Vec<AtomicPtr<VltNode>> = (0..stripes)
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect();
+        Self {
+            buckets: buckets.into_boxed_slice(),
+        }
+    }
+
+    /// Number of buckets.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Whether the table has no buckets (never in practice).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Find the version list tracking `addr` in bucket `idx`, if any.
+    ///
+    /// Lock-free: safe because nodes are only unlinked under the stripe lock
+    /// and reclaimed through EBR, and the caller is pinned.
+    #[inline]
+    pub fn find(&self, idx: usize, addr: usize) -> Option<&VersionList> {
+        let mut cur = self.buckets[idx].load(Ordering::Acquire);
+        while !cur.is_null() {
+            // Safety: see above.
+            let node = unsafe { &*cur };
+            if node.addr == addr {
+                return Some(&node.vlist);
+            }
+            cur = node.next.load(Ordering::Acquire);
+        }
+        None
+    }
+
+    /// Insert `node` at the front of bucket `idx`. Caller must hold the
+    /// stripe lock and have verified the address is not already present.
+    #[inline]
+    pub fn insert(&self, idx: usize, node: *mut VltNode) {
+        let head = self.buckets[idx].load(Ordering::Acquire);
+        // Safety: we own `node` until it is published below.
+        unsafe { &*node }.next.store(head, Ordering::Relaxed);
+        self.buckets[idx].store(node, Ordering::Release);
+    }
+
+    /// Detach bucket `idx` and return its chain head (used by unversioning).
+    /// Caller must hold the stripe lock; the returned nodes must be retired
+    /// through EBR.
+    #[inline]
+    pub fn take_bucket(&self, idx: usize) -> *mut VltNode {
+        self.buckets[idx].swap(std::ptr::null_mut(), Ordering::AcqRel)
+    }
+
+    /// Whether bucket `idx` currently tracks any address.
+    #[inline]
+    pub fn bucket_is_empty(&self, idx: usize) -> bool {
+        self.buckets[idx].load(Ordering::Acquire).is_null()
+    }
+
+    /// The newest committed timestamp across every version list in bucket
+    /// `idx` (`None` if the bucket is empty or holds no committed versions).
+    /// Used by the unversioning heuristic (§4.4).
+    pub fn newest_timestamp_in_bucket(&self, idx: usize) -> Option<u64> {
+        let mut newest = None;
+        let mut cur = self.buckets[idx].load(Ordering::Acquire);
+        while !cur.is_null() {
+            // Safety: see `find`.
+            let node = unsafe { &*cur };
+            if let Some(ts) = node.vlist.newest_committed_timestamp() {
+                newest = Some(newest.map_or(ts, |n: u64| n.max(ts)));
+            }
+            cur = node.next.load(Ordering::Acquire);
+        }
+        newest
+    }
+
+    /// Number of addresses tracked in bucket `idx` (diagnostics/tests).
+    pub fn bucket_len(&self, idx: usize) -> usize {
+        let mut n = 0;
+        let mut cur = self.buckets[idx].load(Ordering::Acquire);
+        while !cur.is_null() {
+            n += 1;
+            cur = unsafe { &*cur }.next.load(Ordering::Acquire);
+        }
+        n
+    }
+}
+
+impl Drop for Vlt {
+    fn drop(&mut self) {
+        // Runtime teardown: free any bucket chains that were never
+        // unversioned. Version lists free their own nodes.
+        for bucket in self.buckets.iter() {
+            let mut cur = bucket.load(Ordering::Relaxed);
+            while !cur.is_null() {
+                let node = unsafe { Box::from_raw(cur) };
+                cur = node.next.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_in_empty_bucket_is_none() {
+        let vlt = Vlt::new(8);
+        assert!(vlt.find(0, 0x1000).is_none());
+        assert!(vlt.bucket_is_empty(0));
+        assert_eq!(vlt.len(), 8);
+    }
+
+    #[test]
+    fn insert_then_find() {
+        let vlt = Vlt::new(8);
+        let node = VltNode::boxed(0x1000, 3, 42);
+        vlt.insert(2, node);
+        let found = vlt.find(2, 0x1000).expect("address should be versioned");
+        assert_eq!(found.traverse(5), Ok(42));
+        assert!(vlt.find(2, 0x2000).is_none(), "other addresses unaffected");
+        assert_eq!(vlt.bucket_len(2), 1);
+    }
+
+    #[test]
+    fn multiple_addresses_share_a_bucket() {
+        let vlt = Vlt::new(4);
+        vlt.insert(1, VltNode::boxed(0x1000, 1, 10));
+        vlt.insert(1, VltNode::boxed(0x2000, 2, 20));
+        vlt.insert(1, VltNode::boxed(0x3000, 3, 30));
+        assert_eq!(vlt.bucket_len(1), 3);
+        assert_eq!(vlt.find(1, 0x1000).unwrap().traverse(9), Ok(10));
+        assert_eq!(vlt.find(1, 0x2000).unwrap().traverse(9), Ok(20));
+        assert_eq!(vlt.find(1, 0x3000).unwrap().traverse(9), Ok(30));
+    }
+
+    #[test]
+    fn newest_timestamp_in_bucket_tracks_all_lists() {
+        let vlt = Vlt::new(4);
+        vlt.insert(0, VltNode::boxed(0x1000, 5, 1));
+        vlt.insert(0, VltNode::boxed(0x2000, 9, 2));
+        assert_eq!(vlt.newest_timestamp_in_bucket(0), Some(9));
+        assert_eq!(vlt.newest_timestamp_in_bucket(1), None);
+    }
+
+    #[test]
+    fn take_bucket_detaches_chain() {
+        let vlt = Vlt::new(4);
+        vlt.insert(3, VltNode::boxed(0x1000, 1, 1));
+        vlt.insert(3, VltNode::boxed(0x2000, 2, 2));
+        let head = vlt.take_bucket(3);
+        assert!(vlt.bucket_is_empty(3));
+        assert!(!head.is_null());
+        // Free the detached chain manually (the runtime normally retires it
+        // through EBR).
+        let mut cur = head;
+        let mut count = 0;
+        while !cur.is_null() {
+            let node = unsafe { Box::from_raw(cur) };
+            cur = node.next.load(Ordering::Relaxed);
+            count += 1;
+        }
+        assert_eq!(count, 2);
+    }
+}

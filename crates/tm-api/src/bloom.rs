@@ -1,0 +1,155 @@
+//! The per-stripe bloom-filter table.
+//!
+//! Checking whether an address is versioned requires traversing the
+//! corresponding Version List Table bucket; to make the common case ("the
+//! address is not versioned") cheap, Multiverse keeps a bloom filter per
+//! stripe and consults it first (paper §3.1.2). Because one cannot remove an
+//! element from a bloom filter, unversioning resets the whole filter, which is
+//! also why the paper unversions whole VLT buckets at a time (§3.1.3).
+//!
+//! Each filter is a single 64-bit word with two probe bits per address, which
+//! keeps the table exactly as large as the lock table (8 bytes per stripe) and
+//! makes membership tests a single atomic load.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A table of per-stripe 64-bit bloom filters.
+#[derive(Debug)]
+pub struct BloomTable {
+    filters: Box<[AtomicU64]>,
+}
+
+#[inline(always)]
+fn probe_mask(addr: usize) -> u64 {
+    // Two independent probe positions derived from different mixes of the
+    // address. 64-bit filters with 2 probes keep the false-positive rate low
+    // for the handful of addresses that share a stripe.
+    let h1 = ((addr >> 3) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let h2 = ((addr >> 3) as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F) ^ (addr as u64);
+    let b1 = (h1 >> 58) & 63;
+    let b2 = (h2 >> 58) & 63;
+    (1u64 << b1) | (1u64 << b2)
+}
+
+impl BloomTable {
+    /// Create a table with `stripes` filters (must match the lock-table size).
+    pub fn new(stripes: usize) -> Self {
+        let stripes = stripes.next_power_of_two().max(2);
+        let filters: Vec<AtomicU64> = (0..stripes).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            filters: filters.into_boxed_slice(),
+        }
+    }
+
+    /// Number of filters.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// Whether the table is empty.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.filters.is_empty()
+    }
+
+    /// Returns `true` if `addr` *may* have been added to stripe `idx`'s filter,
+    /// `false` if it definitely has not.
+    #[inline(always)]
+    pub fn contains(&self, idx: usize, addr: usize) -> bool {
+        let mask = probe_mask(addr);
+        self.filters[idx].load(Ordering::Acquire) & mask == mask
+    }
+
+    /// Add `addr` to stripe `idx`'s filter. Returns `true` if the address was
+    /// (possibly) already present — i.e. the same value [`Self::contains`]
+    /// would have returned just before the call — matching the paper's
+    /// `bloomFltr.tryAdd` which reports whether the address "exists already".
+    #[inline]
+    pub fn try_add(&self, idx: usize, addr: usize) -> bool {
+        let mask = probe_mask(addr);
+        let prev = self.filters[idx].fetch_or(mask, Ordering::AcqRel);
+        prev & mask == mask
+    }
+
+    /// Reset stripe `idx`'s filter to empty (performed while holding the
+    /// stripe lock during unversioning).
+    #[inline]
+    pub fn reset(&self, idx: usize) {
+        self.filters[idx].store(0, Ordering::Release);
+    }
+
+    /// Raw filter value (for tests / introspection).
+    #[inline]
+    pub fn raw(&self, idx: usize) -> u64 {
+        self.filters[idx].load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let t = BloomTable::new(16);
+        let addrs: Vec<usize> = (0..100).map(|i| 0x1000 + i * 8).collect();
+        for &a in &addrs {
+            t.try_add(3, a);
+        }
+        for &a in &addrs {
+            assert!(t.contains(3, a), "added address must be reported present");
+        }
+    }
+
+    #[test]
+    fn initially_empty() {
+        let t = BloomTable::new(16);
+        for i in 0..16 {
+            assert_eq!(t.raw(i), 0);
+            assert!(!t.contains(i, 0x1000));
+        }
+    }
+
+    #[test]
+    fn try_add_reports_prior_presence() {
+        let t = BloomTable::new(4);
+        assert!(!t.try_add(0, 0x2000), "first add: was not present");
+        assert!(t.try_add(0, 0x2000), "second add: already present");
+    }
+
+    #[test]
+    fn reset_clears_filter() {
+        let t = BloomTable::new(4);
+        t.try_add(1, 0x2000);
+        assert!(t.contains(1, 0x2000));
+        t.reset(1);
+        assert!(!t.contains(1, 0x2000));
+        assert_eq!(t.raw(1), 0);
+    }
+
+    #[test]
+    fn filters_are_independent() {
+        let t = BloomTable::new(4);
+        t.try_add(0, 0x3000);
+        assert!(!t.contains(1, 0x3000));
+    }
+
+    #[test]
+    fn false_positive_rate_is_reasonable() {
+        let t = BloomTable::new(2);
+        // Insert 4 addresses (typical stripe occupancy is tiny).
+        for i in 0..4usize {
+            t.try_add(0, 0x4000 + i * 8);
+        }
+        // Probe 10_000 other addresses; with 8 of 64 bits set the false
+        // positive rate should stay well below 10%.
+        let mut fp = 0;
+        for i in 0..10_000usize {
+            if t.contains(0, 0x9_0000 + i * 8) {
+                fp += 1;
+            }
+        }
+        assert!(fp < 1000, "false positive rate too high: {fp}/10000");
+    }
+}

@@ -1,0 +1,109 @@
+//! A minimal Fx-style hasher for the redo-log hash maps of the buffered-write
+//! TMs (TL2, NOrec).
+//!
+//! The standard library's SipHash is needlessly slow for hashing single
+//! pointer-sized keys on the transactional fast path. This is the classic
+//! `FxHasher` mixing function (as used by rustc) reimplemented here so that we
+//! do not need an extra dependency.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic hasher for small keys.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline(always)]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline(always)]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline(always)]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline(always)]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline(always)]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline(always)]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn deterministic_for_same_key() {
+        let b = FxBuildHasher::default();
+        let h1 = b.hash_one(0xdead_beefu64);
+        let h2 = b.hash_one(0xdead_beefu64);
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn different_keys_usually_differ() {
+        let b = FxBuildHasher::default();
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..1000u64 {
+            seen.insert(b.hash_one(k));
+        }
+        assert!(seen.len() > 990, "hash collisions should be rare");
+    }
+
+    #[test]
+    fn map_works_with_pointer_sized_keys() {
+        let mut m: FxHashMap<usize, u64> = FxHashMap::default();
+        for i in 0..100usize {
+            m.insert(i * 8, i as u64);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get(&(8 * 42)), Some(&42));
+    }
+
+    #[test]
+    fn write_bytes_path_hashes_strings() {
+        let b = FxBuildHasher::default();
+        assert_ne!(b.hash_one("abc"), b.hash_one("abd"));
+    }
+}

@@ -1,0 +1,239 @@
+//! Per-thread transaction statistics.
+//!
+//! Every TM handle owns an `Arc<ThreadStats>` registered with the runtime's
+//! [`StatsRegistry`]. Counters are updated with relaxed atomics from a single
+//! writer (the owning thread) and aggregated on demand by the benchmark
+//! harness, mirroring how the paper reports commits, aborts and the behaviour
+//! of the DCTL irrevocable path.
+
+use crate::padded::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+macro_rules! stat_counters {
+    ($($(#[$doc:meta])* $name:ident),* $(,)?) => {
+        /// Per-thread statistic counters (single writer, many readers).
+        #[derive(Debug, Default)]
+        pub struct ThreadStats {
+            $( $(#[$doc])* pub $name: CachePaddedCounter, )*
+        }
+
+        /// A plain snapshot of the counters, aggregated across threads.
+        #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+        pub struct TmStatsSnapshot {
+            $( $(#[$doc])* pub $name: u64, )*
+        }
+
+        impl ThreadStats {
+            /// Read a consistent-enough snapshot of this thread's counters.
+            pub fn snapshot(&self) -> TmStatsSnapshot {
+                TmStatsSnapshot {
+                    $( $name: self.$name.get(), )*
+                }
+            }
+        }
+
+        impl TmStatsSnapshot {
+            /// Accumulate another snapshot into this one.
+            pub fn merge(&mut self, other: &TmStatsSnapshot) {
+                $( self.$name += other.$name; )*
+            }
+        }
+
+        impl std::fmt::Display for TmStatsSnapshot {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                $( write!(f, "{}={} ", stringify!($name), self.$name)?; )*
+                Ok(())
+            }
+        }
+    };
+}
+
+/// A relaxed atomic counter padded to its own cache line pair.
+#[derive(Debug, Default)]
+pub struct CachePaddedCounter(CachePadded<AtomicU64>);
+
+impl CachePaddedCounter {
+    /// Increment by one.
+    #[inline(always)]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline(always)]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+stat_counters! {
+    /// Transaction attempts started (each retry counts).
+    starts,
+    /// Committed transactions.
+    commits,
+    /// Aborted transaction attempts.
+    aborts,
+    /// Committed read-only transactions.
+    ro_commits,
+    /// Committed updating transactions.
+    update_commits,
+    /// Committed transactions that ran on the versioned code path.
+    versioned_commits,
+    /// Aborted attempts of versioned transactions.
+    versioned_aborts,
+    /// Committed transactions whose local mode was Mode U.
+    mode_u_commits,
+    /// Transactional reads performed.
+    reads,
+    /// Transactional writes performed.
+    writes,
+    /// Transactions that exhausted their attempt budget and gave up.
+    gave_up,
+    /// Commits performed on DCTL's irrevocable (starvation-free) path.
+    irrevocable_commits,
+    /// Addresses switched from unversioned to versioned.
+    addresses_versioned,
+    /// VLT buckets unversioned by the background thread.
+    buckets_unversioned,
+    /// Global TM mode transitions observed/performed.
+    mode_transitions,
+}
+
+/// Registry of all per-thread statistics for one TM runtime instance.
+#[derive(Debug, Default)]
+pub struct StatsRegistry {
+    threads: Mutex<Vec<Arc<ThreadStats>>>,
+}
+
+impl StatsRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new thread and return its stats handle.
+    pub fn register(&self) -> Arc<ThreadStats> {
+        let stats = Arc::new(ThreadStats::default());
+        self.threads.lock().unwrap().push(Arc::clone(&stats));
+        stats
+    }
+
+    /// Aggregate a snapshot across every thread ever registered.
+    pub fn snapshot(&self) -> TmStatsSnapshot {
+        let mut total = TmStatsSnapshot::default();
+        for t in self.threads.lock().unwrap().iter() {
+            total.merge(&t.snapshot());
+        }
+        total
+    }
+
+    /// Number of registered threads.
+    pub fn thread_count(&self) -> usize {
+        self.threads.lock().unwrap().len()
+    }
+}
+
+impl TmStatsSnapshot {
+    /// Abort ratio: aborts / starts (0 when no transaction ever started).
+    pub fn abort_ratio(&self) -> f64 {
+        if self.starts == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / self.starts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_increment() {
+        let s = ThreadStats::default();
+        s.commits.inc();
+        s.commits.add(4);
+        s.aborts.inc();
+        let snap = s.snapshot();
+        assert_eq!(snap.commits, 5);
+        assert_eq!(snap.aborts, 1);
+        assert_eq!(snap.reads, 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = ThreadStats::default();
+        let b = ThreadStats::default();
+        a.reads.add(10);
+        b.reads.add(5);
+        b.writes.add(2);
+        let mut total = a.snapshot();
+        total.merge(&b.snapshot());
+        assert_eq!(total.reads, 15);
+        assert_eq!(total.writes, 2);
+    }
+
+    #[test]
+    fn registry_aggregates_all_threads() {
+        let reg = StatsRegistry::new();
+        let t1 = reg.register();
+        let t2 = reg.register();
+        t1.commits.add(3);
+        t2.commits.add(4);
+        t2.gave_up.inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.commits, 7);
+        assert_eq!(snap.gave_up, 1);
+        assert_eq!(reg.thread_count(), 2);
+    }
+
+    #[test]
+    fn abort_ratio() {
+        let mut s = TmStatsSnapshot::default();
+        assert_eq!(s.abort_ratio(), 0.0);
+        s.starts = 10;
+        s.aborts = 5;
+        assert!((s.abort_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_counter_names() {
+        let s = TmStatsSnapshot {
+            commits: 7,
+            ..Default::default()
+        };
+        let rendered = s.to_string();
+        assert!(rendered.contains("commits=7"));
+        assert!(rendered.contains("aborts=0"));
+    }
+
+    #[test]
+    fn concurrent_updates_from_many_threads() {
+        let reg = Arc::new(StatsRegistry::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    let s = reg.register();
+                    for _ in 0..1000 {
+                        s.starts.inc();
+                        s.commits.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.starts, 4000);
+        assert_eq!(snap.commits, 4000);
+    }
+}

@@ -1,0 +1,202 @@
+//! The traits every TM in this repository implements.
+//!
+//! * [`TmRuntime`] — the shared, `Arc`-able runtime: global clock, lock
+//!   table, background threads, statistics.
+//! * [`TmHandle`] — a per-thread handle obtained from
+//!   [`TmRuntime::register`]; owns the thread-local transaction descriptor
+//!   and runs the retry loop.
+//! * [`Transaction`] — the view of an in-flight transaction attempt passed to
+//!   the user closure; provides transactional reads/writes and deferred
+//!   allocation / reclamation hooks.
+//!
+//! Transactional data structures (crate `txstructs`) and the benchmark
+//! harness (crate `harness`) are generic over these traits, so the same
+//! (a,b)-tree code runs unmodified on Multiverse, TL2, DCTL, NOrec, TinySTM
+//! and the global-lock oracle.
+
+use crate::abort::TxResult;
+use crate::stats::TmStatsSnapshot;
+use crate::txword::{TVar, TxWord, Word64};
+use std::sync::Arc;
+
+/// Whether a transaction intends to write.
+///
+/// The intent is declared when the transaction starts (data-structure
+/// operations know whether they may update), which the TMs use for the
+/// read-only fast paths (no commit-time revalidation, versioned-path
+/// eligibility in Multiverse) and which the Multiverse background thread uses
+/// when draining workers during mode transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxKind {
+    /// The transaction performs no transactional writes.
+    ReadOnly,
+    /// The transaction may perform transactional writes.
+    ReadWrite,
+}
+
+/// Result of running a transaction with a bounded attempt budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxOutcome<R> {
+    /// The transaction committed and produced a value.
+    Committed(R),
+    /// The attempt budget was exhausted; the transaction has no effect.
+    GaveUp,
+}
+
+impl<R> TxOutcome<R> {
+    /// Unwrap a committed value, panicking on [`TxOutcome::GaveUp`].
+    pub fn unwrap(self) -> R {
+        match self {
+            TxOutcome::Committed(r) => r,
+            TxOutcome::GaveUp => panic!("transaction gave up"),
+        }
+    }
+
+    /// `true` if the transaction committed.
+    pub fn is_committed(&self) -> bool {
+        matches!(self, TxOutcome::Committed(_))
+    }
+
+    /// Convert to an `Option`, discarding the give-up case.
+    pub fn committed(self) -> Option<R> {
+        match self {
+            TxOutcome::Committed(r) => Some(r),
+            TxOutcome::GaveUp => None,
+        }
+    }
+}
+
+/// Destructor invoked when deferred memory is finally reclaimed.
+pub type Dtor = unsafe fn(*mut u8);
+
+/// One in-flight transaction attempt.
+pub trait Transaction {
+    /// Transactionally read a word.
+    fn read(&mut self, word: &TxWord) -> TxResult<u64>;
+
+    /// Transactionally write a word.
+    fn write(&mut self, word: &TxWord, value: u64) -> TxResult<()>;
+
+    /// Record a heap allocation made by this transaction. If the transaction
+    /// aborts, `dtor(ptr)` is called immediately (the allocation never became
+    /// visible); if it commits, nothing happens (the structure now owns it).
+    fn defer_alloc(&mut self, ptr: *mut u8, dtor: Dtor);
+
+    /// Record a node unlinked by this transaction. If the transaction
+    /// commits, the node is retired through epoch-based reclamation and
+    /// `dtor(ptr)` runs after a grace period; if it aborts, the retire is
+    /// revoked (the node is still reachable).
+    fn defer_retire(&mut self, ptr: *mut u8, dtor: Dtor);
+
+    /// Whether this attempt runs on a versioned (snapshot) code path.
+    fn is_versioned(&self) -> bool {
+        false
+    }
+
+    /// Number of transactional reads performed so far in this attempt.
+    fn read_count(&self) -> u64;
+
+    /// Typed read helper.
+    #[inline(always)]
+    fn read_var<T: Word64>(&mut self, var: &TVar<T>) -> TxResult<T>
+    where
+        Self: Sized,
+    {
+        Ok(T::from_word(self.read(var.word())?))
+    }
+
+    /// Typed write helper.
+    #[inline(always)]
+    fn write_var<T: Word64>(&mut self, var: &TVar<T>, value: T) -> TxResult<()>
+    where
+        Self: Sized,
+    {
+        self.write(var.word(), value.to_word())
+    }
+}
+
+/// A per-thread TM handle. Not `Send`-shared: each worker thread registers
+/// its own handle via [`TmRuntime::register`].
+pub trait TmHandle {
+    /// The transaction-descriptor type handed to user closures. It is owned
+    /// by the handle and reused across attempts (logs are cleared, not
+    /// reallocated).
+    type Tx: Transaction;
+
+    /// Run `body` as a transaction of the given kind, retrying on abort at
+    /// most `max_attempts` times.
+    ///
+    /// The closure may be invoked many times; it must not have side effects
+    /// outside of transactional operations and the deferred alloc/retire
+    /// hooks.
+    fn txn_budget<R>(
+        &mut self,
+        kind: TxKind,
+        max_attempts: u64,
+        body: impl FnMut(&mut Self::Tx) -> TxResult<R>,
+    ) -> TxOutcome<R>;
+
+    /// Run `body` as a transaction, retrying until it commits.
+    fn txn<R>(&mut self, kind: TxKind, body: impl FnMut(&mut Self::Tx) -> TxResult<R>) -> R {
+        match self.txn_budget(kind, u64::MAX, body) {
+            TxOutcome::Committed(r) => r,
+            // With an effectively unbounded budget the only way to get here
+            // would be a TM bug; fail loudly.
+            TxOutcome::GaveUp => unreachable!("unbounded transaction gave up"),
+        }
+    }
+}
+
+/// A shared TM runtime.
+pub trait TmRuntime: Send + Sync + 'static {
+    /// The per-thread handle type.
+    type Handle: TmHandle;
+
+    /// Register the calling thread and return its handle.
+    fn register(self: &Arc<Self>) -> Self::Handle;
+
+    /// Human-readable algorithm name ("Multiverse", "TL2", ...).
+    fn name(&self) -> &'static str;
+
+    /// Aggregate statistics across all threads registered so far.
+    fn stats(&self) -> TmStatsSnapshot;
+
+    /// Approximate bytes of TM metadata currently allocated on behalf of
+    /// multiversioning (version lists, VLT nodes). Zero for unversioned TMs.
+    fn versioning_bytes(&self) -> usize {
+        0
+    }
+
+    /// Stop background threads (if any). Called once when a benchmark trial
+    /// or test finishes; transactions must not be started afterwards.
+    fn shutdown(&self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_outcome_helpers() {
+        let c: TxOutcome<u32> = TxOutcome::Committed(3);
+        assert!(c.is_committed());
+        assert_eq!(c.committed(), Some(3));
+        assert_eq!(TxOutcome::Committed(3).unwrap(), 3);
+        let g: TxOutcome<u32> = TxOutcome::GaveUp;
+        assert!(!g.is_committed());
+        assert_eq!(g.committed(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "transaction gave up")]
+    fn unwrap_gave_up_panics() {
+        let g: TxOutcome<u32> = TxOutcome::GaveUp;
+        g.unwrap();
+    }
+
+    #[test]
+    fn txkind_equality() {
+        assert_eq!(TxKind::ReadOnly, TxKind::ReadOnly);
+        assert_ne!(TxKind::ReadOnly, TxKind::ReadWrite);
+    }
+}

@@ -1,0 +1,184 @@
+//! # txstructs — transactional data structures
+//!
+//! The data structures used in the paper's evaluation, written **once**
+//! against the generic TM traits of [`tm_api`], so the identical code runs on
+//! Multiverse, TL2, DCTL, NOrec, TinySTM and the global-lock oracle:
+//!
+//! * [`abtree::TxAbTree`] — the (a,b)-tree of the main-paper figures
+//!   (a = 4, b = 16).
+//! * [`avl::TxAvlTree`] — an internal AVL tree (Appendix A).
+//! * [`extbst::TxExtBst`] — a leaf-oriented (external) binary search tree
+//!   (Appendix A).
+//! * [`hashmap::TxHashMap`] — a fixed-bucket hashmap whose long-running
+//!   operation is an atomic *size query* rather than a range query
+//!   (Appendix A).
+//! * [`list::TxList`] — a sorted singly linked list, used by the §4.5
+//!   memory-reclamation-race reproduction and as the simplest example.
+//!
+//! All structures implement the [`TxSet`] interface the benchmark harness
+//! drives: insert / remove / contains (point operations) plus a range query
+//! and a size query (the long read-only operations).
+//!
+//! Nodes store every mutable field in a [`tm_api::TVar`], keep the memory
+//! layout of the equivalent non-transactional node, and route allocation and
+//! unlinking through the transaction's deferred alloc/retire hooks so aborts
+//! roll allocations back and commits retire unlinked nodes through
+//! epoch-based reclamation.
+
+pub mod abtree;
+pub mod avl;
+pub mod extbst;
+pub mod hashmap;
+pub mod list;
+pub mod node;
+
+pub use abtree::TxAbTree;
+pub use avl::TxAvlTree;
+pub use extbst::TxExtBst;
+pub use hashmap::TxHashMap;
+pub use list::TxList;
+
+use tm_api::TmHandle;
+
+/// The set interface the benchmark harness drives (paper §5).
+///
+/// Keys and values are `u64`. Point operations return whether they changed /
+/// found anything; the two long-running operations return the number of keys
+/// they observed.
+pub trait TxSet: Send + Sync + 'static {
+    /// Human-readable structure name used in benchmark output.
+    fn name(&self) -> &'static str;
+
+    /// Insert `key -> val`; returns `false` if the key was already present.
+    fn insert<H: TmHandle>(&self, h: &mut H, key: u64, val: u64) -> bool;
+
+    /// Remove `key`; returns `false` if the key was absent.
+    fn remove<H: TmHandle>(&self, h: &mut H, key: u64) -> bool;
+
+    /// Whether `key` is present.
+    fn contains<H: TmHandle>(&self, h: &mut H, key: u64) -> bool;
+
+    /// Count the keys in `[lo, hi]` in one atomic read-only transaction.
+    fn range_query<H: TmHandle>(&self, h: &mut H, lo: u64, hi: u64) -> usize;
+
+    /// Count every key in the structure in one atomic read-only transaction.
+    fn size_query<H: TmHandle>(&self, h: &mut H) -> usize;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared helpers for the per-structure unit tests: run the same
+    //! randomized workload against a `BTreeSet` model on both the global-lock
+    //! oracle and Multiverse.
+
+    use super::*;
+    use baselines::GlockRuntime;
+    use multiverse::{MultiverseConfig, MultiverseRuntime};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+    use tm_api::TmRuntime;
+
+    /// Run a randomized single-threaded workload against a model.
+    pub(crate) fn check_against_model<S, R, F>(make_set: F, runtime: Arc<R>, ops: usize)
+    where
+        S: TxSet,
+        R: TmRuntime,
+        F: FnOnce() -> S,
+    {
+        let set = make_set();
+        let mut h = runtime.register();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut rng = StdRng::seed_from_u64(42);
+        let key_range = 200u64;
+        for i in 0..ops {
+            let key = rng.gen_range(0..key_range);
+            match rng.gen_range(0..10) {
+                0..=3 => {
+                    let expected = model.insert(key, key * 10).is_none();
+                    let got = set.insert(&mut h, key, key * 10);
+                    assert_eq!(got, expected, "insert({key}) mismatch at op {i}");
+                }
+                4..=6 => {
+                    let expected = model.remove(&key).is_some();
+                    let got = set.remove(&mut h, key);
+                    assert_eq!(got, expected, "remove({key}) mismatch at op {i}");
+                }
+                7..=8 => {
+                    let expected = model.contains_key(&key);
+                    let got = set.contains(&mut h, key);
+                    assert_eq!(got, expected, "contains({key}) mismatch at op {i}");
+                }
+                _ => {
+                    let lo = rng.gen_range(0..key_range);
+                    let hi = (lo + rng.gen_range(0..50)).min(key_range);
+                    let expected = model.range(lo..=hi).count();
+                    let got = set.range_query(&mut h, lo, hi);
+                    assert_eq!(got, expected, "range_query({lo},{hi}) mismatch at op {i}");
+                }
+            }
+        }
+        assert_eq!(set.size_query(&mut h), model.len(), "final size mismatch");
+    }
+
+    pub(crate) fn glock() -> Arc<GlockRuntime> {
+        Arc::new(GlockRuntime::new())
+    }
+
+    pub(crate) fn multiverse_small() -> Arc<MultiverseRuntime> {
+        MultiverseRuntime::start(MultiverseConfig::small())
+    }
+
+    /// Run a concurrent mixed workload and check global invariants: no lost
+    /// updates (every successful insert minus every successful remove equals
+    /// the final size) and range queries always observe consistent snapshots.
+    pub(crate) fn concurrent_smoke<S, R, F>(make_set: F, runtime: Arc<R>)
+    where
+        S: TxSet,
+        R: TmRuntime + 'static,
+        F: FnOnce() -> S,
+    {
+        use std::sync::atomic::{AtomicI64, Ordering};
+        let set = Arc::new(make_set());
+        let net_inserts = Arc::new(AtomicI64::new(0));
+        let threads = 4;
+        let ops_per_thread = 600;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let set = Arc::clone(&set);
+                let runtime = Arc::clone(&runtime);
+                let net = Arc::clone(&net_inserts);
+                s.spawn(move || {
+                    let mut h = runtime.register();
+                    let mut rng = StdRng::seed_from_u64(1000 + t as u64);
+                    for _ in 0..ops_per_thread {
+                        let key = rng.gen_range(0..500u64);
+                        match rng.gen_range(0..10) {
+                            0..=4 => {
+                                if set.insert(&mut h, key, key) {
+                                    net.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            5..=8 => {
+                                if set.remove(&mut h, key) {
+                                    net.fetch_sub(1, Ordering::Relaxed);
+                                }
+                            }
+                            _ => {
+                                let _ = set.range_query(&mut h, 100, 400);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let mut h = runtime.register();
+        let final_size = set.size_query(&mut h);
+        assert_eq!(
+            final_size as i64,
+            net_inserts.load(std::sync::atomic::Ordering::Relaxed),
+            "net successful inserts must equal final size"
+        );
+    }
+}

@@ -1,0 +1,254 @@
+//! A sorted singly linked list (set of `u64` keys with values).
+//!
+//! The simplest transactional structure in the repository; it is the subject
+//! of the §4.5 memory-reclamation example (a long read-only traversal racing
+//! with a transaction that unlinks — and would otherwise free — the second
+//! half of the list) and doubles as the bucket list of the hashmap.
+
+use crate::node::{alloc_eager, alloc_in, deref, free_eager, retire_in, NULL};
+use crate::TxSet;
+use tm_api::{TmHandle, TVar, Transaction, TxKind, TxResult};
+
+/// A node of the sorted list.
+pub struct ListNode {
+    /// The key (immutable after insertion, but read transactionally so that
+    /// concurrent traversals validate it).
+    pub key: TVar<u64>,
+    /// The value associated with the key.
+    pub val: TVar<u64>,
+    /// Pointer (as a word) to the next node, or [`NULL`].
+    pub next: TVar<u64>,
+}
+
+/// A sorted singly linked list with a sentinel head.
+pub struct TxList {
+    /// Pointer to the sentinel node (never changes after construction).
+    head: u64,
+}
+
+impl Default for TxList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TxList {
+    /// Create an empty list.
+    pub fn new() -> Self {
+        let sentinel = ListNode {
+            key: TVar::new(0),
+            val: TVar::new(0),
+            next: TVar::new(NULL),
+        };
+        Self {
+            head: alloc_eager(sentinel),
+        }
+    }
+
+    /// The sentinel node.
+    fn sentinel(&self) -> &ListNode {
+        // Safety: the sentinel lives until `self` is dropped.
+        unsafe { deref::<ListNode>(self.head) }
+    }
+
+    /// Find the insertion point for `key`: returns `(prev_ptr, cur_ptr)` with
+    /// `prev.key < key <= cur.key` (cur may be [`NULL`]).
+    fn locate<X: Transaction>(&self, tx: &mut X, key: u64) -> TxResult<(u64, u64)> {
+        let mut prev = self.head;
+        let mut cur = tx.read_var(&self.sentinel().next)?;
+        while cur != NULL {
+            // Safety: `cur` was read transactionally within this pinned attempt.
+            let node = unsafe { deref::<ListNode>(cur) };
+            let k = tx.read_var(&node.key)?;
+            if k >= key {
+                break;
+            }
+            prev = cur;
+            cur = tx.read_var(&node.next)?;
+        }
+        Ok((prev, cur))
+    }
+
+    /// Read the value for `key`, if present (transactional point lookup).
+    pub fn get<H: TmHandle>(&self, h: &mut H, key: u64) -> Option<u64> {
+        h.txn(TxKind::ReadOnly, |tx| {
+            let (_, cur) = self.locate(tx, key)?;
+            if cur == NULL {
+                return Ok(None);
+            }
+            let node = unsafe { deref::<ListNode>(cur) };
+            if tx.read_var(&node.key)? == key {
+                Ok(Some(tx.read_var(&node.val)?))
+            } else {
+                Ok(None)
+            }
+        })
+    }
+}
+
+impl TxSet for TxList {
+    fn name(&self) -> &'static str {
+        "linked-list"
+    }
+
+    fn insert<H: TmHandle>(&self, h: &mut H, key: u64, val: u64) -> bool {
+        h.txn(TxKind::ReadWrite, |tx| {
+            let (prev, cur) = self.locate(tx, key)?;
+            if cur != NULL {
+                let node = unsafe { deref::<ListNode>(cur) };
+                if tx.read_var(&node.key)? == key {
+                    return Ok(false);
+                }
+            }
+            let fresh = alloc_in(
+                tx,
+                ListNode {
+                    key: TVar::new(key),
+                    val: TVar::new(val),
+                    next: TVar::new(cur),
+                },
+            );
+            let prev_node = unsafe { deref::<ListNode>(prev) };
+            tx.write_var(&prev_node.next, fresh)?;
+            Ok(true)
+        })
+    }
+
+    fn remove<H: TmHandle>(&self, h: &mut H, key: u64) -> bool {
+        h.txn(TxKind::ReadWrite, |tx| {
+            let (prev, cur) = self.locate(tx, key)?;
+            if cur == NULL {
+                return Ok(false);
+            }
+            let node = unsafe { deref::<ListNode>(cur) };
+            if tx.read_var(&node.key)? != key {
+                return Ok(false);
+            }
+            let next = tx.read_var(&node.next)?;
+            let prev_node = unsafe { deref::<ListNode>(prev) };
+            tx.write_var(&prev_node.next, next)?;
+            retire_in::<ListNode, _>(tx, cur);
+            Ok(true)
+        })
+    }
+
+    fn contains<H: TmHandle>(&self, h: &mut H, key: u64) -> bool {
+        h.txn(TxKind::ReadOnly, |tx| {
+            let (_, cur) = self.locate(tx, key)?;
+            if cur == NULL {
+                return Ok(false);
+            }
+            let node = unsafe { deref::<ListNode>(cur) };
+            Ok(tx.read_var(&node.key)? == key)
+        })
+    }
+
+    fn range_query<H: TmHandle>(&self, h: &mut H, lo: u64, hi: u64) -> usize {
+        h.txn(TxKind::ReadOnly, |tx| {
+            let mut count = 0usize;
+            let mut cur = tx.read_var(&self.sentinel().next)?;
+            while cur != NULL {
+                let node = unsafe { deref::<ListNode>(cur) };
+                let k = tx.read_var(&node.key)?;
+                if k > hi {
+                    break;
+                }
+                if k >= lo {
+                    count += 1;
+                }
+                cur = tx.read_var(&node.next)?;
+            }
+            Ok(count)
+        })
+    }
+
+    fn size_query<H: TmHandle>(&self, h: &mut H) -> usize {
+        h.txn(TxKind::ReadOnly, |tx| {
+            let mut count = 0usize;
+            let mut cur = tx.read_var(&self.sentinel().next)?;
+            while cur != NULL {
+                let node = unsafe { deref::<ListNode>(cur) };
+                count += 1;
+                cur = tx.read_var(&node.next)?;
+            }
+            Ok(count)
+        })
+    }
+}
+
+impl Drop for TxList {
+    fn drop(&mut self) {
+        // Quiescent teardown: free every node including the sentinel.
+        let mut cur = self.head;
+        while cur != NULL {
+            // Safety: teardown is single-threaded; nodes were allocated by us.
+            let next = unsafe { deref::<ListNode>(cur) }.next.load_direct();
+            unsafe { free_eager::<ListNode>(cur) };
+            cur = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+    use tm_api::TmRuntime;
+
+    #[test]
+    fn model_check_on_global_lock() {
+        testutil::check_against_model::<TxList, _, _>(TxList::new, testutil::glock(), 3000);
+    }
+
+    #[test]
+    fn model_check_on_multiverse() {
+        let rt = testutil::multiverse_small();
+        testutil::check_against_model::<TxList, _, _>(TxList::new, std::sync::Arc::clone(&rt), 3000);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn concurrent_smoke_on_multiverse() {
+        let rt = testutil::multiverse_small();
+        testutil::concurrent_smoke::<TxList, _, _>(TxList::new, std::sync::Arc::clone(&rt));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn get_returns_values() {
+        let rt = testutil::glock();
+        let mut h = rt.register();
+        let list = TxList::new();
+        assert!(list.insert(&mut h, 5, 50));
+        assert!(list.insert(&mut h, 3, 30));
+        assert_eq!(list.get(&mut h, 5), Some(50));
+        assert_eq!(list.get(&mut h, 3), Some(30));
+        assert_eq!(list.get(&mut h, 4), None);
+        assert!(list.remove(&mut h, 5));
+        assert_eq!(list.get(&mut h, 5), None);
+    }
+
+    #[test]
+    fn keeps_sorted_order_for_range_queries() {
+        let rt = testutil::glock();
+        let mut h = rt.register();
+        let list = TxList::new();
+        for k in [9u64, 1, 7, 3, 5] {
+            assert!(list.insert(&mut h, k, k));
+        }
+        assert_eq!(list.range_query(&mut h, 2, 8), 3); // 3, 5, 7
+        assert_eq!(list.range_query(&mut h, 0, 100), 5);
+        assert_eq!(list.size_query(&mut h), 5);
+    }
+
+    #[test]
+    fn empty_list_behaviour() {
+        let rt = testutil::glock();
+        let mut h = rt.register();
+        let list = TxList::new();
+        assert!(!list.contains(&mut h, 1));
+        assert!(!list.remove(&mut h, 1));
+        assert_eq!(list.size_query(&mut h), 0);
+        assert_eq!(list.range_query(&mut h, 0, u64::MAX), 0);
+    }
+}

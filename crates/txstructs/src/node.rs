@@ -1,0 +1,119 @@
+//! Node allocation / dereferencing helpers shared by the data structures.
+//!
+//! Nodes are heap allocations whose lifetime is managed by the TM:
+//!
+//! * allocation happens inside a transaction via [`alloc_in`], which registers
+//!   the node with the transaction so an abort frees it again;
+//! * unlinking happens via [`retire_in`], which registers the node for
+//!   epoch-based reclamation if (and only if) the transaction commits;
+//! * dereferencing a pointer read from a transactional field is safe because
+//!   the reading transaction is pinned in EBR for its whole attempt and every
+//!   free goes through EBR.
+
+use tm_api::{Transaction, TxResult};
+
+/// Type-erased destructor for a `Box<T>` allocation.
+pub fn dtor_of<T>() -> unsafe fn(*mut u8) {
+    unsafe fn drop_box<T>(p: *mut u8) {
+        drop(unsafe { Box::from_raw(p as *mut T) });
+    }
+    drop_box::<T>
+}
+
+/// Allocate `node` on the heap inside transaction `tx`.
+///
+/// Returns the raw pointer encoded as a `u64` word, ready to be stored into a
+/// transactional pointer field. If the transaction aborts, the allocation is
+/// freed automatically.
+pub fn alloc_in<T, X: Transaction>(tx: &mut X, node: T) -> u64 {
+    let ptr = Box::into_raw(Box::new(node));
+    tx.defer_alloc(ptr as *mut u8, dtor_of::<T>());
+    ptr as usize as u64
+}
+
+/// Retire the node at `word` (a pointer previously produced by [`alloc_in`]
+/// or by construction-time allocation) when transaction `tx` commits.
+pub fn retire_in<T, X: Transaction>(tx: &mut X, word: u64) {
+    debug_assert_ne!(word, 0, "retiring a null pointer");
+    tx.defer_retire(word as usize as *mut u8, dtor_of::<T>());
+}
+
+/// Dereference a node pointer read from a transactional field.
+///
+/// # Safety
+/// `word` must be a non-null pointer to a live `T` produced by this crate's
+/// allocation helpers, read within a transaction that is still pinned (which
+/// is guaranteed for pointers obtained from `tx.read(..)` during the current
+/// attempt).
+#[inline(always)]
+pub unsafe fn deref<'a, T>(word: u64) -> &'a T {
+    debug_assert_ne!(word, 0, "dereferencing a null transactional pointer");
+    unsafe { &*(word as usize as *const T) }
+}
+
+/// Null transactional pointer.
+pub const NULL: u64 = 0;
+
+/// Read helper: `Ok(None)` for null, `Ok(Some(&T))` otherwise.
+///
+/// # Safety
+/// Same contract as [`deref`].
+#[inline(always)]
+pub unsafe fn deref_opt<'a, T>(word: u64) -> Option<&'a T> {
+    if word == NULL {
+        None
+    } else {
+        Some(unsafe { deref::<T>(word) })
+    }
+}
+
+/// Convenience: read a transactional pointer field and dereference it.
+///
+/// # Safety
+/// Same contract as [`deref`]; additionally `field` must only ever hold null
+/// or pointers to live `T`s.
+#[inline(always)]
+pub unsafe fn read_node<'a, T, X: Transaction>(
+    tx: &mut X,
+    field: &tm_api::TxWord,
+) -> TxResult<Option<(&'a T, u64)>> {
+    let word = tx.read(field)?;
+    Ok(unsafe { deref_opt::<T>(word) }.map(|r| (r, word)))
+}
+
+/// Allocate a node eagerly during structure construction (outside any
+/// transaction). The structure owns it until it is retired by a transaction
+/// or freed on drop.
+pub fn alloc_eager<T>(node: T) -> u64 {
+    Box::into_raw(Box::new(node)) as usize as u64
+}
+
+/// Free a node eagerly (structure teardown only — never for nodes that may
+/// still be reachable by concurrent transactions).
+///
+/// # Safety
+/// `word` must be a pointer previously produced by [`alloc_eager`] /
+/// [`alloc_in`] that no other thread can reach anymore.
+pub unsafe fn free_eager<T>(word: u64) {
+    if word != NULL {
+        drop(unsafe { Box::from_raw(word as usize as *mut T) });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eager_alloc_free_roundtrip() {
+        let w = alloc_eager(123u64);
+        assert_ne!(w, NULL);
+        assert_eq!(unsafe { *deref::<u64>(w) }, 123);
+        unsafe { free_eager::<u64>(w) };
+    }
+
+    #[test]
+    fn deref_opt_null_is_none() {
+        assert!(unsafe { deref_opt::<u64>(NULL) }.is_none());
+    }
+}

@@ -1,0 +1,104 @@
+//! A classic STM scenario: concurrent money transfers between accounts with
+//! concurrent *auditors* that read every account in one transaction. The
+//! audit is exactly the kind of long-running read-only transaction Multiverse
+//! is designed for; the same code also runs on DCTL for comparison.
+//!
+//! ```bash
+//! cargo run --release --example bank
+//! ```
+
+use baselines::DctlRuntime;
+use multiverse::{MultiverseConfig, MultiverseRuntime};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tm_api::{TmHandle, TmRuntime, Transaction, TVar, TxKind};
+
+const ACCOUNTS: usize = 4096;
+const INITIAL_BALANCE: u64 = 1_000;
+const RUN_FOR: Duration = Duration::from_secs(2);
+
+fn run<R: TmRuntime>(tm: Arc<R>) {
+    let accounts: Arc<Vec<TVar<u64>>> =
+        Arc::new((0..ACCOUNTS).map(|_| TVar::new(INITIAL_BALANCE)).collect());
+    let expected_total = ACCOUNTS as u64 * INITIAL_BALANCE;
+    let stop = Arc::new(AtomicBool::new(false));
+    let transfers = Arc::new(AtomicU64::new(0));
+    let audits = Arc::new(AtomicU64::new(0));
+
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        // Transfer threads.
+        for t in 0..3u64 {
+            let tm = Arc::clone(&tm);
+            let accounts = Arc::clone(&accounts);
+            let stop = Arc::clone(&stop);
+            let transfers = Arc::clone(&transfers);
+            s.spawn(move || {
+                let mut h = tm.register();
+                let mut x = t.wrapping_mul(0x9E37_79B9) + 1;
+                while !stop.load(Ordering::Relaxed) {
+                    // xorshift to pick two accounts and an amount
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let from = (x as usize) % ACCOUNTS;
+                    let to = ((x >> 16) as usize) % ACCOUNTS;
+                    let amount = x % 50;
+                    h.txn(TxKind::ReadWrite, |tx| {
+                        let a = tx.read_var(&accounts[from])?;
+                        let b = tx.read_var(&accounts[to])?;
+                        if from != to && a >= amount {
+                            tx.write_var(&accounts[from], a - amount)?;
+                            tx.write_var(&accounts[to], b + amount)?;
+                        }
+                        Ok(())
+                    });
+                    transfers.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // Auditor thread: one transaction reading every account.
+        {
+            let tm = Arc::clone(&tm);
+            let accounts = Arc::clone(&accounts);
+            let stop = Arc::clone(&stop);
+            let audits = Arc::clone(&audits);
+            s.spawn(move || {
+                let mut h = tm.register();
+                while !stop.load(Ordering::Relaxed) {
+                    let total = h.txn(TxKind::ReadOnly, |tx| {
+                        let mut sum = 0u64;
+                        for a in accounts.iter() {
+                            sum += tx.read_var(a)?;
+                        }
+                        Ok(sum)
+                    });
+                    assert_eq!(total, expected_total, "audit saw an inconsistent snapshot");
+                    audits.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        std::thread::sleep(RUN_FOR);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let stats = tm.stats();
+    println!(
+        "{:<12} transfers/sec = {:>10.0}   audits/sec = {:>8.1}   abort ratio = {:>5.2}%",
+        tm.name(),
+        transfers.load(Ordering::Relaxed) as f64 / secs,
+        audits.load(Ordering::Relaxed) as f64 / secs,
+        100.0 * stats.abort_ratio()
+    );
+    tm.shutdown();
+}
+
+fn main() {
+    println!(
+        "bank: {} accounts, 3 transfer threads, 1 full-audit thread, {:?} per TM",
+        ACCOUNTS, RUN_FOR
+    );
+    run(MultiverseRuntime::start(MultiverseConfig::paper_defaults()));
+    run(Arc::new(DctlRuntime::with_defaults()));
+}

@@ -1,0 +1,57 @@
+//! Quickstart: create a Multiverse runtime, run transactions from a few
+//! threads, and read the statistics.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use multiverse::{MultiverseConfig, MultiverseRuntime};
+use std::sync::Arc;
+use tm_api::{TmHandle, TmRuntime, Transaction, TVar, TxKind};
+
+fn main() {
+    // 1. Start the runtime (this also starts the background thread that
+    //    handles mode transitions and unversioning).
+    let tm = MultiverseRuntime::start(MultiverseConfig::paper_defaults());
+
+    // 2. Declare transactional data. A `TVar<u64>` occupies exactly one
+    //    64-bit word — adopting the TM does not change your memory layout.
+    let counter = Arc::new(TVar::new(0u64));
+    let checksum = Arc::new(TVar::new(0u64));
+
+    // 3. Run transactions from multiple threads. Each thread registers its
+    //    own handle; `txn` retries the closure until it commits.
+    let threads = 4;
+    let increments_per_thread = 50_000u64;
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let tm = Arc::clone(&tm);
+            let counter = Arc::clone(&counter);
+            let checksum = Arc::clone(&checksum);
+            s.spawn(move || {
+                let mut handle = tm.register();
+                for _ in 0..increments_per_thread {
+                    handle.txn(TxKind::ReadWrite, |tx| {
+                        let c = tx.read_var(&*counter)?;
+                        tx.write_var(&*counter, c + 1)?;
+                        let s = tx.read_var(&*checksum)?;
+                        tx.write_var(&*checksum, s ^ (c + 1))
+                    });
+                }
+            });
+        }
+    });
+
+    // 4. Inspect the result and the TM statistics.
+    let total = counter.load_direct();
+    assert_eq!(total, threads * increments_per_thread);
+    let stats = tm.stats();
+    println!("counter        = {total}");
+    println!("commits        = {}", stats.commits);
+    println!("aborts         = {}", stats.aborts);
+    println!("abort ratio    = {:.2}%", 100.0 * stats.abort_ratio());
+    println!("global TM mode = {}", tm.current_mode());
+
+    // 5. Shut down the background thread.
+    tm.shutdown();
+}

@@ -1,0 +1,101 @@
+//! The paper's motivating workload as an application: an index ((a,b)-tree)
+//! receives a continuous stream of point updates from dedicated writer
+//! threads while analytics threads run large range queries over it. On an
+//! unversioned STM the range queries starve; on Multiverse they commit.
+//!
+//! ```bash
+//! cargo run --release --example range_query_analytics
+//! ```
+
+use baselines::DctlRuntime;
+use multiverse::{MultiverseConfig, MultiverseRuntime};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tm_api::TmRuntime;
+use txstructs::{TxAbTree, TxSet};
+
+const PREFILL: u64 = 50_000;
+const KEY_RANGE: u64 = 100_000;
+const RQ_SIZE: u64 = 5_000; // 10% of the prefill
+const RUN_FOR: Duration = Duration::from_secs(2);
+
+fn run<R: TmRuntime>(tm: Arc<R>) {
+    let index = Arc::new(TxAbTree::new());
+    // Prefill.
+    {
+        let mut h = tm.register();
+        for i in 0..PREFILL {
+            index.insert(&mut h, i * 2, i);
+        }
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let committed_rqs = Arc::new(AtomicU64::new(0));
+    let updates = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|s| {
+        // Dedicated updaters.
+        for u in 0..2u64 {
+            let tm = Arc::clone(&tm);
+            let index = Arc::clone(&index);
+            let stop = Arc::clone(&stop);
+            let updates = Arc::clone(&updates);
+            s.spawn(move || {
+                let mut h = tm.register();
+                let mut x = u + 1;
+                while !stop.load(Ordering::Relaxed) {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let key = x % KEY_RANGE;
+                    if x % 2 == 0 {
+                        index.insert(&mut h, key, key);
+                    } else {
+                        index.remove(&mut h, key);
+                    }
+                    updates.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // Analytics thread: back-to-back large range queries. Each call
+        // retries internally until its transaction commits, so the number of
+        // completed queries within the time window directly exposes how well
+        // the TM supports long-running reads under updates.
+        {
+            let tm = Arc::clone(&tm);
+            let index = Arc::clone(&index);
+            let stop = Arc::clone(&stop);
+            let committed = Arc::clone(&committed_rqs);
+            s.spawn(move || {
+                let mut h = tm.register();
+                let mut lo = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    lo = (lo + 7919) % (KEY_RANGE - RQ_SIZE);
+                    let _count = index.range_query(&mut h, lo, lo + RQ_SIZE - 1);
+                    committed.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        std::thread::sleep(RUN_FOR);
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let stats = tm.stats();
+    println!(
+        "{:<12} committed RQs = {:>6}   updates = {:>9}   abort ratio = {:>6.2}%   versioned commits = {}",
+        tm.name(),
+        committed_rqs.load(Ordering::Relaxed),
+        updates.load(Ordering::Relaxed),
+        100.0 * stats.abort_ratio(),
+        stats.versioned_commits
+    );
+    tm.shutdown();
+}
+
+fn main() {
+    println!(
+        "range-query analytics: prefill={PREFILL}, RQ size={RQ_SIZE}, 2 dedicated updaters, 1 analytics thread"
+    );
+    run(MultiverseRuntime::start(MultiverseConfig::paper_defaults()));
+    run(Arc::new(DctlRuntime::with_defaults()));
+}

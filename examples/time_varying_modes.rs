@@ -1,0 +1,97 @@
+//! Watch Multiverse's TM modes react to a changing workload (the mechanism
+//! behind Figure 8): while the workload is update-heavy point operations the
+//! TM stays in Mode Q; when long range queries appear it transitions through
+//! QtoU into Mode U; when they disappear again it drains back to Mode Q and
+//! the background thread unversions the version-list table.
+//!
+//! ```bash
+//! cargo run --release --example time_varying_modes
+//! ```
+
+use multiverse::{MultiverseConfig, MultiverseRuntime};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tm_api::TmRuntime;
+use txstructs::{TxAbTree, TxSet};
+
+const PREFILL: u64 = 20_000;
+const KEY_RANGE: u64 = 40_000;
+const PHASE: Duration = Duration::from_millis(1500);
+
+fn main() {
+    let mut cfg = MultiverseConfig::paper_defaults();
+    // Slightly more eager heuristics so the mode changes are visible in a
+    // few seconds.
+    cfg.k1_versioned_after = 5;
+    cfg.k3_versioned_mode_u_after = 8;
+    let tm = MultiverseRuntime::start(cfg);
+    let index = Arc::new(TxAbTree::new());
+    {
+        let mut h = tm.register();
+        for i in 0..PREFILL {
+            index.insert(&mut h, i * 2, i);
+        }
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    // 0 = point ops only, 1 = point ops + large range queries.
+    let phase = Arc::new(AtomicUsize::new(0));
+
+    std::thread::scope(|s| {
+        for t in 0..3u64 {
+            let tm = Arc::clone(&tm);
+            let index = Arc::clone(&index);
+            let stop = Arc::clone(&stop);
+            let phase = Arc::clone(&phase);
+            s.spawn(move || {
+                let mut h = tm.register();
+                let mut x = t + 1;
+                while !stop.load(Ordering::Relaxed) {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let key = x % KEY_RANGE;
+                    let rq_phase = phase.load(Ordering::Relaxed) == 1;
+                    if rq_phase && x % 64 == 0 {
+                        // A large range query: a quarter of the key space.
+                        index.range_query(&mut h, 0, KEY_RANGE / 4);
+                    } else if x % 2 == 0 {
+                        index.insert(&mut h, key, key);
+                    } else {
+                        index.remove(&mut h, key);
+                    }
+                }
+            });
+        }
+
+        // Observer: print the global mode and versioning statistics while the
+        // workload alternates between the two phases.
+        for (i, label) in [
+            "phase 1: point operations only",
+            "phase 2: large range queries appear",
+            "phase 3: point operations only again",
+        ]
+        .iter()
+        .enumerate()
+        {
+            phase.store(i % 2, Ordering::Relaxed);
+            println!("\n== {label} ==");
+            let steps = 6;
+            for _ in 0..steps {
+                std::thread::sleep(PHASE / steps);
+                let stats = tm.stats();
+                println!(
+                    "mode={:<5} mode-transitions={:<3} addresses-versioned={:<8} buckets-unversioned={:<6} versioning-bytes={}",
+                    tm.current_mode().to_string(),
+                    tm.mode_transition_count(),
+                    stats.addresses_versioned,
+                    stats.buckets_unversioned,
+                    tm.versioning_bytes()
+                );
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    tm.shutdown();
+}

@@ -1,0 +1,183 @@
+//! Cross-TM integration tests: every TM in the repository must preserve
+//! transactional invariants under concurrency (the observable face of
+//! opacity), and read-only transactions must always see consistent
+//! snapshots — including the long, many-address reads Multiverse targets.
+
+use baselines::{DctlRuntime, GlockRuntime, NorecRuntime, TinyStmRuntime, Tl2Runtime};
+use multiverse::{MultiverseConfig, MultiverseRuntime};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use tm_api::{TmHandle, TmRuntime, Transaction, TVar, TxKind};
+
+const ACCOUNTS: usize = 256;
+const INITIAL: u64 = 100;
+
+/// Concurrent transfers plus full-sum observers: the sum must never change.
+fn bank_invariant<R: TmRuntime>(tm: Arc<R>) {
+    let accounts: Arc<Vec<TVar<u64>>> =
+        Arc::new((0..ACCOUNTS).map(|_| TVar::new(INITIAL)).collect());
+    let expected = (ACCOUNTS as u64) * INITIAL;
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        for t in 0..3u64 {
+            let tm = Arc::clone(&tm);
+            let accounts = Arc::clone(&accounts);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut h = tm.register();
+                let mut x = t + 1;
+                while !stop.load(Ordering::Relaxed) {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let from = (x as usize) % ACCOUNTS;
+                    let to = ((x >> 20) as usize) % ACCOUNTS;
+                    let amt = x % 10;
+                    h.txn(TxKind::ReadWrite, |tx| {
+                        let a = tx.read_var(&accounts[from])?;
+                        let b = tx.read_var(&accounts[to])?;
+                        if from != to && a >= amt {
+                            tx.write_var(&accounts[from], a - amt)?;
+                            tx.write_var(&accounts[to], b + amt)?;
+                        }
+                        Ok(())
+                    });
+                }
+            });
+        }
+        // Observer: the long read-only transaction over every account.
+        let tm_obs = Arc::clone(&tm);
+        let accounts_obs = Arc::clone(&accounts);
+        let stop_obs = Arc::clone(&stop);
+        s.spawn(move || {
+            let mut h = tm_obs.register();
+            for _ in 0..200 {
+                let sum = h.txn(TxKind::ReadOnly, |tx| {
+                    let mut sum = 0u64;
+                    for a in accounts_obs.iter() {
+                        sum += tx.read_var(a)?;
+                    }
+                    Ok(sum)
+                });
+                assert_eq!(sum, expected, "snapshot must preserve the total balance");
+            }
+            stop_obs.store(true, Ordering::Relaxed);
+        });
+    });
+    let final_sum: u64 = accounts.iter().map(|a| a.load_direct()).sum();
+    assert_eq!(final_sum, expected);
+    tm.shutdown();
+}
+
+#[test]
+fn bank_invariant_multiverse() {
+    bank_invariant(MultiverseRuntime::start(MultiverseConfig::small()));
+}
+
+#[test]
+fn bank_invariant_multiverse_mode_q_only() {
+    bank_invariant(MultiverseRuntime::start(MultiverseConfig::small_mode_q_only()));
+}
+
+#[test]
+fn bank_invariant_multiverse_mode_u_only() {
+    bank_invariant(MultiverseRuntime::start(MultiverseConfig::small_mode_u_only()));
+}
+
+#[test]
+fn bank_invariant_dctl() {
+    bank_invariant(Arc::new(DctlRuntime::with_defaults()));
+}
+
+#[test]
+fn bank_invariant_tl2() {
+    bank_invariant(Arc::new(Tl2Runtime::with_defaults()));
+}
+
+#[test]
+fn bank_invariant_norec() {
+    bank_invariant(Arc::new(NorecRuntime::new()));
+}
+
+#[test]
+fn bank_invariant_tinystm() {
+    bank_invariant(Arc::new(TinyStmRuntime::with_defaults()));
+}
+
+#[test]
+fn bank_invariant_glock_oracle() {
+    bank_invariant(Arc::new(GlockRuntime::new()));
+}
+
+/// Two variables moving in lock-step: any transaction (even one that later
+/// aborts) must never observe them out of sync. This is the classic
+/// "zombie transaction" opacity probe: x and y always satisfy y == 2*x.
+fn lockstep_probe<R: TmRuntime>(tm: Arc<R>) {
+    let x = Arc::new(TVar::new(1u64));
+    let y = Arc::new(TVar::new(2u64));
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        {
+            let tm = Arc::clone(&tm);
+            let x = Arc::clone(&x);
+            let y = Arc::clone(&y);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut h = tm.register();
+                let mut v = 1u64;
+                while !stop.load(Ordering::Relaxed) {
+                    v += 1;
+                    h.txn(TxKind::ReadWrite, |tx| {
+                        tx.write_var(&*x, v)?;
+                        tx.write_var(&*y, v * 2)
+                    });
+                }
+            });
+        }
+        let tm2 = Arc::clone(&tm);
+        let x2 = Arc::clone(&x);
+        let y2 = Arc::clone(&y);
+        let stop2 = Arc::clone(&stop);
+        s.spawn(move || {
+            let mut h = tm2.register();
+            for _ in 0..20_000 {
+                // The assertion runs *inside* the transaction body: even
+                // attempts that will eventually abort must see consistent
+                // state, otherwise this panics.
+                h.txn(TxKind::ReadOnly, |tx| {
+                    let a = tx.read_var(&*x2)?;
+                    let b = tx.read_var(&*y2)?;
+                    assert_eq!(b, a * 2, "zombie read observed inconsistent state");
+                    Ok(())
+                });
+            }
+            stop2.store(true, Ordering::Relaxed);
+        });
+    });
+    tm.shutdown();
+}
+
+#[test]
+fn lockstep_probe_multiverse() {
+    lockstep_probe(MultiverseRuntime::start(MultiverseConfig::small()));
+}
+
+#[test]
+fn lockstep_probe_dctl() {
+    lockstep_probe(Arc::new(DctlRuntime::with_defaults()));
+}
+
+#[test]
+fn lockstep_probe_tl2() {
+    lockstep_probe(Arc::new(Tl2Runtime::with_defaults()));
+}
+
+#[test]
+fn lockstep_probe_norec() {
+    lockstep_probe(Arc::new(NorecRuntime::new()));
+}
+
+#[test]
+fn lockstep_probe_tinystm() {
+    lockstep_probe(Arc::new(TinyStmRuntime::with_defaults()));
+}

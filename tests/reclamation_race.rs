@@ -1,0 +1,102 @@
+//! The §4.5 memory-reclamation race, reproduced as a test.
+//!
+//! A long read-only traversal of a linked list runs concurrently with
+//! transactions that unlink (and logically free) the nodes it is about to
+//! visit. In TL2/DCTL as published, the unlinked nodes could be freed while
+//! the reader still holds pointers to them — a use-after-free. In this
+//! repository every TM routes frees through epoch-based reclamation with
+//! transaction-aware (revocable) retirement, so the scenario must be safe on
+//! *all* of them, and the reader must still observe consistent data.
+
+use baselines::{DctlRuntime, NorecRuntime, TinyStmRuntime, Tl2Runtime};
+use multiverse::{MultiverseConfig, MultiverseRuntime};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use tm_api::TmRuntime;
+use txstructs::{TxList, TxSet};
+
+const LIST_SIZE: u64 = 400;
+
+fn reclamation_race<R: TmRuntime>(tm: Arc<R>) {
+    let list = Arc::new(TxList::new());
+    {
+        let mut h = tm.register();
+        for k in 0..LIST_SIZE {
+            // Value encodes the key so the reader can check consistency.
+            assert!(list.insert(&mut h, k, k * 7));
+        }
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        // Mutator: repeatedly remove a block of keys (unlinking + retiring
+        // their nodes) and re-insert them.
+        {
+            let tm = Arc::clone(&tm);
+            let list = Arc::clone(&list);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut h = tm.register();
+                let mut round = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let base = (round * 37) % (LIST_SIZE / 2) + LIST_SIZE / 2;
+                    for k in base..(base + 20).min(LIST_SIZE) {
+                        list.remove(&mut h, k);
+                    }
+                    for k in base..(base + 20).min(LIST_SIZE) {
+                        list.insert(&mut h, k, k * 7);
+                    }
+                    round += 1;
+                }
+            });
+        }
+        // Readers: full traversals. Without safe reclamation these would
+        // dereference freed nodes; with it they must terminate and observe
+        // only keys with their matching values.
+        for _ in 0..2 {
+            let tm = Arc::clone(&tm);
+            let list = Arc::clone(&list);
+            s.spawn(move || {
+                let mut h = tm.register();
+                for _ in 0..300 {
+                    let n = list.size_query(&mut h);
+                    assert!(n <= LIST_SIZE as usize);
+                    let in_range = list.range_query(&mut h, 0, LIST_SIZE);
+                    assert!(in_range <= LIST_SIZE as usize);
+                }
+            });
+        }
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        stop.store(true, Ordering::Relaxed);
+    });
+    // The permanently-present first half must have survived untouched.
+    let mut h = tm.register();
+    for k in 0..LIST_SIZE / 2 {
+        assert!(list.contains(&mut h, k), "stable key {k} lost");
+    }
+    tm.shutdown();
+}
+
+#[test]
+fn reclamation_race_multiverse() {
+    reclamation_race(MultiverseRuntime::start(MultiverseConfig::small()));
+}
+
+#[test]
+fn reclamation_race_dctl() {
+    reclamation_race(Arc::new(DctlRuntime::with_defaults()));
+}
+
+#[test]
+fn reclamation_race_tl2() {
+    reclamation_race(Arc::new(Tl2Runtime::with_defaults()));
+}
+
+#[test]
+fn reclamation_race_norec() {
+    reclamation_race(Arc::new(NorecRuntime::new()));
+}
+
+#[test]
+fn reclamation_race_tinystm() {
+    reclamation_race(Arc::new(TinyStmRuntime::with_defaults()));
+}
