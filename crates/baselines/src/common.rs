@@ -1,315 +1,12 @@
-//! Bookkeeping shared by the lock-based baseline STMs (and reused by
-//! Multiverse): read sets, undo logs, redo logs and the per-attempt life
-//! cycle helpers.
+//! Per-attempt bookkeeping shared by the lock-based baseline STMs.
 //!
-//! The logs hold raw pointers to [`TxWord`]s. This is sound because every
-//! transaction attempt is pinned in epoch-based reclamation for its whole
-//! duration, and transactional nodes are only freed through EBR, so a word
-//! recorded in a log cannot be deallocated before the attempt finishes.
+//! The actual implementations live in [`tm_api::txset`] so that Multiverse
+//! and every baseline run on the same allocation-free hot-path structures
+//! (fixed-inline vectors, a generation-tagged read-your-own-writes map with
+//! a 64-bit write filter). This module only re-exports them under the names
+//! the backends historically used; there is deliberately no per-backend
+//! read/write-set logic left here.
 
-use tm_api::fxhash::FxHashMap;
-use tm_api::TxWord;
-
-/// A read-set entry for lock-based validation: the stripe index that was
-/// validated at read time and must still be valid at commit time.
-pub type StripeReadSet = Vec<usize>;
-
-/// An undo-log entry: the written word and the value it held before the first
-/// write by this transaction.
-#[derive(Debug, Clone, Copy)]
-pub struct UndoEntry {
-    /// The written word.
-    pub word: *const TxWord,
-    /// Value held before the write.
-    pub old: u64,
-}
-
-/// Encounter-time-locking undo log (DCTL, TinySTM, Multiverse).
-#[derive(Debug, Default)]
-pub struct UndoLog {
-    entries: Vec<UndoEntry>,
-}
-
-impl UndoLog {
-    /// Record the pre-write value of `word`.
-    #[inline]
-    pub fn push(&mut self, word: &TxWord, old: u64) {
-        self.entries.push(UndoEntry { word, old });
-    }
-
-    /// Number of recorded writes.
-    #[inline]
-    pub fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    /// Whether no writes were recorded.
-    #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
-    }
-
-    /// Undo every write, newest first, restoring the oldest recorded value of
-    /// each word last (so multiple writes to the same word roll back
-    /// correctly).
-    #[inline]
-    pub fn rollback(&mut self) {
-        for e in self.entries.drain(..).rev() {
-            // Safety: the word is kept alive by the EBR pin of this attempt.
-            unsafe { (*e.word).tm_store(e.old) };
-        }
-    }
-
-    /// Forget the recorded writes (after a successful commit).
-    #[inline]
-    pub fn clear(&mut self) {
-        self.entries.clear();
-    }
-}
-
-/// A redo-log (buffered-write) entry.
-#[derive(Debug, Clone, Copy)]
-pub struct RedoEntry {
-    /// The word to write at commit time.
-    pub word: *const TxWord,
-    /// The buffered value.
-    pub value: u64,
-}
-
-/// Commit-time-locking redo log (TL2, NOrec).
-///
-/// Lookups must be fast because every transactional read first consults the
-/// redo log ("read your own writes"), so an address-indexed hash map shadows
-/// the ordered entry list.
-#[derive(Debug, Default)]
-pub struct RedoLog {
-    entries: Vec<RedoEntry>,
-    index: FxHashMap<usize, usize>,
-}
-
-impl RedoLog {
-    /// Buffer a write of `value` to `word`, overwriting any previous buffered
-    /// write to the same word.
-    #[inline]
-    pub fn insert(&mut self, word: &TxWord, value: u64) {
-        let addr = word.addr();
-        match self.index.get(&addr) {
-            Some(&i) => self.entries[i].value = value,
-            None => {
-                self.index.insert(addr, self.entries.len());
-                self.entries.push(RedoEntry { word, value });
-            }
-        }
-    }
-
-    /// The buffered value for `word`, if this transaction wrote it.
-    #[inline]
-    pub fn lookup(&self, word: &TxWord) -> Option<u64> {
-        self.index
-            .get(&word.addr())
-            .map(|&i| self.entries[i].value)
-    }
-
-    /// Iterate over the buffered writes in insertion order.
-    #[inline]
-    pub fn entries(&self) -> &[RedoEntry] {
-        &self.entries
-    }
-
-    /// Number of distinct words written.
-    #[inline]
-    pub fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    /// Whether the log is empty.
-    #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
-    }
-
-    /// Apply every buffered write to memory (caller holds the locks).
-    #[inline]
-    pub fn write_back(&self) {
-        for e in &self.entries {
-            // Safety: the word is kept alive by the EBR pin of this attempt.
-            unsafe { (*e.word).tm_store(e.value) };
-        }
-    }
-
-    /// Drop all buffered writes.
-    #[inline]
-    pub fn clear(&mut self) {
-        self.entries.clear();
-        self.index.clear();
-    }
-}
-
-/// Value-based read set used by NOrec.
-#[derive(Debug, Default)]
-pub struct ValueReadSet {
-    entries: Vec<(*const TxWord, u64)>,
-}
-
-impl ValueReadSet {
-    /// Record that `word` was read and returned `value`.
-    #[inline]
-    pub fn push(&mut self, word: &TxWord, value: u64) {
-        self.entries.push((word, value));
-    }
-
-    /// Re-read every recorded word and check it still holds the recorded
-    /// value.
-    #[inline]
-    pub fn still_valid(&self) -> bool {
-        self.entries.iter().all(|&(w, v)| {
-            // Safety: kept alive by the EBR pin of this attempt.
-            unsafe { (*w).tm_load() == v }
-        })
-    }
-
-    /// Number of recorded reads.
-    #[inline]
-    pub fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    /// Whether the set is empty.
-    #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
-    }
-
-    /// Forget all recorded reads.
-    #[inline]
-    pub fn clear(&mut self) {
-        self.entries.clear();
-    }
-}
-
-/// The set of stripes this transaction currently holds locked, together with
-/// helpers to release them.
-#[derive(Debug, Default)]
-pub struct LockedStripes {
-    stripes: Vec<usize>,
-}
-
-impl LockedStripes {
-    /// Record that stripe `idx` is now held by this transaction.
-    #[inline]
-    pub fn push(&mut self, idx: usize) {
-        self.stripes.push(idx);
-    }
-
-    /// The held stripes, in acquisition order.
-    #[inline]
-    pub fn as_slice(&self) -> &[usize] {
-        &self.stripes
-    }
-
-    /// Whether a stripe is already recorded (linear scan: write sets are
-    /// small, and lock ownership is also checked via the lock word's tid).
-    #[inline]
-    pub fn contains(&self, idx: usize) -> bool {
-        self.stripes.contains(&idx)
-    }
-
-    /// Number of held stripes.
-    #[inline]
-    pub fn len(&self) -> usize {
-        self.stripes.len()
-    }
-
-    /// Whether no stripes are held.
-    #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.stripes.is_empty()
-    }
-
-    /// Release every held stripe in `table`, stamping `version`.
-    #[inline]
-    pub fn release_all(&mut self, table: &tm_api::LockTable, version: u64) {
-        for &idx in &self.stripes {
-            table.lock_at(idx).unlock_with_version(version);
-        }
-        self.stripes.clear();
-    }
-
-    /// Forget the held stripes without touching the locks (used after a
-    /// commit path released them manually).
-    #[inline]
-    pub fn clear(&mut self) {
-        self.stripes.clear();
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use tm_api::{LockTable, TxWord};
-
-    #[test]
-    fn undo_log_rolls_back_in_reverse() {
-        let w = TxWord::new(1);
-        let mut log = UndoLog::default();
-        log.push(&w, 1);
-        w.store_direct(2);
-        log.push(&w, 2);
-        w.store_direct(3);
-        assert_eq!(log.len(), 2);
-        log.rollback();
-        assert_eq!(w.load_direct(), 1, "oldest value restored last");
-        assert!(log.is_empty());
-    }
-
-    #[test]
-    fn redo_log_overwrites_and_looks_up() {
-        let a = TxWord::new(0);
-        let b = TxWord::new(0);
-        let mut log = RedoLog::default();
-        assert!(log.lookup(&a).is_none());
-        log.insert(&a, 10);
-        log.insert(&b, 20);
-        log.insert(&a, 11);
-        assert_eq!(log.len(), 2);
-        assert_eq!(log.lookup(&a), Some(11));
-        assert_eq!(log.lookup(&b), Some(20));
-        log.write_back();
-        assert_eq!(a.load_direct(), 11);
-        assert_eq!(b.load_direct(), 20);
-        log.clear();
-        assert!(log.is_empty());
-        assert!(log.lookup(&a).is_none());
-    }
-
-    #[test]
-    fn value_read_set_detects_changes() {
-        let a = TxWord::new(5);
-        let mut rs = ValueReadSet::default();
-        rs.push(&a, 5);
-        assert!(rs.still_valid());
-        a.store_direct(6);
-        assert!(!rs.still_valid());
-        rs.clear();
-        assert!(rs.is_empty());
-    }
-
-    #[test]
-    fn locked_stripes_release_all_stamps_version() {
-        let table = LockTable::new(64);
-        let mut held = LockedStripes::default();
-        for idx in [1usize, 5, 9] {
-            table.lock_at(idx).try_lock(3, false).unwrap();
-            held.push(idx);
-        }
-        assert_eq!(held.len(), 3);
-        assert!(held.contains(5));
-        held.release_all(&table, 77);
-        assert!(held.is_empty());
-        for idx in [1usize, 5, 9] {
-            let st = table.lock_at(idx).load();
-            assert!(!st.locked);
-            assert_eq!(st.version, 77);
-        }
-    }
-}
+pub use tm_api::txset::{
+    LockedStripes, RedoEntry, RedoLog, StripeReadSet, UndoEntry, UndoLog, ValueReadSet, WriteMap,
+};

@@ -370,8 +370,9 @@ mod tests {
             s.spawn(move || {
                 let mut h = rt2.register();
                 for _ in 0..2000 {
-                    let (a, b) =
-                        h.txn(TxKind::ReadOnly, |tx| Ok((tx.read_var(&*x2)?, tx.read_var(&*y2)?)));
+                    let (a, b) = h.txn(TxKind::ReadOnly, |tx| {
+                        Ok((tx.read_var(&*x2)?, tx.read_var(&*y2)?))
+                    });
                     assert_eq!(a + b, 200);
                 }
             });

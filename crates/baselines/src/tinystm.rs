@@ -7,12 +7,13 @@
 //! set and, if nothing it read has changed, extends its snapshot to the
 //! current clock instead of aborting.
 
-use crate::common::UndoLog;
+use crate::common::{StripeReadSet, UndoLog};
 use ebr::{Collector, LocalHandle, TxMem};
 use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::Arc;
 use tm_api::abort::TxResult;
 use tm_api::traits::Dtor;
+use tm_api::txset::InlineVec;
 use tm_api::vlock::LockState;
 use tm_api::{
     Abort, Backoff, GlobalClock, LockTable, StatsRegistry, ThreadStats, TmHandle, TmRuntime,
@@ -75,12 +76,12 @@ pub struct TinyStmTx {
     ebr: LocalHandle,
     mem: TxMem,
     rv: u64,
-    read_set: Vec<usize>,
+    read_set: StripeReadSet,
     undo: UndoLog,
     /// Stripes locked by this transaction along with their pre-lock state, so
     /// aborts can restore the original version (values are also restored, so
     /// no version bump is necessary).
-    locked: Vec<(usize, LockState)>,
+    locked: InlineVec<(usize, LockState), 32>,
     kind: TxKind,
     reads: u64,
 }
@@ -148,9 +149,10 @@ impl TinyStmTx {
         self.mem.on_abort();
         // Values were restored, so restoring the pre-lock versions is
         // consistent and avoids spurious invalidations of concurrent readers.
-        for (idx, prev) in self.locked.drain(..) {
+        for &(idx, prev) in self.locked.as_slice() {
             self.rt.locks.lock_at(idx).unlock_restore(prev);
         }
+        self.locked.clear();
         self.read_set.clear();
         self.ebr.unpin();
     }
@@ -283,9 +285,9 @@ impl TmRuntime for TinyStmRuntime {
                 ebr: LocalHandle::new(Arc::clone(&self.ebr)),
                 mem: TxMem::new(),
                 rv: 0,
-                read_set: Vec::new(),
+                read_set: StripeReadSet::new(),
                 undo: UndoLog::default(),
-                locked: Vec::new(),
+                locked: InlineVec::new(),
                 kind: TxKind::ReadOnly,
                 reads: 0,
             },

@@ -14,12 +14,13 @@
 //! the property that makes the §4.5 reclamation race possible, which is why
 //! every transaction attempt here is pinned in EBR.
 
-use crate::common::{LockedStripes, RedoLog};
+use crate::common::{LockedStripes, RedoLog, StripeReadSet};
 use ebr::{Collector, LocalHandle, TxMem};
 use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::Arc;
 use tm_api::abort::TxResult;
 use tm_api::traits::Dtor;
+use tm_api::txset::InlineVec;
 use tm_api::vlock::LockState;
 use tm_api::{
     Abort, Backoff, GlobalClock, LockTable, StatsRegistry, ThreadStats, TmHandle, TmRuntime,
@@ -76,7 +77,7 @@ pub struct Tl2Tx {
     stats: Arc<ThreadStats>,
     ebr: LocalHandle,
     mem: TxMem,
-    read_set: Vec<usize>,
+    read_set: StripeReadSet,
     redo: RedoLog,
     rv: u64,
     kind: TxKind,
@@ -100,8 +101,10 @@ impl Tl2Tx {
         if self.kind == TxKind::ReadOnly || self.redo.is_empty() {
             return Ok(());
         }
-        // Phase 1: acquire the write-set locks.
-        let mut acquired: Vec<(usize, LockState)> = Vec::with_capacity(self.redo.len());
+        // Phase 1: acquire the write-set locks. The commit-local lists use
+        // the same inline storage as the per-attempt logs, so commits of
+        // small transactions allocate nothing.
+        let mut acquired: InlineVec<(usize, LockState), 32> = InlineVec::new();
         let mut held = LockedStripes::default();
         for entry in self.redo.entries() {
             // Safety: words in the redo log stay alive while this attempt is
@@ -118,14 +121,14 @@ impl Tl2Tx {
                     // read of the same stripe that is not in the read set).
                     if prev.version > self.rv {
                         self.rt.locks.lock_at(idx).unlock_restore(prev);
-                        Self::release_acquired(&self.rt, &acquired);
+                        Self::release_acquired(&self.rt, acquired.as_slice());
                         return Err(Abort);
                     }
                     acquired.push((idx, prev));
                     held.push(idx);
                 }
                 Err(_) => {
-                    Self::release_acquired(&self.rt, &acquired);
+                    Self::release_acquired(&self.rt, acquired.as_slice());
                     return Err(Abort);
                 }
             }
@@ -140,7 +143,7 @@ impl Tl2Tx {
                 let mine = st.locked && st.tid == self.tid;
                 let ok = mine || (!st.locked && st.version <= self.rv);
                 if !ok {
-                    Self::release_acquired(&self.rt, &acquired);
+                    Self::release_acquired(&self.rt, acquired.as_slice());
                     return Err(Abort);
                 }
             }
@@ -275,7 +278,7 @@ impl TmRuntime for Tl2Runtime {
                 stats: self.stats.register(),
                 ebr: LocalHandle::new(Arc::clone(&self.ebr)),
                 mem: TxMem::new(),
-                read_set: Vec::new(),
+                read_set: StripeReadSet::new(),
                 redo: RedoLog::default(),
                 rv: 0,
                 kind: TxKind::ReadOnly,

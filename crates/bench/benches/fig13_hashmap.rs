@@ -14,14 +14,22 @@ use std::time::Duration;
 use tm_api::TmRuntime;
 use txstructs::TxHashMap;
 
-fn bench_case<R: TmRuntime>(c: &mut Criterion, tm_name: &str, rt: Arc<R>, case: &str, spec: &WorkloadSpec) {
+fn bench_case<R: TmRuntime>(
+    c: &mut Criterion,
+    tm_name: &str,
+    rt: Arc<R>,
+    case: &str,
+    spec: &WorkloadSpec,
+) {
     let set = Arc::new(TxHashMap::new(spec.prefill as usize * 10));
     prefill(&rt, &set, spec);
     let gen = OpGenerator::new(spec);
     let mut h = rt.register();
     let mut rng = StdRng::seed_from_u64(13);
     let mut group = c.benchmark_group(format!("fig13_hashmap/{case}"));
-    group.sample_size(10).measurement_time(Duration::from_millis(600));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600));
     group.bench_function(tm_name, |b| {
         b.iter(|| {
             for _ in 0..64 {
@@ -47,7 +55,13 @@ fn all(c: &mut Criterion) {
             case,
             &spec,
         );
-        bench_case(c, "dctl", Arc::new(DctlRuntime::with_defaults()), case, &spec);
+        bench_case(
+            c,
+            "dctl",
+            Arc::new(DctlRuntime::with_defaults()),
+            case,
+            &spec,
+        );
     }
 }
 

@@ -34,7 +34,9 @@ fn bench_tm<R: TmRuntime>(c: &mut Criterion, name: &str, rt: Arc<R>) {
     let mut h = rt.register();
     let mut rng = StdRng::seed_from_u64(1);
     let mut group = c.benchmark_group("fig1_abtree_mix");
-    group.sample_size(10).measurement_time(Duration::from_millis(700));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(700));
     group.bench_function(name, |b| {
         b.iter(|| {
             for _ in 0..64 {
@@ -48,7 +50,11 @@ fn bench_tm<R: TmRuntime>(c: &mut Criterion, name: &str, rt: Arc<R>) {
 }
 
 fn all(c: &mut Criterion) {
-    bench_tm(c, "multiverse", MultiverseRuntime::start(MultiverseConfig::paper_defaults()));
+    bench_tm(
+        c,
+        "multiverse",
+        MultiverseRuntime::start(MultiverseConfig::paper_defaults()),
+    );
     bench_tm(c, "dctl", Arc::new(DctlRuntime::with_defaults()));
     bench_tm(c, "tl2", Arc::new(Tl2Runtime::with_defaults()));
     bench_tm(c, "norec", Arc::new(NorecRuntime::new()));

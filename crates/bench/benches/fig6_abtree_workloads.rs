@@ -27,14 +27,22 @@ fn spec(mix: WorkloadMix, dist: KeyDist) -> WorkloadSpec {
     }
 }
 
-fn bench_case<R: TmRuntime>(c: &mut Criterion, tm_name: &str, rt: Arc<R>, case: &str, spec: &WorkloadSpec) {
+fn bench_case<R: TmRuntime>(
+    c: &mut Criterion,
+    tm_name: &str,
+    rt: Arc<R>,
+    case: &str,
+    spec: &WorkloadSpec,
+) {
     let set = Arc::new(TxAbTree::new());
     prefill(&rt, &set, spec);
     let gen = OpGenerator::new(spec);
     let mut h = rt.register();
     let mut rng = StdRng::seed_from_u64(6);
     let mut group = c.benchmark_group(format!("fig6/{case}"));
-    group.sample_size(10).measurement_time(Duration::from_millis(600));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600));
     group.bench_function(tm_name, |b| {
         b.iter(|| {
             for _ in 0..64 {
@@ -49,10 +57,22 @@ fn bench_case<R: TmRuntime>(c: &mut Criterion, tm_name: &str, rt: Arc<R>, case: 
 
 fn all(c: &mut Criterion) {
     let cases = [
-        ("uniform_no_rq", spec(WorkloadMix::no_rq_90_5_5(), KeyDist::Uniform)),
-        ("uniform_rq001", spec(WorkloadMix::rq_8999_001_5_5(), KeyDist::Uniform)),
-        ("zipf_no_rq", spec(WorkloadMix::no_rq_90_5_5(), KeyDist::Zipfian(0.9))),
-        ("zipf_rq001", spec(WorkloadMix::rq_8999_001_5_5(), KeyDist::Zipfian(0.9))),
+        (
+            "uniform_no_rq",
+            spec(WorkloadMix::no_rq_90_5_5(), KeyDist::Uniform),
+        ),
+        (
+            "uniform_rq001",
+            spec(WorkloadMix::rq_8999_001_5_5(), KeyDist::Uniform),
+        ),
+        (
+            "zipf_no_rq",
+            spec(WorkloadMix::no_rq_90_5_5(), KeyDist::Zipfian(0.9)),
+        ),
+        (
+            "zipf_rq001",
+            spec(WorkloadMix::rq_8999_001_5_5(), KeyDist::Zipfian(0.9)),
+        ),
     ];
     for (case, spec) in &cases {
         bench_case(
@@ -62,7 +82,13 @@ fn all(c: &mut Criterion) {
             case,
             spec,
         );
-        bench_case(c, "dctl", Arc::new(DctlRuntime::with_defaults()), case, spec);
+        bench_case(
+            c,
+            "dctl",
+            Arc::new(DctlRuntime::with_defaults()),
+            case,
+            spec,
+        );
     }
 }
 

@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use multiverse::{MultiverseConfig, MultiverseRuntime};
 use std::sync::Arc;
 use std::time::Duration;
-use tm_api::{TmHandle, TmRuntime, Transaction, TVar, TxKind};
+use tm_api::{TVar, TmHandle, TmRuntime, Transaction, TxKind};
 
 const WORDS: usize = 64;
 
@@ -15,7 +15,9 @@ fn bench_tm<R: TmRuntime>(c: &mut Criterion, name: &str, rt: Arc<R>) {
     let vars: Vec<TVar<u64>> = (0..WORDS).map(|i| TVar::new(i as u64)).collect();
     let mut h = rt.register();
     let mut group = c.benchmark_group(format!("stm/{name}"));
-    group.sample_size(20).measurement_time(Duration::from_millis(600));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(600));
     group.bench_function("read_only_8_words", |b| {
         b.iter(|| {
             h.txn(TxKind::ReadOnly, |tx| {
@@ -51,7 +53,11 @@ fn bench_tm<R: TmRuntime>(c: &mut Criterion, name: &str, rt: Arc<R>) {
 }
 
 fn all(c: &mut Criterion) {
-    bench_tm(c, "multiverse", MultiverseRuntime::start(MultiverseConfig::small()));
+    bench_tm(
+        c,
+        "multiverse",
+        MultiverseRuntime::start(MultiverseConfig::small()),
+    );
     bench_tm(c, "dctl", Arc::new(DctlRuntime::with_defaults()));
     bench_tm(c, "tl2", Arc::new(Tl2Runtime::with_defaults()));
     bench_tm(c, "norec", Arc::new(NorecRuntime::new()));

@@ -9,7 +9,9 @@ use tm_api::{BloomTable, GlobalClock, LockTable};
 
 fn substrates(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate");
-    group.sample_size(30).measurement_time(Duration::from_millis(500));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_millis(500));
 
     let locks = LockTable::new(1 << 16);
     group.bench_function("lock_table/lock_unlock", |b| {
@@ -44,7 +46,7 @@ fn substrates(c: &mut Criterion) {
         for ts in 2..9u64 {
             list.push_head(VersionNode::boxed(list.head(), ts, ts, false));
         }
-        b.iter(|| list.traverse(1).unwrap())
+        b.iter(|| list.traverse(2).unwrap())
     });
 
     group.bench_function("ebr/pin_unpin", |b| {

@@ -1,0 +1,162 @@
+//! Perf-trajectory runner: executes the `txset` micro-measurements plus the
+//! per-TM micro-op batches (the same shapes as the `txset_microbench` and
+//! `stm_microbench` criterion benches) and writes the medians to
+//! `BENCH_txset.json`, so future PRs can track the hot-path perf curve with
+//! one command:
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_trajectory [-- <output-path>]
+//! ```
+
+use baselines::{DctlRuntime, NorecRuntime, TinyStmRuntime, Tl2Runtime};
+use multiverse::{MultiverseConfig, MultiverseRuntime};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+use tm_api::txset::{StripeReadSet, WriteMap, READ_SET_INLINE};
+use tm_api::{TVar, TmHandle, TmRuntime, Transaction, TxKind, TxWord};
+
+/// Median ns/iter of `f` over `samples` batches of `iters_per_sample`.
+fn measure<F: FnMut()>(samples: usize, iters_per_sample: u64, mut f: F) -> f64 {
+    // Warm-up batch.
+    for _ in 0..iters_per_sample {
+        f();
+    }
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / iters_per_sample as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+fn txset_measurements(out: &mut Vec<(String, f64)>) {
+    const WRITES: usize = 8;
+    const READS: usize = 64;
+    let words: Vec<TxWord> = (0..READS).map(|i| TxWord::new(i as u64)).collect();
+
+    let mut map = WriteMap::new();
+    out.push((
+        "txset/read_after_write/write_map".into(),
+        measure(21, 20_000, || {
+            for (i, w) in words.iter().take(WRITES).enumerate() {
+                map.insert(w, i as u64);
+            }
+            let mut sum = 0u64;
+            for w in &words {
+                sum = sum.wrapping_add(map.lookup(w).unwrap_or(1));
+            }
+            map.clear();
+            black_box(sum);
+        }),
+    ));
+
+    let mut rs = StripeReadSet::new();
+    out.push((
+        "txset/read_set/tm_shaped_read_loop".into(),
+        measure(21, 20_000, || {
+            let mut sum = 0u64;
+            for (i, w) in words.iter().take(READ_SET_INLINE).enumerate() {
+                let val = w.tm_load();
+                std::sync::atomic::fence(std::sync::atomic::Ordering::Acquire);
+                rs.push(i);
+                sum = sum.wrapping_add(val);
+            }
+            rs.clear();
+            black_box(sum);
+        }),
+    ));
+
+    let mut map = WriteMap::new();
+    out.push((
+        "txset/clear_after_64_writes/write_map".into(),
+        measure(21, 20_000, || {
+            for (i, w) in words.iter().enumerate() {
+                map.insert(w, i as u64);
+            }
+            map.clear();
+        }),
+    ));
+}
+
+fn tm_measurements<R: TmRuntime>(name: &str, rt: Arc<R>, out: &mut Vec<(String, f64)>) {
+    const WORDS: usize = 64;
+    let vars: Vec<TVar<u64>> = (0..WORDS).map(|i| TVar::new(i as u64)).collect();
+    let mut h = rt.register();
+
+    out.push((
+        format!("stm/{name}/read_only_8_words"),
+        measure(11, 20_000, || {
+            let sum = h.txn(TxKind::ReadOnly, |tx| {
+                let mut sum = 0u64;
+                for v in vars.iter().take(8) {
+                    sum = sum.wrapping_add(tx.read_var(v)?);
+                }
+                Ok(sum)
+            });
+            black_box(sum);
+        }),
+    ));
+
+    let mut i = 0u64;
+    out.push((
+        format!("stm/{name}/update_2_words"),
+        measure(11, 20_000, || {
+            i += 1;
+            h.txn(TxKind::ReadWrite, |tx| {
+                tx.write_var(&vars[(i as usize) % WORDS], i)?;
+                tx.write_var(&vars[(i as usize + 7) % WORDS], i)
+            });
+        }),
+    ));
+
+    out.push((
+        format!("stm/{name}/counter_rmw"),
+        measure(11, 20_000, || {
+            h.txn(TxKind::ReadWrite, |tx| {
+                let v = tx.read_var(&vars[0])?;
+                tx.write_var(&vars[0], v + 1)
+            });
+        }),
+    ));
+
+    drop(h);
+    rt.shutdown();
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_txset.json".to_string());
+
+    let mut results: Vec<(String, f64)> = Vec::new();
+    txset_measurements(&mut results);
+    tm_measurements(
+        "multiverse",
+        MultiverseRuntime::start(MultiverseConfig::small()),
+        &mut results,
+    );
+    tm_measurements("dctl", Arc::new(DctlRuntime::with_defaults()), &mut results);
+    tm_measurements("tl2", Arc::new(Tl2Runtime::with_defaults()), &mut results);
+    tm_measurements("norec", Arc::new(NorecRuntime::new()), &mut results);
+    tm_measurements(
+        "tinystm",
+        Arc::new(TinyStmRuntime::with_defaults()),
+        &mut results,
+    );
+
+    let mut json = String::from("{\n  \"unit\": \"ns_per_iter\",\n  \"results\": {\n");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        json.push_str(&format!("    \"{name}\": {ns:.2}{comma}\n"));
+        println!("{name:<50} {ns:>10.1} ns/iter");
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&path, json).expect("write benchmark output file");
+    println!("\nwrote {path}");
+}

@@ -20,11 +20,21 @@ fn main() {
     let workloads = vec![
         (
             format!("uniform, {updaters} updaters, 90% search / 0% RQ"),
-            WorkloadSpec::paper_tree(scale, WorkloadMix::no_rq_90_5_5(), KeyDist::Uniform, updaters),
+            WorkloadSpec::paper_tree(
+                scale,
+                WorkloadMix::no_rq_90_5_5(),
+                KeyDist::Uniform,
+                updaters,
+            ),
         ),
         (
             format!("uniform, {updaters} updaters, 89.99% search / 0.01% RQ"),
-            WorkloadSpec::paper_tree(scale, WorkloadMix::rq_8999_001_5_5(), KeyDist::Uniform, updaters),
+            WorkloadSpec::paper_tree(
+                scale,
+                WorkloadMix::rq_8999_001_5_5(),
+                KeyDist::Uniform,
+                updaters,
+            ),
         ),
     ];
     let fig = FigureSpec {

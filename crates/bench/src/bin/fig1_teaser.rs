@@ -21,7 +21,12 @@ fn main() {
         structure: StructKind::AbTree,
         workloads: vec![(
             format!("uniform, {updaters} updaters, 89.99% search / 0.01% RQ / 5% ins / 5% del"),
-            WorkloadSpec::paper_tree(scale, WorkloadMix::rq_8999_001_5_5(), KeyDist::Uniform, updaters),
+            WorkloadSpec::paper_tree(
+                scale,
+                WorkloadMix::rq_8999_001_5_5(),
+                KeyDist::Uniform,
+                updaters,
+            ),
         )],
         threads: default_thread_sweep(),
         seconds,

@@ -15,7 +15,7 @@ use harness::BenchArgs;
 use multiverse::{MultiverseConfig, MultiverseRuntime};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use tm_api::{TmHandle, TmRuntime, Transaction, TVar, TxKind};
+use tm_api::{TVar, TmHandle, TmRuntime, Transaction, TxKind};
 
 fn run_case(cfg: MultiverseConfig, label: &str, n: usize, queries: u64, csv: bool) {
     let rt = MultiverseRuntime::start(cfg);
@@ -89,7 +89,9 @@ fn main() {
     if args.csv {
         println!("figure,mode,n,queries,avg_reads_per_rq,aborts,versioned_commits");
     } else {
-        println!("== fig3/fig4 — accesses needed to commit an n-address range query under updates ==");
+        println!(
+            "== fig3/fig4 — accesses needed to commit an n-address range query under updates =="
+        );
     }
     // Figure 3: Mode Q — the reader versions addresses itself and keeps
     // getting aborted, so it performs far more than n reads per commit.

@@ -41,7 +41,10 @@ fn main() {
     } else {
         println!("== fig7 — flawed (no dedicated updaters) vs sound (dedicated updaters) RQ workloads ==");
     }
-    for (setup, updaters) in [("all-threads-mixed (flawed)", 0usize), ("with dedicated updaters", 2)] {
+    for (setup, updaters) in [
+        ("all-threads-mixed (flawed)", 0usize),
+        ("with dedicated updaters", 2),
+    ] {
         let r = run_workload(tm, StructKind::AbTree, &mk(updaters), &trial);
         if args.csv {
             println!(

@@ -15,22 +15,35 @@ fn main() {
     let scale = args.scale_or(0.02);
     let interval_seconds = args.seconds_or(2.0);
     let updaters = args.updaters_or(4);
-    let threads = args
-        .threads
-        .first()
-        .copied()
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
+    let threads = args.threads.first().copied().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    });
     print_scale_banner("Figure 8", scale, interval_seconds);
 
     let quiet = WorkloadSpec::paper_tree(scale, WorkloadMix::fig8_no_rq(), KeyDist::Uniform, 0);
-    let mut rq = WorkloadSpec::paper_tree(scale, WorkloadMix::fig8_rq(), KeyDist::Uniform, updaters);
+    let mut rq =
+        WorkloadSpec::paper_tree(scale, WorkloadMix::fig8_rq(), KeyDist::Uniform, updaters);
     // Figure 8 uses a larger RQ: 10% of the prefill instead of 1%.
     rq.rq_size = (rq.prefill / 10).max(16);
     let intervals = vec![
-        Interval { seconds: interval_seconds, spec: quiet.clone() },
-        Interval { seconds: interval_seconds, spec: rq.clone() },
-        Interval { seconds: interval_seconds, spec: quiet },
-        Interval { seconds: interval_seconds, spec: rq },
+        Interval {
+            seconds: interval_seconds,
+            spec: quiet.clone(),
+        },
+        Interval {
+            seconds: interval_seconds,
+            spec: rq.clone(),
+        },
+        Interval {
+            seconds: interval_seconds,
+            spec: quiet,
+        },
+        Interval {
+            seconds: interval_seconds,
+            spec: rq,
+        },
     ];
 
     let tms = args.tms.clone().unwrap_or_else(TmKind::fig8_set);
@@ -46,7 +59,10 @@ fn main() {
                 println!("fig8,{},{:.2},{:.1}", r.tm, t, ops);
             }
         } else {
-            println!("\n-- {} (total committed worker ops: {}) --", r.tm, r.total_ops);
+            println!(
+                "\n-- {} (total committed worker ops: {}) --",
+                r.tm, r.total_ops
+            );
             println!("{:>8}  {:>14}", "time(s)", "ops/sec");
             for (t, ops) in &r.samples {
                 println!("{:>8.2}  {:>14.0}", t, ops);

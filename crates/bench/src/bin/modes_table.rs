@@ -26,6 +26,12 @@ fn main() {
         } else {
             "unversioning disabled"
         };
-        println!("{:<10} {:<40} {:<40} {:<26}", mode.name(), writers, readers, bg);
+        println!(
+            "{:<10} {:<40} {:<40} {:<26}",
+            mode.name(),
+            writers,
+            readers,
+            bg
+        );
     }
 }

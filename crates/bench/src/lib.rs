@@ -26,7 +26,10 @@ pub fn fig6_workloads(scale: f64, updaters: usize, dist: KeyDist) -> Vec<(String
     let mut out = Vec::new();
     for ups in [0usize, updaters] {
         for (mix_label, mix) in [
-            ("90% search, 0% RQ, 5% ins, 5% del", WorkloadMix::no_rq_90_5_5()),
+            (
+                "90% search, 0% RQ, 5% ins, 5% del",
+                WorkloadMix::no_rq_90_5_5(),
+            ),
             (
                 "89.99% search, 0.01% RQ, 5% ins, 5% del",
                 WorkloadMix::rq_8999_001_5_5(),

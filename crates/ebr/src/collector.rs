@@ -129,12 +129,9 @@ impl Collector {
             }
         }
         // Every pinned thread has observed `cur`; it is safe to advance.
-        let _ = self.epoch.compare_exchange(
-            cur,
-            cur + 1,
-            Ordering::SeqCst,
-            Ordering::SeqCst,
-        );
+        let _ = self
+            .epoch
+            .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst);
         self.epoch.load(Ordering::SeqCst)
     }
 

@@ -57,7 +57,9 @@ impl LocalHandle {
         if self.pin_depth == 0 {
             self.slot.unpin();
             self.unpin_count += 1;
-            if self.unpin_count % ADVANCE_EVERY == 0 || self.garbage.len() >= COLLECT_THRESHOLD {
+            if self.unpin_count.is_multiple_of(ADVANCE_EVERY)
+                || self.garbage.len() >= COLLECT_THRESHOLD
+            {
                 self.collector.try_advance();
                 self.collect();
                 self.collector.collect_orphans();

@@ -45,21 +45,28 @@ impl BenchArgs {
                         .collect::<Result<Vec<_>, _>>()?;
                 }
                 "--seconds" => {
-                    out.seconds =
-                        Some(it.next().ok_or("--seconds needs a value")?.parse().map_err(
-                            |e: std::num::ParseFloatError| e.to_string(),
-                        )?);
+                    out.seconds = Some(
+                        it.next()
+                            .ok_or("--seconds needs a value")?
+                            .parse()
+                            .map_err(|e: std::num::ParseFloatError| e.to_string())?,
+                    );
                 }
                 "--scale" => {
-                    out.scale = Some(it.next().ok_or("--scale needs a value")?.parse().map_err(
-                        |e: std::num::ParseFloatError| e.to_string(),
-                    )?);
+                    out.scale = Some(
+                        it.next()
+                            .ok_or("--scale needs a value")?
+                            .parse()
+                            .map_err(|e: std::num::ParseFloatError| e.to_string())?,
+                    );
                 }
                 "--updaters" => {
-                    out.updaters =
-                        Some(it.next().ok_or("--updaters needs a value")?.parse().map_err(
-                            |e: std::num::ParseIntError| e.to_string(),
-                        )?);
+                    out.updaters = Some(
+                        it.next()
+                            .ok_or("--updaters needs a value")?
+                            .parse()
+                            .map_err(|e: std::num::ParseIntError| e.to_string())?,
+                    );
                 }
                 "--tms" => {
                     let v = it.next().ok_or("--tms needs a value")?;
@@ -122,8 +129,17 @@ mod tests {
     #[test]
     fn parses_all_flags() {
         let a = parse(&[
-            "--threads", "1,2,4", "--seconds", "2.5", "--scale", "0.1", "--updaters", "8",
-            "--tms", "multiverse,dctl", "--csv",
+            "--threads",
+            "1,2,4",
+            "--seconds",
+            "2.5",
+            "--scale",
+            "0.1",
+            "--updaters",
+            "8",
+            "--tms",
+            "multiverse,dctl",
+            "--csv",
         ])
         .unwrap();
         assert_eq!(a.threads, vec![1, 2, 4]);

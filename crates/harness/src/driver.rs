@@ -78,8 +78,7 @@ where
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(2)
-        .min(8)
-        .max(1);
+        .clamp(1, 8);
     std::thread::scope(|s| {
         for t in 0..threads as u64 {
             let tm = Arc::clone(tm);
@@ -99,12 +98,7 @@ where
 /// Execute one operation drawn from `gen` against `set`.
 ///
 /// Returns `true` when the executed operation was a range/size query.
-pub fn run_one_op<H, S>(
-    set: &S,
-    h: &mut H,
-    gen: &OpGenerator,
-    rng: &mut StdRng,
-) -> bool
+pub fn run_one_op<H, S>(set: &S, h: &mut H, gen: &OpGenerator, rng: &mut StdRng) -> bool
 where
     H: tm_api::TmHandle,
     S: TxSet,

@@ -120,7 +120,10 @@ mod tests {
         // In this repository's CI/containers /proc is always present.
         assert!(hwm > 0);
         assert!(rss > 0);
-        assert!(hwm >= rss / 2, "high-water mark should not be far below RSS");
+        assert!(
+            hwm >= rss / 2,
+            "high-water mark should not be far below RSS"
+        );
     }
 
     #[test]

@@ -85,7 +85,9 @@ impl TmKind {
 
     /// Parse a CLI name.
     pub fn parse(s: &str) -> Option<TmKind> {
-        Self::all().into_iter().find(|t| t.name() == s.to_lowercase())
+        Self::all()
+            .into_iter()
+            .find(|t| t.name() == s.to_lowercase())
     }
 
     fn multiverse_config(self, stripes: usize) -> MultiverseConfig {
@@ -169,8 +171,10 @@ fn with_tm_struct<S: TxSet>(
             run_generic(rt, set, spec, trial)
         }
         TmKind::Dctl => {
-            let mut cfg = baselines::DctlConfig::default();
-            cfg.stripes = BENCH_STRIPES;
+            let cfg = baselines::DctlConfig {
+                stripes: BENCH_STRIPES,
+                ..Default::default()
+            };
             run_generic(Arc::new(DctlRuntime::new(cfg)), set, spec, trial)
         }
         TmKind::Tl2 => {
@@ -181,8 +185,10 @@ fn with_tm_struct<S: TxSet>(
         }
         TmKind::Norec => run_generic(Arc::new(NorecRuntime::new()), set, spec, trial),
         TmKind::TinyStm => {
-            let mut cfg = baselines::TinyStmConfig::default();
-            cfg.stripes = BENCH_STRIPES;
+            let cfg = baselines::TinyStmConfig {
+                stripes: BENCH_STRIPES,
+                ..Default::default()
+            };
             run_generic(Arc::new(TinyStmRuntime::new(cfg)), set, spec, trial)
         }
         TmKind::Glock => run_generic(Arc::new(GlockRuntime::new()), set, spec, trial),
@@ -354,7 +360,13 @@ mod tests {
         ] {
             let r = run_workload(TmKind::Dctl, st, &spec, &trial);
             assert!(r.ops > 0, "{:?} performed no operations", st);
-            assert_eq!(r.structure, st.name().replace("extbst", "external-bst").replace("avl", "avl-tree").replace("list", "linked-list"));
+            assert_eq!(
+                r.structure,
+                st.name()
+                    .replace("extbst", "external-bst")
+                    .replace("avl", "avl-tree")
+                    .replace("list", "linked-list")
+            );
         }
     }
 }

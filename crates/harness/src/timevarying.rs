@@ -61,7 +61,10 @@ where
         .map(|i| i.spec.dedicated_updaters)
         .max()
         .unwrap_or(0);
-    let generators: Vec<OpGenerator> = intervals.iter().map(|i| OpGenerator::new(&i.spec)).collect();
+    let generators: Vec<OpGenerator> = intervals
+        .iter()
+        .map(|i| OpGenerator::new(&i.spec))
+        .collect();
     let generators = Arc::new(generators);
     let intervals_owned: Arc<Vec<Interval>> = Arc::new(intervals.to_vec());
 
@@ -126,7 +129,10 @@ where
         loop {
             std::thread::sleep(Duration::from_millis(sample_ms));
             let elapsed = start.elapsed().as_secs_f64();
-            let idx = boundaries.iter().position(|&b| elapsed < b).unwrap_or(intervals_owned.len() - 1);
+            let idx = boundaries
+                .iter()
+                .position(|&b| elapsed < b)
+                .unwrap_or(intervals_owned.len() - 1);
             current.store(idx, Ordering::Relaxed);
             let now_ops = ops_counter.load(Ordering::Relaxed);
             let window = (elapsed - last_t).max(1e-9);
@@ -181,7 +187,11 @@ mod tests {
         ];
         let r = run_time_varying(&tm, &set, &intervals, 2, 50, 9);
         assert!(r.total_ops > 0);
-        assert!(r.samples.len() >= 6, "expected ~12 samples, got {}", r.samples.len());
+        assert!(
+            r.samples.len() >= 6,
+            "expected ~12 samples, got {}",
+            r.samples.len()
+        );
         let last = r.samples.last().unwrap().0;
         assert!(last >= 0.55, "sampling should span the whole trial");
     }

@@ -209,7 +209,12 @@ mod tests {
 
     #[test]
     fn op_frequencies_respect_the_mix() {
-        let spec = WorkloadSpec::paper_tree(0.001, WorkloadMix::new(50.0, 0.0, 25.0, 25.0), KeyDist::Uniform, 0);
+        let spec = WorkloadSpec::paper_tree(
+            0.001,
+            WorkloadMix::new(50.0, 0.0, 25.0, 25.0),
+            KeyDist::Uniform,
+            0,
+        );
         let gen = OpGenerator::new(&spec);
         let mut rng = StdRng::seed_from_u64(3);
         let mut counts = [0usize; 4];
@@ -230,7 +235,12 @@ mod tests {
 
     #[test]
     fn keys_and_ranges_stay_in_domain() {
-        let spec = WorkloadSpec::paper_tree(0.01, WorkloadMix::rq_8999_001_5_5(), KeyDist::Zipfian(0.9), 16);
+        let spec = WorkloadSpec::paper_tree(
+            0.01,
+            WorkloadMix::rq_8999_001_5_5(),
+            KeyDist::Zipfian(0.9),
+            16,
+        );
         let gen = OpGenerator::new(&spec);
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..10_000 {
@@ -243,12 +253,14 @@ mod tests {
 
     #[test]
     fn paper_tree_spec_scales() {
-        let spec = WorkloadSpec::paper_tree(1.0, WorkloadMix::rq_8999_001_5_5(), KeyDist::Uniform, 16);
+        let spec =
+            WorkloadSpec::paper_tree(1.0, WorkloadMix::rq_8999_001_5_5(), KeyDist::Uniform, 16);
         assert_eq!(spec.prefill, 1_000_000);
         assert_eq!(spec.key_range, 2_000_000);
         assert_eq!(spec.rq_size, 10_000);
         assert_eq!(spec.dedicated_updaters, 16);
-        let small = WorkloadSpec::paper_tree(0.01, WorkloadMix::no_rq_90_5_5(), KeyDist::Uniform, 0);
+        let small =
+            WorkloadSpec::paper_tree(0.01, WorkloadMix::no_rq_90_5_5(), KeyDist::Uniform, 0);
         assert_eq!(small.prefill, 10_000);
         assert_eq!(small.rq_size, 100);
     }

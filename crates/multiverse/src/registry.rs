@@ -8,7 +8,7 @@
 //! unversioning heuristic, and to decide (via the sticky bits) when to leave
 //! Mode U.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use tm_api::CachePadded;
 
@@ -47,24 +47,41 @@ impl Default for ThreadSlot {
 
 impl ThreadSlot {
     /// Announce the start of an attempt.
+    ///
+    /// Safety of the relaxation (was `SeqCst`): the `Release` store makes the
+    /// kind/versioned flags visible together with the counter. The store→load
+    /// ordering against the worker's confirming counter re-read — the only
+    /// reason this store used to be `SeqCst` — is provided by the explicit
+    /// `SeqCst` fence `MultiverseTx::begin` issues right after calling this.
     #[inline]
     pub fn announce(&self, local_mode_counter: u64, is_update: bool, is_versioned: bool) {
         self.is_update.store(is_update, Ordering::Relaxed);
         self.is_versioned.store(is_versioned, Ordering::Relaxed);
         self.local_mode_counter
-            .store(local_mode_counter, Ordering::SeqCst);
+            .store(local_mode_counter, Ordering::Release);
     }
 
     /// Announce the end of an attempt.
+    ///
+    /// Safety of the relaxation (was `SeqCst`): this store is on the
+    /// commit/abort hot path. Writes to the same atomic are totally ordered
+    /// (modification order), so the scan can never see this INACTIVE store
+    /// *instead of* a later `announce`; seeing it *late* merely keeps the
+    /// slot looking active, which delays a mode transition — always safe.
     #[inline]
     pub fn clear_active(&self) {
-        self.local_mode_counter.store(INACTIVE, Ordering::SeqCst);
+        self.local_mode_counter.store(INACTIVE, Ordering::Release);
     }
 
     /// The announced local mode counter ([`INACTIVE`] when idle).
+    ///
+    /// `Acquire` is sufficient for the background thread's scans: the
+    /// store→load ordering of the drain protocol comes from the `SeqCst`
+    /// fences in [`WorkerRegistry::any_stale_worker`] (scan side) and
+    /// `MultiverseTx::begin` (worker side), not from this load.
     #[inline]
     pub fn local_mode_counter(&self) -> u64 {
-        self.local_mode_counter.load(Ordering::SeqCst)
+        self.local_mode_counter.load(Ordering::Acquire)
     }
 
     /// Whether the announced attempt is an updater.
@@ -149,6 +166,15 @@ impl WorkerRegistry {
         target_counter: u64,
         filter: impl Fn(&ThreadSlot) -> bool,
     ) -> bool {
+        // Pair with the SeqCst fence in `MultiverseTx::begin`: the caller
+        // advanced (or re-read) the global mode counter before this scan, and
+        // this fence orders that access before the slot loads below. Together
+        // the two fences guarantee that a worker which did not observe the
+        // new counter value during its announce-and-confirm handshake is
+        // visible to this scan as still announcing the old counter — the
+        // invariant the drain loops rely on. This path runs only in the
+        // background thread, so the fence costs nothing on the hot path.
+        fence(Ordering::SeqCst);
         self.slots.lock().unwrap().iter().any(|s| {
             let c = s.local_mode_counter();
             c != INACTIVE && c < target_counter && filter(s)

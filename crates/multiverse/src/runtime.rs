@@ -6,8 +6,8 @@ use crate::config::{ForcedMode, MultiverseConfig};
 use crate::modes::Mode;
 use crate::registry::WorkerRegistry;
 use crate::txn::{dtor_version_node, dtor_vlt_node, MultiverseTx};
-use crate::vlt::{Vlt, VltNode};
 use crate::version::VersionNode;
+use crate::vlt::{Vlt, VltNode};
 use ebr::{Collector, LocalHandle};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Weak};
@@ -106,9 +106,19 @@ impl MultiverseRuntime {
     // ---- mode machinery -------------------------------------------------
 
     /// The current global mode counter.
+    ///
+    /// Safety of the relaxation (was `SeqCst`): this load sits on the hot
+    /// path — every transaction attempt reads the counter at least twice in
+    /// `begin()`. The protocol only needs (a) that a worker adopting counter
+    /// value `c` also sees all state published before the transition to `c`
+    /// (give by `Acquire` pairing with the `SeqCst` CAS that advanced the
+    /// counter), and (b) store→load ordering between a worker's slot
+    /// announcement and its confirming re-read of the counter — which is
+    /// supplied by an explicit `SeqCst` fence in `MultiverseTx::begin`, not
+    /// by this load. See `begin()` and `WorkerRegistry::any_stale_worker`.
     #[inline]
     pub fn mode_counter(&self) -> u64 {
-        self.global_mode_counter.load(Ordering::SeqCst)
+        self.global_mode_counter.load(Ordering::Acquire)
     }
 
     /// The current global mode.
@@ -192,11 +202,13 @@ impl MultiverseRuntime {
     // ---- memory accounting ----------------------------------------------
 
     pub(crate) fn add_version_bytes(&self, bytes: usize) {
-        self.version_bytes.fetch_add(bytes as i64, Ordering::Relaxed);
+        self.version_bytes
+            .fetch_add(bytes as i64, Ordering::Relaxed);
     }
 
     pub(crate) fn sub_version_bytes(&self, bytes: usize) {
-        self.version_bytes.fetch_sub(bytes as i64, Ordering::Relaxed);
+        self.version_bytes
+            .fetch_sub(bytes as i64, Ordering::Relaxed);
     }
 
     /// Approximate live bytes of versioning metadata (VLT nodes + version
@@ -356,13 +368,12 @@ fn run_mode_machine(rt: &MultiverseRuntime) {
         Mode::QtoU => {
             // Wait for updaters that still run with local Mode Q (they do not
             // version their writes) to drain, then enter Mode U.
-            if !rt.registry.any_stale_worker(counter, |s| s.is_update()) {
-                if rt.advance_mode(counter) {
-                    // Record the first observed Mode-U timestamp used by the
-                    // earliest-safe-timestamp optimization (§4.2).
-                    rt.first_obs_mode_u_ts
-                        .store(rt.clock.read(), Ordering::Release);
-                }
+            if !rt.registry.any_stale_worker(counter, |s| s.is_update()) && rt.advance_mode(counter)
+            {
+                // Record the first observed Mode-U timestamp used by the
+                // earliest-safe-timestamp optimization (§4.2).
+                rt.first_obs_mode_u_ts
+                    .store(rt.clock.read(), Ordering::Release);
             }
         }
         Mode::U => {
@@ -447,9 +458,17 @@ fn unversion_bucket(rt: &MultiverseRuntime, ebr: &mut LocalHandle, idx: usize) {
         // versions were retired when they were replaced (§4.5).
         let head = node.vlist.detach_head();
         if !head.is_null() {
-            ebr.retire(head as *mut u8, dtor_version_node, VersionNode::heap_bytes());
+            ebr.retire(
+                head as *mut u8,
+                dtor_version_node,
+                VersionNode::heap_bytes(),
+            );
         }
-        ebr.retire(cur as *mut u8, dtor_vlt_node, std::mem::size_of::<VltNode>());
+        ebr.retire(
+            cur as *mut u8,
+            dtor_vlt_node,
+            std::mem::size_of::<VltNode>(),
+        );
         rt.sub_version_bytes(VltNode::heap_bytes());
         cur = next;
     }
@@ -460,7 +479,7 @@ fn unversion_bucket(rt: &MultiverseRuntime, ebr: &mut LocalHandle, idx: usize) {
 mod tests {
     use super::*;
     use crate::config::MultiverseConfig;
-    use tm_api::{Transaction, TVar};
+    use tm_api::{TVar, Transaction};
 
     fn small_rt() -> Arc<MultiverseRuntime> {
         MultiverseRuntime::start(MultiverseConfig::small())
@@ -644,7 +663,10 @@ mod tests {
         if let TxOutcome::Committed(v) = out {
             saw_versioned = v;
         }
-        assert!(saw_versioned, "transaction should switch to the versioned path");
+        assert!(
+            saw_versioned,
+            "transaction should switch to the versioned path"
+        );
         assert!(rt.stats().versioned_commits >= 1);
         rt.shutdown();
     }

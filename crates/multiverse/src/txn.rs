@@ -14,6 +14,7 @@ use std::sync::Arc;
 use tm_api::abort::TxResult;
 use tm_api::backoff::SpinWait;
 use tm_api::traits::Dtor;
+use tm_api::txset::{InlineVec, LockedStripes, StripeReadSet, UndoLog};
 use tm_api::vlock::LockState;
 use tm_api::{Abort, ThreadStats, Transaction, TxKind, TxWord};
 
@@ -32,17 +33,17 @@ pub(crate) unsafe fn dtor_vlt_node(p: *mut u8) {
 
 /// Record of a version added to a version list by the running transaction,
 /// kept so commit can clear the TBD marks and abort can unlink the version.
+/// `Copy` so it can live in an [`InlineVec`].
+#[derive(Clone, Copy)]
 struct VersionedWrite {
     vlist: *const VersionList,
     node: *mut VersionNode,
     older: *mut VersionNode,
 }
 
-/// An undo-log entry for the in-place (encounter-time) writes.
-struct UndoEntry {
-    word: *const TxWord,
-    old: u64,
-}
+/// Inline capacity of the versioned-write record list: versioned writes only
+/// happen outside Mode Q, and write sets are small in the paper's workloads.
+const VWRITE_INLINE: usize = 16;
 
 /// The Multiverse transaction descriptor. One per registered thread, reused
 /// across attempts and operations.
@@ -61,10 +62,10 @@ pub struct MultiverseTx {
     local_mode: Mode,
     versioned: bool,
     reads: u64,
-    read_set: Vec<usize>,
-    undo: Vec<UndoEntry>,
-    locked: Vec<usize>,
-    vwrites: Vec<VersionedWrite>,
+    read_set: StripeReadSet,
+    undo: UndoLog,
+    locked: LockedStripes,
+    vwrites: InlineVec<VersionedWrite, VWRITE_INLINE>,
 
     // ---- per-operation state (persists across the retries of one txn) ----
     pub(crate) attempts: u64,
@@ -99,10 +100,10 @@ impl MultiverseTx {
             local_mode: Mode::Q,
             versioned: false,
             reads: 0,
-            read_set: Vec::new(),
-            undo: Vec::new(),
-            locked: Vec::new(),
-            vwrites: Vec::new(),
+            read_set: StripeReadSet::new(),
+            undo: UndoLog::default(),
+            locked: LockedStripes::default(),
+            vwrites: InlineVec::new(),
             attempts: 0,
             initial_versioned_ts: INVALID_TS,
             last_attempt_reads: 0,
@@ -152,6 +153,16 @@ impl MultiverseTx {
             let c1 = self.rt.mode_counter();
             self.slot
                 .announce(c1, kind == TxKind::ReadWrite, self.versioned);
+            // Safety: this fence supplies the store→load ordering the
+            // announce-and-confirm handshake needs now that the counter load
+            // is only `Acquire` (plain `Release`-store then `Acquire`-load
+            // may be reordered). The fence orders the slot announcement
+            // before the confirming counter read; the background thread's
+            // scan (`any_stale_worker`) issues the matching `SeqCst` fence
+            // after its counter CAS and before reading the slots, so either
+            // we observe the advanced counter here (and re-announce) or the
+            // scan observes our announcement (and waits for us to drain).
+            fence(Ordering::SeqCst);
             let c2 = self.rt.mode_counter();
             if c1 == c2 {
                 self.local_mode_counter = c1;
@@ -231,12 +242,12 @@ impl MultiverseTx {
         // Earliest safe timestamp: the first observed Mode-U timestamp if the
         // TM concurrently entered Mode U, otherwise the lock version (§4.1,
         // §4.2 optimization).
-        let ts = self
-            .rt
-            .first_obs_mode_u_ts()
-            .unwrap_or(prev.version);
+        let ts = self.rt.first_obs_mode_u_ts().unwrap_or(prev.version);
         let node = VltNode::boxed(addr, ts, data);
-        self.rt.vlt.insert(idx, node);
+        // Safety: `node` is freshly boxed (exclusively owned) and we hold the
+        // stripe lock for `idx`; the re-check above proved the address is not
+        // yet present.
+        unsafe { self.rt.vlt.insert(idx, node) };
         self.rt.bloom.try_add(idx, addr);
         self.rt.add_version_bytes(VltNode::heap_bytes());
         self.stats.addresses_versioned.inc();
@@ -270,8 +281,7 @@ impl MultiverseTx {
             fence(Ordering::Acquire);
             let st = self.rt.locks.lock_at(idx).load();
             let first_obs = self.rt.first_obs_mode_u_ts();
-            let valid_ver =
-                st.version < self.rv || first_obs.map_or(false, |ts| ts < self.rv);
+            let valid_ver = st.version < self.rv || first_obs.is_some_and(|ts| ts < self.rv);
             if did_retry {
                 let ver_changed = st.version != last_ver;
                 let val_changed = val != last_val;
@@ -298,10 +308,26 @@ impl MultiverseTx {
                 did_retry = true;
                 continue;
             }
-            if valid_ver {
+            if st.version < self.rv {
+                // The stripe has been quiescent since before our read clock:
+                // any committed write to this address would have stamped the
+                // stripe at or above our read clock, so `val` is stable.
                 return Ok(val);
             }
-            return Err(Abort);
+            // Unlocked but stamped at/after our read clock: either a
+            // same-stripe collision or this very address was written and
+            // versioned by a commit our VLT lookup above raced ahead of. The
+            // `Acquire` lock load synchronizes with that commit's release, so
+            // looping once more makes its VLT insert visible to the next
+            // lookup; the retry arms above then separate collision (accept)
+            // from same-address write (version-list read or abort). Accepting
+            // `val` here directly on the first-observed-Mode-U-timestamp
+            // criterion alone — as this path originally did — is unsound: it
+            // can return a value written after the read clock.
+            last_ver = st.version;
+            last_val = val;
+            did_retry = true;
+            continue;
         }
     }
 
@@ -330,8 +356,11 @@ impl MultiverseTx {
         if !head.is_null() {
             // `eventualFree`: the superseded version is retired when this
             // transaction commits (and the retire is revoked if it aborts).
-            self.mem
-                .record_retire(head as *mut u8, dtor_version_node, VersionNode::heap_bytes());
+            self.mem.record_retire(
+                head as *mut u8,
+                dtor_version_node,
+                VersionNode::heap_bytes(),
+            );
             self.rt.sub_version_bytes(VersionNode::heap_bytes());
         }
         self.vwrites.push(VersionedWrite {
@@ -370,7 +399,10 @@ impl MultiverseTx {
                 let lock_version = self.rt.locks.lock_at(idx).load().version;
                 let ts = self.rt.first_obs_mode_u_ts().unwrap_or(lock_version);
                 let node = VltNode::boxed(addr, ts, old);
-                self.rt.vlt.insert(idx, node);
+                // Safety: `node` is freshly boxed (exclusively owned), this
+                // writer holds the stripe lock for `idx`, and the `find`
+                // above proved the address is not yet present.
+                unsafe { self.rt.vlt.insert(idx, node) };
                 self.rt.bloom.try_add(idx, addr);
                 self.rt.add_version_bytes(VltNode::heap_bytes());
                 self.stats.addresses_versioned.inc();
@@ -406,10 +438,7 @@ impl MultiverseTx {
             // Safety: nodes we created; still protected by the stripe lock.
             unsafe { &*vw.node }.resolve_committed(commit_clock);
         }
-        for &idx in &self.locked {
-            self.rt.locks.lock_at(idx).unlock_with_version(commit_clock);
-        }
-        self.locked.clear();
+        self.locked.release_all(&self.rt.locks, commit_clock);
         self.note_commit_heuristics();
         Ok(())
     }
@@ -474,30 +503,29 @@ impl MultiverseTx {
     /// mode-switch heuristics.
     pub(crate) fn rollback(&mut self) {
         // 1. Roll back the in-place writes (newest first).
-        for e in self.undo.drain(..).rev() {
-            // Safety: words stay alive while this attempt is pinned.
-            unsafe { (*e.word).tm_store(e.old) };
-        }
+        self.undo.rollback();
         // 2. Roll back versioned writes: mark deleted, unlink, retire.
-        for vw in self.vwrites.drain(..) {
+        for &vw in self.vwrites.as_slice() {
             // Safety: we created the node and still hold the stripe lock.
             unsafe {
                 (*vw.node).resolve_deleted();
                 (*vw.vlist).restore_head(vw.older);
             }
-            self.ebr
-                .retire(vw.node as *mut u8, dtor_version_node, VersionNode::heap_bytes());
+            self.ebr.retire(
+                vw.node as *mut u8,
+                dtor_version_node,
+                VersionNode::heap_bytes(),
+            );
             self.rt.sub_version_bytes(VersionNode::heap_bytes());
         }
+        self.vwrites.clear();
         // 3. Revoke retires and free buffered allocations.
         self.mem.on_abort();
         // 4. Release the write-set locks at a fresh clock value (the deferred
         //    clock advances on aborts).
         if !self.locked.is_empty() {
             let next = self.rt.clock.increment();
-            for idx in self.locked.drain(..) {
-                self.rt.locks.lock_at(idx).unlock_with_version(next);
-            }
+            self.locked.release_all(&self.rt.locks, next);
         } else {
             // Even read-only aborts advance the clock so their retry observes
             // a fresher read clock (otherwise a reader that conflicts with an
@@ -555,9 +583,7 @@ impl Transaction for MultiverseTx {
             // Versioned readers use the Mode-U protocol only while their
             // local mode is Mode U; in QtoU and UtoQ they behave as in Mode Q
             // (Table 1).
-            if self.local_mode == Mode::U
-                || self.rt.cfg.forced_mode == Some(ForcedMode::ModeU)
-            {
+            if self.local_mode == Mode::U || self.rt.cfg.forced_mode == Some(ForcedMode::ModeU) {
                 return self.mode_u_versioned_read(word, idx);
             }
             return self.mode_q_versioned_read(word, idx);
@@ -594,7 +620,7 @@ impl Transaction for MultiverseTx {
             }
         }
         let old = word.tm_load();
-        self.undo.push(UndoEntry { word, old });
+        self.undo.push(word, old);
         if self.local_mode.writers_version() {
             self.write_versioning_forced(word, idx, old, value);
         } else {

@@ -78,7 +78,12 @@ impl VersionList {
     /// stripe lock) and its timestamp is the earliest safely usable one.
     pub fn with_initial(timestamp: u64, data: u64) -> Self {
         Self {
-            head: AtomicPtr::new(VersionNode::boxed(std::ptr::null_mut(), timestamp, data, false)),
+            head: AtomicPtr::new(VersionNode::boxed(
+                std::ptr::null_mut(),
+                timestamp,
+                data,
+                false,
+            )),
         }
     }
 
@@ -102,11 +107,23 @@ impl VersionList {
     }
 
     /// `traverse` from Listing 2: find the newest version with
-    /// `timestamp <= read_clock`, waiting for a relevant TBD head to resolve,
+    /// `timestamp < read_clock`, waiting for a relevant TBD head to resolve,
     /// skipping deleted versions, and aborting if no suitable version exists.
+    ///
+    /// The acceptance rule is **strictly less than** the read clock, matching
+    /// `LockState::validate` on the unversioned path. With the deferred
+    /// clock a writer's commit timestamp can *equal* a concurrent reader's
+    /// read clock (commits do not advance the clock), so accepting
+    /// `timestamp == read_clock` here while raw reads reject stripes stamped
+    /// at the read clock would let one snapshot mix pre-commit raw reads
+    /// with at-clock versioned reads — an opacity violation observed as rare
+    /// inconsistent sums in the bank-invariant tests.
     pub fn traverse(&self, read_clock: u64) -> TxResult<u64> {
         // Phase 1: wait while the head is a TBD version that could be
-        // relevant to us (its provisional timestamp is not in our future).
+        // relevant to us. A TBD version resolves to a commit timestamp at
+        // least as large as its provisional timestamp, so under the strict
+        // rule it can only become relevant if the provisional timestamp is
+        // strictly below our read clock.
         let mut spin = tm_api::backoff::SpinWait::new();
         let mut node_ptr;
         loop {
@@ -119,7 +136,7 @@ impl VersionList {
             let node = unsafe { &*node_ptr };
             let tbd = node.tbd.load(Ordering::Acquire);
             let ts = node.timestamp.load(Ordering::Acquire);
-            if tbd && ts <= read_clock {
+            if tbd && ts < read_clock {
                 spin.spin();
                 continue;
             }
@@ -132,7 +149,7 @@ impl VersionList {
             let node = unsafe { &*cur };
             let tbd = node.tbd.load(Ordering::Acquire);
             let ts = node.timestamp.load(Ordering::Acquire);
-            if !tbd && ts != DELETED_TS && ts <= read_clock {
+            if !tbd && ts != DELETED_TS && ts < read_clock {
                 return Ok(node.data.load(Ordering::Acquire));
             }
             cur = node.older.load(Ordering::Acquire);
@@ -208,7 +225,7 @@ mod tests {
     fn initial_version_is_returned_for_late_readers() {
         let list = VersionList::with_initial(5, 42);
         assert_eq!(list.traverse(10), Ok(42));
-        assert_eq!(list.traverse(5), Ok(42));
+        assert_eq!(list.traverse(6), Ok(42));
         assert_eq!(list.len(), 1);
     }
 
@@ -216,6 +233,9 @@ mod tests {
     fn reader_older_than_every_version_aborts() {
         let list = VersionList::with_initial(5, 42);
         assert_eq!(list.traverse(4), Err(Abort));
+        // The acceptance rule is strict: a version stamped exactly at the
+        // read clock is not visible (it matches `validate`'s `< read_clock`).
+        assert_eq!(list.traverse(5), Err(Abort));
     }
 
     #[test]
@@ -228,9 +248,10 @@ mod tests {
         assert_eq!(list.len(), 3);
         assert_eq!(list.traverse(10), Ok(30));
         assert_eq!(list.traverse(8), Ok(20));
-        assert_eq!(list.traverse(6), Ok(20));
+        assert_eq!(list.traverse(7), Ok(20));
+        assert_eq!(list.traverse(6), Ok(10), "strict: ts 6 is not < 6");
         assert_eq!(list.traverse(3), Ok(10));
-        assert_eq!(list.traverse(1), Err(Abort));
+        assert_eq!(list.traverse(2), Err(Abort));
     }
 
     #[test]
@@ -261,7 +282,10 @@ mod tests {
         let reader_list = Arc::clone(&list);
         let reader = std::thread::spawn(move || reader_list.traverse(6));
         std::thread::sleep(std::time::Duration::from_millis(20));
-        assert!(!reader.is_finished(), "reader must wait on a relevant TBD head");
+        assert!(
+            !reader.is_finished(),
+            "reader must wait on a relevant TBD head"
+        );
         unsafe { &*pending }.resolve_committed(5);
         assert_eq!(reader.join().unwrap(), Ok(99));
     }

@@ -88,10 +88,14 @@ impl Vlt {
         None
     }
 
-    /// Insert `node` at the front of bucket `idx`. Caller must hold the
-    /// stripe lock and have verified the address is not already present.
+    /// Insert `node` at the front of bucket `idx`.
+    ///
+    /// # Safety
+    /// `node` must be a valid, exclusively owned `VltNode` (not yet
+    /// published), the caller must hold the stripe lock for `idx`, and the
+    /// node's address must not already be present in the bucket.
     #[inline]
-    pub fn insert(&self, idx: usize, node: *mut VltNode) {
+    pub unsafe fn insert(&self, idx: usize, node: *mut VltNode) {
         let head = self.buckets[idx].load(Ordering::Acquire);
         // Safety: we own `node` until it is published below.
         unsafe { &*node }.next.store(head, Ordering::Relaxed);
@@ -171,7 +175,7 @@ mod tests {
     fn insert_then_find() {
         let vlt = Vlt::new(8);
         let node = VltNode::boxed(0x1000, 3, 42);
-        vlt.insert(2, node);
+        unsafe { vlt.insert(2, node) };
         let found = vlt.find(2, 0x1000).expect("address should be versioned");
         assert_eq!(found.traverse(5), Ok(42));
         assert!(vlt.find(2, 0x2000).is_none(), "other addresses unaffected");
@@ -181,9 +185,9 @@ mod tests {
     #[test]
     fn multiple_addresses_share_a_bucket() {
         let vlt = Vlt::new(4);
-        vlt.insert(1, VltNode::boxed(0x1000, 1, 10));
-        vlt.insert(1, VltNode::boxed(0x2000, 2, 20));
-        vlt.insert(1, VltNode::boxed(0x3000, 3, 30));
+        unsafe { vlt.insert(1, VltNode::boxed(0x1000, 1, 10)) };
+        unsafe { vlt.insert(1, VltNode::boxed(0x2000, 2, 20)) };
+        unsafe { vlt.insert(1, VltNode::boxed(0x3000, 3, 30)) };
         assert_eq!(vlt.bucket_len(1), 3);
         assert_eq!(vlt.find(1, 0x1000).unwrap().traverse(9), Ok(10));
         assert_eq!(vlt.find(1, 0x2000).unwrap().traverse(9), Ok(20));
@@ -193,8 +197,8 @@ mod tests {
     #[test]
     fn newest_timestamp_in_bucket_tracks_all_lists() {
         let vlt = Vlt::new(4);
-        vlt.insert(0, VltNode::boxed(0x1000, 5, 1));
-        vlt.insert(0, VltNode::boxed(0x2000, 9, 2));
+        unsafe { vlt.insert(0, VltNode::boxed(0x1000, 5, 1)) };
+        unsafe { vlt.insert(0, VltNode::boxed(0x2000, 9, 2)) };
         assert_eq!(vlt.newest_timestamp_in_bucket(0), Some(9));
         assert_eq!(vlt.newest_timestamp_in_bucket(1), None);
     }
@@ -202,8 +206,8 @@ mod tests {
     #[test]
     fn take_bucket_detaches_chain() {
         let vlt = Vlt::new(4);
-        vlt.insert(3, VltNode::boxed(0x1000, 1, 1));
-        vlt.insert(3, VltNode::boxed(0x2000, 2, 2));
+        unsafe { vlt.insert(3, VltNode::boxed(0x1000, 1, 1)) };
+        unsafe { vlt.insert(3, VltNode::boxed(0x2000, 2, 2)) };
         let head = vlt.take_bucket(3);
         assert!(vlt.bucket_is_empty(3));
         assert!(!head.is_null());

@@ -1,0 +1,127 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The build environment has no network access, so this crate provides the
+//! tiny API subset the workspace actually uses: a [`Mutex`] whose guard can be
+//! forgotten and whose lock can later be released with
+//! [`Mutex::force_unlock`] (the pattern `baselines::glock` relies on). The
+//! implementation is a test-and-test-and-set spin lock with yielding — not a
+//! fair parking-based lock, but fully adequate for a serial oracle. Swap this
+//! path dependency back to the real crate when a registry is reachable.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A mutual-exclusion primitive with a `parking_lot`-compatible API subset.
+pub struct Mutex<T: ?Sized> {
+    locked: AtomicBool,
+    value: UnsafeCell<T>,
+}
+
+// Safety: the lock provides the required exclusion; `T: Send` is all that is
+// needed to hand `&mut T` to one thread at a time.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Create a mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            locked: AtomicBool::new(false),
+            value: UnsafeCell::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, spinning (with yields) until it is free.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let mut spins = 0u32;
+        loop {
+            if !self.locked.swap(true, Ordering::Acquire) {
+                return MutexGuard { mutex: self };
+            }
+            while self.locked.load(Ordering::Relaxed) {
+                spins = spins.wrapping_add(1);
+                if spins.is_multiple_of(64) {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    /// Release the lock without a guard.
+    ///
+    /// # Safety
+    /// The lock must be held by the current context, typically because its
+    /// guard was leaked with `mem::forget`.
+    pub unsafe fn force_unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: the guard proves exclusive access.
+        unsafe { &*self.mutex.value.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: the guard proves exclusive access.
+        unsafe { &mut *self.mutex.value.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.mutex.locked.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn exclusion_under_contention() {
+        let m = Arc::new(Mutex::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 40_000);
+    }
+
+    #[test]
+    fn forget_then_force_unlock() {
+        let m = Mutex::new(());
+        std::mem::forget(m.lock());
+        // Safety: we hold the lock (its guard was forgotten above).
+        unsafe { m.force_unlock() };
+        drop(m.lock()); // lock is free again
+    }
+}

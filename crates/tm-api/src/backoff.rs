@@ -68,7 +68,7 @@ impl SpinWait {
     #[inline]
     pub fn spin(&mut self) {
         self.spins = self.spins.wrapping_add(1);
-        if self.spins % 64 == 0 {
+        if self.spins.is_multiple_of(64) {
             std::thread::yield_now();
         } else {
             hint::spin_loop();

@@ -62,12 +62,10 @@ impl GlobalClock {
     #[inline]
     pub fn fetch_commit_gv4(&self, read_clock: u64) -> u64 {
         let cur = self.value.load(Ordering::Acquire);
-        match self.value.compare_exchange(
-            cur,
-            cur + 1,
-            Ordering::AcqRel,
-            Ordering::Acquire,
-        ) {
+        match self
+            .value
+            .compare_exchange(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+        {
             Ok(_) => cur + 1,
             Err(observed) => {
                 // Someone else advanced the clock. GV4: if it moved past our

@@ -31,6 +31,7 @@ pub mod locktable;
 pub mod padded;
 pub mod stats;
 pub mod traits;
+pub mod txset;
 pub mod txword;
 pub mod vlock;
 
@@ -42,6 +43,10 @@ pub use locktable::{LockTable, StripeIndex};
 pub use padded::CachePadded;
 pub use stats::{StatsRegistry, ThreadStats, TmStatsSnapshot};
 pub use traits::{TmHandle, TmRuntime, Transaction, TxKind, TxOutcome};
+pub use txset::{
+    InlineVec, LockedStripes, RedoEntry, RedoLog, StripeReadSet, UndoEntry, UndoLog, ValueReadSet,
+    WriteMap,
+};
 pub use txword::{TVar, TxPtr, TxWord, Word64};
 pub use vlock::{LockState, VersionedLock, MAX_TID, MAX_VERSION};
 

@@ -1,0 +1,768 @@
+//! # txset — allocation-free hot-path transaction sets
+//!
+//! Every transactional read and write funnels through per-attempt metadata:
+//! read sets, undo/redo logs and lock lists. In the seed implementation these
+//! were `Vec`s plus an `FxHashMap` shadow index, which heap-allocate, rehash
+//! and drain on the hottest path of the system. This module provides the
+//! shared, cache-friendly replacements used by the Multiverse runtime and by
+//! every baseline STM (TL2, NOrec, TinySTM, DCTL, global-lock):
+//!
+//! * [`InlineVec`] — a fixed-inline small vector that spills to the heap only
+//!   past its inline capacity. Transactions that stay within the inline
+//!   capacity never allocate; ones that spill keep the heap buffer across
+//!   `clear()`, so steady-state attempts allocate nothing either way.
+//! * [`WriteMap`] — an open-addressed, power-of-two, fxhash-probed
+//!   read-your-own-writes map with **generation-tagged slots**: `clear()` is
+//!   an O(1) generation bump plus an entry-list reset instead of a
+//!   drain/rehash of a `HashMap`. A per-transaction **64-bit write-filter
+//!   word** is checked before any probe, so read-mostly transactions take an
+//!   O(1) negative fast path on every read.
+//! * The concrete per-attempt logs shared by all backends: [`StripeReadSet`],
+//!   [`UndoLog`], [`RedoLog`] (an alias for [`WriteMap`]), [`ValueReadSet`]
+//!   and [`LockedStripes`].
+//!
+//! ## Invariants
+//!
+//! * The logs hold raw pointers to [`TxWord`]s. This is sound because every
+//!   transaction attempt is pinned in epoch-based reclamation for its whole
+//!   duration and transactional nodes are only freed through EBR, so a word
+//!   recorded in a log cannot be deallocated before the attempt finishes.
+//! * [`InlineVec`] requires `T: Copy`: entries are plain records (indices,
+//!   pointers, 64-bit values), so `clear()` is a length reset with no drops.
+//! * [`WriteMap`] slots are never individually deleted; a slot is live iff
+//!   its generation tag equals the map's current generation. The generation
+//!   is a `u64`, so it cannot wrap in practice and stale slots from earlier
+//!   transactions read as empty.
+//! * The write filter has false positives (two addresses may share a bit) but
+//!   never false negatives: `insert` always sets the bit for the address it
+//!   records, and `clear()` resets the whole word.
+
+use crate::locktable::LockTable;
+use crate::txword::TxWord;
+use std::fmt;
+use std::mem::MaybeUninit;
+
+/// Inline capacity of [`StripeReadSet`] (stripe indices; 8 bytes each).
+pub const READ_SET_INLINE: usize = 64;
+/// Inline capacity of [`UndoLog`] (word pointer + old value; 16 bytes each).
+pub const UNDO_INLINE: usize = 32;
+/// Inline capacity of [`WriteMap`]'s entry list.
+pub const REDO_INLINE: usize = 32;
+/// Inline capacity of [`ValueReadSet`] (word pointer + value; 16 bytes each).
+pub const VALUE_READ_INLINE: usize = 64;
+/// Inline capacity of [`LockedStripes`] (stripe indices; 8 bytes each).
+pub const LOCKED_INLINE: usize = 32;
+
+// ---------------------------------------------------------------------------
+// InlineVec
+// ---------------------------------------------------------------------------
+
+/// A small vector with `N` elements of inline storage that spills to the heap
+/// only when the inline capacity is exceeded.
+///
+/// Designed for per-transaction logs: `push`, `clear` and slice access are
+/// the whole interface, `T` must be `Copy` (so `clear` is a length reset),
+/// and once spilled the heap buffer is reused for the rest of the
+/// descriptor's life, keeping steady-state attempts allocation-free in both
+/// regimes.
+pub struct InlineVec<T: Copy, const N: usize> {
+    /// Number of live elements in `inline`, except once spilled, where it is
+    /// pinned to `N` so the push fast path (a single `< N` compare, matching
+    /// `Vec::push`'s cost) routes to the overflow path without consulting
+    /// the heap buffer. `spilled()` disambiguates "exactly full inline" from
+    /// "spilled" via the heap capacity, but only off the fast path.
+    inline_len: usize,
+    inline: [MaybeUninit<T>; N],
+    /// Heap storage; `capacity() > 0` iff the vector has spilled.
+    heap: Vec<T>,
+}
+
+impl<T: Copy, const N: usize> InlineVec<T, N> {
+    /// Create an empty vector (no heap allocation).
+    pub const fn new() -> Self {
+        // Zero-sized element types are rejected at compile time: `Vec<ZST>`
+        // reports capacity `usize::MAX` from construction, which `spilled()`
+        // would misread as heap mode and silently drop inline elements.
+        const {
+            assert!(
+                std::mem::size_of::<T>() != 0,
+                "InlineVec does not support zero-sized types"
+            )
+        };
+        Self {
+            inline_len: 0,
+            inline: [const { MaybeUninit::uninit() }; N],
+            heap: Vec::new(),
+        }
+    }
+
+    /// Whether elements currently live in the heap buffer.
+    #[inline(always)]
+    fn spilled(&self) -> bool {
+        self.heap.capacity() != 0
+    }
+
+    /// Append `value`.
+    #[inline(always)]
+    pub fn push(&mut self, value: T) {
+        let len = self.inline_len;
+        if len < N {
+            // Safety: `len < N` was just checked, so the slot is in bounds;
+            // the unchecked write keeps this as cheap as a `Vec::push` that
+            // has spare capacity.
+            unsafe { self.inline.get_unchecked_mut(len).write(value) };
+            self.inline_len = len + 1;
+            return;
+        }
+        // Deliberately borrows only the `heap` and `inline` fields — not
+        // `&mut self` — so the compiler can prove `inline_len` is untouched
+        // and keep it in a register across push loops, exactly the way
+        // `Vec::push` registerizes its length across `grow_one` calls.
+        // (Routing this through `&mut self` costs a per-push reload/store
+        // of `inline_len` — a measured ~3x slowdown on append loops.)
+        Self::push_overflow(&mut self.heap, &self.inline, value);
+    }
+
+    /// Push when `inline_len == N`: spill the (exactly full) inline buffer
+    /// into a freshly reserved heap buffer if this is the first overflow,
+    /// then push onto the heap. `inline_len` stays pinned to `N`.
+    fn push_overflow(heap: &mut Vec<T>, inline: &[MaybeUninit<T>; N], value: T) {
+        if heap.capacity() == 0 {
+            heap.reserve(2 * N.max(1));
+            // Safety: all `N` inline slots are initialized
+            // (`inline_len == N` is the only way to get here).
+            for slot in &inline[..N] {
+                heap.push(unsafe { slot.assume_init() });
+            }
+        }
+        heap.push(value);
+    }
+
+    /// Number of elements.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        if self.spilled() {
+            self.heap.len()
+        } else {
+            self.inline_len
+        }
+    }
+
+    /// Whether the vector is empty.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remove all elements. O(1): a length reset (`T: Copy`, nothing to
+    /// drop); a spilled heap buffer keeps its capacity for reuse (and the
+    /// vector stays in heap mode, so `inline_len` stays pinned to `N`).
+    #[inline(always)]
+    pub fn clear(&mut self) {
+        if !self.spilled() {
+            self.inline_len = 0;
+        }
+        self.heap.clear();
+    }
+
+    /// The elements as a slice.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[T] {
+        if self.spilled() {
+            &self.heap
+        } else {
+            // Safety: the first `inline_len` inline slots are initialized.
+            unsafe { std::slice::from_raw_parts(self.inline.as_ptr() as *const T, self.inline_len) }
+        }
+    }
+
+    /// The elements as a mutable slice.
+    #[inline(always)]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.spilled() {
+            &mut self.heap
+        } else {
+            // Safety: the first `inline_len` inline slots are initialized.
+            unsafe {
+                std::slice::from_raw_parts_mut(self.inline.as_mut_ptr() as *mut T, self.inline_len)
+            }
+        }
+    }
+
+    /// Iterate over the elements.
+    #[inline(always)]
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: Copy, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy, const N: usize> std::ops::Deref for InlineVec<T, N> {
+    type Target = [T];
+    #[inline(always)]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<'a, T: Copy, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    #[inline(always)]
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: Copy + fmt::Debug, const N: usize> fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WriteMap (redo log)
+// ---------------------------------------------------------------------------
+
+/// A redo-log (buffered-write) entry.
+#[derive(Debug, Clone, Copy)]
+pub struct RedoEntry {
+    /// The word to write at commit time.
+    pub word: *const TxWord,
+    /// The buffered value.
+    pub value: u64,
+}
+
+/// One open-addressing slot: live iff `gen` equals the map's generation.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    gen: u64,
+    key: usize,
+    idx: u32,
+}
+
+const EMPTY_SLOT: Slot = Slot {
+    gen: 0,
+    key: 0,
+    idx: 0,
+};
+
+/// Initial slot-table size (power of two). Sized so typical transactions
+/// (tens of writes) never grow the table after the first allocation.
+const INITIAL_SLOTS: usize = 64;
+
+/// Fx-style multiplicative hash of a word address. The low 3 bits of an
+/// 8-byte-aligned address carry no information and are dropped first.
+#[inline(always)]
+fn hash_addr(addr: usize) -> u64 {
+    ((addr >> 3) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// An open-addressed, power-of-two, fxhash-probed read-your-own-writes map.
+///
+/// Replaces the seed's `Vec<RedoEntry>` + `FxHashMap<usize, usize>` pair:
+///
+/// * **O(1) `clear`** — slots are generation-tagged; `clear` bumps the
+///   generation (making every slot read as empty) instead of draining and
+///   re-zeroing a hash map.
+/// * **Write-filter fast path** — a 64-bit filter word summarises the
+///   addresses written so far. `lookup` tests one bit before probing, so a
+///   read of an address the transaction never wrote costs one AND on the
+///   common path. Read-only transactions never probe at all.
+/// * **Insertion-order entry list** — commit-time write-back and lock
+///   acquisition iterate the flat [`RedoEntry`] list in insertion order,
+///   exactly as the seed did.
+#[derive(Debug)]
+pub struct WriteMap {
+    /// Insertion-ordered buffered writes.
+    entries: InlineVec<RedoEntry, REDO_INLINE>,
+    /// Open-addressing table; `len()` is 0 until the first insert, a power
+    /// of two afterwards.
+    slots: Vec<Slot>,
+    /// Current generation; slots with a different `gen` are empty. Starts at
+    /// 1 and only increments, so it can never equal the 0 tag that marks
+    /// freshly allocated slots as empty.
+    gen: u64,
+    /// 64-bit write filter: bit `hash(addr) >> 58` is set for every written
+    /// address. No false negatives.
+    filter: u64,
+}
+
+impl Default for WriteMap {
+    /// Same as [`WriteMap::new`]. (A derived `Default` would zero `gen`,
+    /// colliding with the empty-slot tag.)
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WriteMap {
+    /// Create an empty map (no heap allocation until the first insert).
+    pub const fn new() -> Self {
+        Self {
+            entries: InlineVec::new(),
+            slots: Vec::new(),
+            gen: 1,
+            filter: 0,
+        }
+    }
+
+    /// The filter bit for `addr`'s hash.
+    #[inline(always)]
+    fn filter_bit(h: u64) -> u64 {
+        1u64 << (h >> 58)
+    }
+
+    /// Buffer a write of `value` to `word`, overwriting any previous buffered
+    /// write to the same word.
+    #[inline]
+    pub fn insert(&mut self, word: &TxWord, value: u64) {
+        let addr = word.addr();
+        let h = hash_addr(addr);
+        self.filter |= Self::filter_bit(h);
+        if self.slots.is_empty() || (self.entries.len() + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (h >> 7) as usize & mask;
+        loop {
+            let slot = self.slots[i];
+            if slot.gen != self.gen {
+                self.slots[i] = Slot {
+                    gen: self.gen,
+                    key: addr,
+                    idx: self.entries.len() as u32,
+                };
+                self.entries.push(RedoEntry { word, value });
+                return;
+            }
+            if slot.key == addr {
+                self.entries.as_mut_slice()[slot.idx as usize].value = value;
+                return;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// The buffered value for `word`, if this transaction wrote it.
+    ///
+    /// The filter test makes the common no-buffered-write case O(1) with no
+    /// memory traffic beyond the descriptor itself.
+    #[inline(always)]
+    pub fn lookup(&self, word: &TxWord) -> Option<u64> {
+        // Read-only transactions never set a filter bit, so their reads skip
+        // even the hash computation.
+        if self.filter == 0 {
+            return None;
+        }
+        let h = hash_addr(word.addr());
+        if self.filter & Self::filter_bit(h) == 0 {
+            return None;
+        }
+        self.lookup_slow(word.addr(), h)
+    }
+
+    /// Probe for `addr` after a filter hit.
+    #[inline]
+    fn lookup_slow(&self, addr: usize, h: u64) -> Option<u64> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (h >> 7) as usize & mask;
+        loop {
+            let slot = self.slots[i];
+            if slot.gen != self.gen {
+                return None;
+            }
+            if slot.key == addr {
+                return Some(self.entries.as_slice()[slot.idx as usize].value);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Double (or initially allocate) the slot table and re-index the
+    /// entries. Cold: runs O(log n) times over a descriptor's whole life.
+    #[cold]
+    fn grow(&mut self) {
+        let new_len = (self.slots.len() * 2).max(INITIAL_SLOTS);
+        self.slots.clear();
+        self.slots.resize(new_len, EMPTY_SLOT);
+        let mask = new_len - 1;
+        for (idx, e) in self.entries.iter().enumerate() {
+            // Safety: entry words are kept alive by the EBR pin of the
+            // attempt that recorded them.
+            let addr = unsafe { (*e.word).addr() };
+            let mut i = (hash_addr(addr) >> 7) as usize & mask;
+            while self.slots[i].gen == self.gen {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = Slot {
+                gen: self.gen,
+                key: addr,
+                idx: idx as u32,
+            };
+        }
+    }
+
+    /// Iterate over the buffered writes in insertion order.
+    #[inline]
+    pub fn entries(&self) -> &[RedoEntry] {
+        self.entries.as_slice()
+    }
+
+    /// Number of distinct words written.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Apply every buffered write to memory (caller holds the locks).
+    #[inline]
+    pub fn write_back(&self) {
+        for e in self.entries.iter() {
+            // Safety: the word is kept alive by the EBR pin of this attempt.
+            unsafe { (*e.word).tm_store(e.value) };
+        }
+    }
+
+    /// Drop all buffered writes. O(1): the generation bump empties every
+    /// slot at once and the entry list is a length reset.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.gen += 1;
+        self.entries.clear();
+        self.filter = 0;
+    }
+}
+
+/// Commit-time-locking redo log (TL2, NOrec): the historical name of
+/// [`WriteMap`], kept so backend code reads like the papers it implements.
+pub type RedoLog = WriteMap;
+
+// ---------------------------------------------------------------------------
+// Read sets, undo log, lock list
+// ---------------------------------------------------------------------------
+
+/// A read set for lock-based validation: the stripe indices validated at
+/// read time that must still be valid at commit time.
+pub type StripeReadSet = InlineVec<usize, READ_SET_INLINE>;
+
+/// An undo-log entry: the written word and the value it held before the first
+/// write by this transaction.
+#[derive(Debug, Clone, Copy)]
+pub struct UndoEntry {
+    /// The written word.
+    pub word: *const TxWord,
+    /// Value held before the write.
+    pub old: u64,
+}
+
+/// Encounter-time-locking undo log (DCTL, TinySTM, Multiverse, global-lock).
+#[derive(Debug, Default)]
+pub struct UndoLog {
+    entries: InlineVec<UndoEntry, UNDO_INLINE>,
+}
+
+impl UndoLog {
+    /// Record the pre-write value of `word`.
+    #[inline]
+    pub fn push(&mut self, word: &TxWord, old: u64) {
+        self.entries.push(UndoEntry { word, old });
+    }
+
+    /// Number of recorded writes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no writes were recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Undo every write, newest first, restoring the oldest recorded value of
+    /// each word last (so multiple writes to the same word roll back
+    /// correctly).
+    #[inline]
+    pub fn rollback(&mut self) {
+        for e in self.entries.iter().rev() {
+            // Safety: the word is kept alive by the EBR pin of this attempt.
+            unsafe { (*e.word).tm_store(e.old) };
+        }
+        self.entries.clear();
+    }
+
+    /// Forget the recorded writes (after a successful commit).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// Value-based read set used by NOrec.
+#[derive(Debug, Default)]
+pub struct ValueReadSet {
+    entries: InlineVec<(*const TxWord, u64), VALUE_READ_INLINE>,
+}
+
+impl ValueReadSet {
+    /// Record that `word` was read and returned `value`.
+    #[inline]
+    pub fn push(&mut self, word: &TxWord, value: u64) {
+        self.entries.push((word, value));
+    }
+
+    /// Re-read every recorded word and check it still holds the recorded
+    /// value.
+    #[inline]
+    pub fn still_valid(&self) -> bool {
+        self.entries.iter().all(|&(w, v)| {
+            // Safety: kept alive by the EBR pin of this attempt.
+            unsafe { (*w).tm_load() == v }
+        })
+    }
+
+    /// Number of recorded reads.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Forget all recorded reads.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// The set of stripes a transaction currently holds locked, with helpers to
+/// release them.
+#[derive(Debug, Default)]
+pub struct LockedStripes {
+    stripes: InlineVec<usize, LOCKED_INLINE>,
+}
+
+impl LockedStripes {
+    /// Record that stripe `idx` is now held by this transaction.
+    #[inline]
+    pub fn push(&mut self, idx: usize) {
+        self.stripes.push(idx);
+    }
+
+    /// The held stripes, in acquisition order.
+    #[inline]
+    pub fn as_slice(&self) -> &[usize] {
+        self.stripes.as_slice()
+    }
+
+    /// Whether a stripe is already recorded (linear scan: write sets are
+    /// small, and lock ownership is also checked via the lock word's tid).
+    #[inline]
+    pub fn contains(&self, idx: usize) -> bool {
+        self.stripes.as_slice().contains(&idx)
+    }
+
+    /// Number of held stripes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Whether no stripes are held.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.stripes.is_empty()
+    }
+
+    /// Release every held stripe in `table`, stamping `version`.
+    #[inline]
+    pub fn release_all(&mut self, table: &LockTable, version: u64) {
+        for &idx in self.stripes.iter() {
+            table.lock_at(idx).unlock_with_version(version);
+        }
+        self.stripes.clear();
+    }
+
+    /// Forget the held stripes without touching the locks (used after a
+    /// commit path released them manually).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.stripes.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LockTable, TxWord};
+
+    #[test]
+    fn inline_vec_stays_inline_then_spills() {
+        let mut v: InlineVec<u64, 4> = InlineVec::new();
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert!(!v.spilled());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+        v.push(4);
+        assert!(v.spilled());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4]);
+        assert_eq!(v.len(), 5);
+        v.clear();
+        assert!(v.is_empty());
+        // Once spilled the heap capacity is retained, so later pushes reuse
+        // it (no new allocation) and the contents restart from empty.
+        v.push(9);
+        assert_eq!(v.as_slice(), &[9]);
+        assert!(v.spilled());
+    }
+
+    #[test]
+    fn inline_vec_deref_and_iter() {
+        let mut v: InlineVec<usize, 8> = InlineVec::default();
+        v.push(3);
+        v.push(1);
+        assert!(v.contains(&3));
+        assert_eq!(v.iter().copied().sum::<usize>(), 4);
+        assert_eq!((&v).into_iter().count(), 2);
+        assert_eq!(format!("{v:?}"), "[3, 1]");
+    }
+
+    #[test]
+    fn undo_log_rolls_back_in_reverse() {
+        let w = TxWord::new(1);
+        let mut log = UndoLog::default();
+        log.push(&w, 1);
+        w.store_direct(2);
+        log.push(&w, 2);
+        w.store_direct(3);
+        assert_eq!(log.len(), 2);
+        log.rollback();
+        assert_eq!(w.load_direct(), 1, "oldest value restored last");
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn write_map_overwrites_and_looks_up() {
+        let a = TxWord::new(0);
+        let b = TxWord::new(0);
+        let mut log = WriteMap::default();
+        assert!(log.lookup(&a).is_none());
+        log.insert(&a, 10);
+        log.insert(&b, 20);
+        log.insert(&a, 11);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.lookup(&a), Some(11));
+        assert_eq!(log.lookup(&b), Some(20));
+        log.write_back();
+        assert_eq!(a.load_direct(), 11);
+        assert_eq!(b.load_direct(), 20);
+        log.clear();
+        assert!(log.is_empty());
+        assert!(log.lookup(&a).is_none());
+    }
+
+    #[test]
+    fn write_map_clear_is_a_generation_bump() {
+        let words: Vec<TxWord> = (0..8).map(TxWord::new).collect();
+        let mut log = WriteMap::new();
+        for (i, w) in words.iter().enumerate() {
+            log.insert(w, i as u64);
+        }
+        let gen_before = log.gen;
+        let slots_before = log.slots.len();
+        log.clear();
+        assert_eq!(log.gen, gen_before + 1, "clear bumps the generation");
+        assert_eq!(log.slots.len(), slots_before, "slots are not drained");
+        assert_eq!(log.filter, 0, "filter resets");
+        for w in &words {
+            assert!(log.lookup(w).is_none(), "stale slots read as empty");
+        }
+        // Reuse after clear works and sees only the new generation.
+        log.insert(&words[0], 99);
+        assert_eq!(log.lookup(&words[0]), Some(99));
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn write_map_grows_past_initial_slots() {
+        // More distinct words than INITIAL_SLOTS * 7/8 forces at least one
+        // grow + re-index cycle.
+        let words: Vec<TxWord> = (0..200).map(TxWord::new).collect();
+        let mut log = WriteMap::new();
+        for (i, w) in words.iter().enumerate() {
+            log.insert(w, i as u64);
+        }
+        assert_eq!(log.len(), 200);
+        for (i, w) in words.iter().enumerate() {
+            assert_eq!(log.lookup(w), Some(i as u64));
+        }
+        // Insertion order is preserved for commit-time iteration.
+        for (i, e) in log.entries().iter().enumerate() {
+            assert_eq!(e.value, i as u64);
+        }
+    }
+
+    #[test]
+    fn write_filter_short_circuits_unwritten_reads() {
+        let a = TxWord::new(0);
+        let mut log = WriteMap::new();
+        assert_eq!(log.filter, 0);
+        assert!(log.lookup(&a).is_none(), "empty map: filter rejects");
+        log.insert(&a, 1);
+        assert_ne!(log.filter, 0, "insert sets a filter bit");
+        assert_eq!(log.lookup(&a), Some(1));
+    }
+
+    #[test]
+    fn value_read_set_detects_changes() {
+        let a = TxWord::new(5);
+        let mut rs = ValueReadSet::default();
+        rs.push(&a, 5);
+        assert!(rs.still_valid());
+        a.store_direct(6);
+        assert!(!rs.still_valid());
+        rs.clear();
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn locked_stripes_release_all_stamps_version() {
+        let table = LockTable::new(64);
+        let mut held = LockedStripes::default();
+        for idx in [1usize, 5, 9] {
+            table.lock_at(idx).try_lock(3, false).unwrap();
+            held.push(idx);
+        }
+        assert_eq!(held.len(), 3);
+        assert!(held.contains(5));
+        held.release_all(&table, 77);
+        assert!(held.is_empty());
+        for idx in [1usize, 5, 9] {
+            let st = table.lock_at(idx).load();
+            assert!(!st.locked);
+            assert_eq!(st.version, 77);
+        }
+    }
+}

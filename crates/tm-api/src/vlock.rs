@@ -135,12 +135,10 @@ impl VersionedLock {
             tid,
             version: cur.version,
         };
-        match self.raw.compare_exchange(
-            cur_raw,
-            new.encode(),
-            Ordering::AcqRel,
-            Ordering::Acquire,
-        ) {
+        match self
+            .raw
+            .compare_exchange(cur_raw, new.encode(), Ordering::AcqRel, Ordering::Acquire)
+        {
             Ok(_) => Ok(cur),
             Err(other) => Err(LockState::decode(other)),
         }
@@ -161,10 +159,8 @@ impl VersionedLock {
     /// version bump, e.g. after versioning an address on the read-only path).
     #[inline(always)]
     pub fn unlock_restore(&self, state_at_acquire: LockState) {
-        self.raw.store(
-            unlocked_word(state_at_acquire.version),
-            Ordering::Release,
-        );
+        self.raw
+            .store(unlocked_word(state_at_acquire.version), Ordering::Release);
     }
 
     /// Clear only the flag bit while keeping the lock held (not currently used

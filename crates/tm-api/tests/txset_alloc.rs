@@ -1,0 +1,131 @@
+//! Steady-state allocation audit for the `txset` primitives.
+//!
+//! Installs a counting global allocator and drives the per-attempt lifecycle
+//! (fill logs → validate/write-back → clear) the way a transaction descriptor
+//! does. After a warm-up attempt, attempts that stay within the inline
+//! capacities must perform **zero** heap allocations; spilled logs must reuse
+//! their heap buffers and also allocate nothing at steady state.
+//!
+//! This test runs with `harness = false` (see `Cargo.toml`): the libtest
+//! harness spawns helper threads whose own allocations would otherwise
+//! pollute the global counter and make the zero-allocation assertions flaky.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use tm_api::txset::{
+    LockedStripes, StripeReadSet, UndoLog, ValueReadSet, WriteMap, READ_SET_INLINE, REDO_INLINE,
+    UNDO_INLINE,
+};
+use tm_api::{LockTable, TxWord};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// Safety: delegates to `System`, only adding a counter.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// The per-attempt logs a transaction descriptor owns.
+#[derive(Default)]
+struct Logs {
+    read_set: StripeReadSet,
+    undo: UndoLog,
+    redo: WriteMap,
+    values: ValueReadSet,
+    locked: LockedStripes,
+}
+
+/// One simulated transaction attempt touching every txset primitive.
+fn attempt(
+    words: &[TxWord],
+    table: &LockTable,
+    reads: usize,
+    writes: usize,
+    logs: &mut Logs,
+) -> u64 {
+    let mut sum = 0u64;
+    for (i, w) in words.iter().cycle().take(reads).enumerate() {
+        // Read path: redo-log lookup (read-your-own-writes), then record the
+        // stripe and the observed value.
+        sum = sum.wrapping_add(logs.redo.lookup(w).unwrap_or_else(|| w.load_direct()));
+        logs.read_set.push(i % 64);
+        logs.values.push(w, w.load_direct());
+    }
+    for (i, w) in words.iter().cycle().take(writes).enumerate() {
+        logs.undo.push(w, w.load_direct());
+        logs.redo.insert(w, i as u64);
+        logs.locked.push(i % 64);
+    }
+    // Commit-like epilogue: validate, write back, release, reset.
+    assert!(logs.values.still_valid());
+    logs.redo.write_back();
+    logs.locked.release_all(table, 1);
+    logs.undo.clear();
+    logs.redo.clear();
+    logs.read_set.clear();
+    logs.values.clear();
+    sum
+}
+
+fn main() {
+    steady_state_attempts_do_not_allocate();
+    println!("txset_alloc: steady-state attempts performed zero heap allocations ... ok");
+}
+
+fn steady_state_attempts_do_not_allocate() {
+    let words: Vec<TxWord> = (0..64).map(|i| TxWord::new(i as u64)).collect();
+    let table = LockTable::new(64);
+    let mut logs = Logs::default();
+
+    // Inline-capacity attempts: after one warm-up (which allocates the
+    // WriteMap slot table), further attempts must not allocate at all.
+    let inline_reads = READ_SET_INLINE.min(64);
+    let inline_writes = UNDO_INLINE.min(REDO_INLINE);
+    attempt(&words, &table, inline_reads, inline_writes, &mut logs);
+    let before = allocation_count();
+    for _ in 0..1_000 {
+        attempt(&words, &table, inline_reads, inline_writes, &mut logs);
+    }
+    assert_eq!(
+        allocation_count() - before,
+        0,
+        "inline-capacity attempts must be allocation-free at steady state"
+    );
+
+    // Spilling attempts: 4x the inline capacity. The first spilled attempt
+    // may allocate (heap buffers, slot-table growth); every subsequent one
+    // must reuse those buffers and allocate nothing.
+    let big_reads = READ_SET_INLINE * 4;
+    let big_writes = UNDO_INLINE * 4;
+    attempt(&words, &table, big_reads, big_writes, &mut logs);
+    let before = allocation_count();
+    for _ in 0..1_000 {
+        attempt(&words, &table, big_reads, big_writes, &mut logs);
+    }
+    assert_eq!(
+        allocation_count() - before,
+        0,
+        "spilled attempts must reuse their heap buffers at steady state"
+    );
+}

@@ -1,0 +1,101 @@
+//! Property tests for the `txset` hot-path primitives: `WriteMap` against a
+//! `HashMap` oracle (including generation-bump clears) and `InlineVec`
+//! against a `Vec` model across the inline→heap spill boundary.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use tm_api::txset::{InlineVec, WriteMap};
+use tm_api::TxWord;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary interleavings of insert/overwrite/lookup/clear behave like
+    /// a `HashMap` keyed by word address that is dropped on clear.
+    ///
+    /// `op`: 0..6 insert/overwrite, 6..9 lookup, 9 clear — so runs exercise
+    /// several generations per map.
+    #[test]
+    fn write_map_matches_hashmap_oracle(
+        ops in prop::collection::vec((0u8..10, 0usize..24, 0u64..1000), 1..300),
+    ) {
+        let words: Vec<TxWord> = (0..24).map(TxWord::new).collect();
+        let mut map = WriteMap::new();
+        let mut oracle: HashMap<usize, u64> = HashMap::new();
+        let mut order: Vec<usize> = Vec::new();
+        for (op, w, value) in ops {
+            match op {
+                0..=5 => {
+                    map.insert(&words[w], value);
+                    if oracle.insert(w, value).is_none() {
+                        order.push(w);
+                    }
+                }
+                6..=8 => {
+                    prop_assert_eq!(map.lookup(&words[w]), oracle.get(&w).copied());
+                }
+                _ => {
+                    map.clear();
+                    oracle.clear();
+                    order.clear();
+                }
+            }
+            prop_assert_eq!(map.len(), oracle.len());
+            prop_assert_eq!(map.is_empty(), oracle.is_empty());
+        }
+        // Full sweep: every key agrees with the oracle, and the entry list
+        // preserves first-insertion order.
+        for (w, word) in words.iter().enumerate() {
+            prop_assert_eq!(map.lookup(word), oracle.get(&w).copied());
+        }
+        let entry_addrs: Vec<usize> =
+            map.entries().iter().map(|e| e.word as usize).collect();
+        let expected_addrs: Vec<usize> =
+            order.iter().map(|&w| words[w].addr()).collect();
+        prop_assert_eq!(entry_addrs, expected_addrs);
+    }
+
+    /// `clear` is a generation bump: after it, every previously inserted key
+    /// reads as absent, and the map is immediately reusable.
+    #[test]
+    fn write_map_clear_empties_every_generation(
+        keys in prop::collection::vec(0usize..64, 1..200),
+        generations in 1usize..5,
+    ) {
+        let words: Vec<TxWord> = (0..64).map(TxWord::new).collect();
+        let mut map = WriteMap::new();
+        for g in 0..generations {
+            for &k in &keys {
+                map.insert(&words[k], (g * 1000 + k) as u64);
+                prop_assert_eq!(map.lookup(&words[k]), Some((g * 1000 + k) as u64));
+            }
+            map.clear();
+            prop_assert!(map.is_empty());
+            for &k in &keys {
+                prop_assert_eq!(map.lookup(&words[k]), None);
+            }
+        }
+    }
+
+    /// `InlineVec` behaves like `Vec` for push/clear/indexing across the
+    /// inline→heap spill boundary (inline capacity 8 here, lengths up to 40).
+    #[test]
+    fn inline_vec_matches_vec_model(
+        runs in prop::collection::vec(prop::collection::vec(0u64..1000, 0..40), 1..6),
+    ) {
+        let mut iv: InlineVec<u64, 8> = InlineVec::new();
+        for values in runs {
+            let mut model: Vec<u64> = Vec::new();
+            for v in values {
+                iv.push(v);
+                model.push(v);
+                prop_assert_eq!(iv.len(), model.len());
+                prop_assert_eq!(iv.as_slice(), model.as_slice());
+            }
+            prop_assert_eq!(iv.iter().copied().collect::<Vec<_>>(), model.clone());
+            iv.clear();
+            prop_assert!(iv.is_empty());
+            prop_assert_eq!(iv.as_slice(), &[] as &[u64]);
+        }
+    }
+}

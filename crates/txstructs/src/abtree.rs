@@ -14,7 +14,7 @@
 use crate::node::{alloc_in, deref, free_eager, retire_in, NULL};
 use crate::TxSet;
 use std::array;
-use tm_api::{TmHandle, TVar, Transaction, TxKind, TxResult};
+use tm_api::{TVar, TmHandle, Transaction, TxKind, TxResult};
 
 /// Maximum number of keys per node (the paper's `b`).
 pub const MAX_KEYS: usize = 16;

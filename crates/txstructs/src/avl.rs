@@ -7,7 +7,7 @@
 
 use crate::node::{alloc_in, deref, free_eager, retire_in, NULL};
 use crate::TxSet;
-use tm_api::{TmHandle, TVar, Transaction, TxKind, TxResult};
+use tm_api::{TVar, TmHandle, Transaction, TxKind, TxResult};
 
 /// A node of the internal AVL tree.
 pub struct AvlNode {
@@ -128,12 +128,7 @@ fn rebalance<X: Transaction>(tx: &mut X, word: u64) -> TxResult<u64> {
     Ok(word)
 }
 
-fn insert_rec<X: Transaction>(
-    tx: &mut X,
-    word: u64,
-    key: u64,
-    val: u64,
-) -> TxResult<(u64, bool)> {
+fn insert_rec<X: Transaction>(tx: &mut X, word: u64, key: u64, val: u64) -> TxResult<(u64, bool)> {
     if word == NULL {
         return Ok((alloc_in(tx, AvlNode::new(key, val)), true));
     }
@@ -142,22 +137,21 @@ fn insert_rec<X: Transaction>(
     if key == k {
         return Ok((word, false));
     }
-    let inserted;
-    if key < k {
+    let inserted = if key < k {
         let l = tx.read_var(&node.left)?;
         let (new_l, ins) = insert_rec(tx, l, key, val)?;
         if new_l != l {
             tx.write_var(&node.left, new_l)?;
         }
-        inserted = ins;
+        ins
     } else {
         let r = tx.read_var(&node.right)?;
         let (new_r, ins) = insert_rec(tx, r, key, val)?;
         if new_r != r {
             tx.write_var(&node.right, new_r)?;
         }
-        inserted = ins;
-    }
+        ins
+    };
     if !inserted {
         return Ok((word, false));
     }
@@ -425,7 +419,10 @@ mod tests {
         assert!(t.remove(&mut h, 50));
         assert!(!t.contains(&mut h, 50));
         for k in [30u64, 70, 20, 40, 60, 80] {
-            assert!(t.contains(&mut h, k), "key {k} lost after removing the root");
+            assert!(
+                t.contains(&mut h, k),
+                "key {k} lost after removing the root"
+            );
         }
         assert_eq!(t.size_query(&mut h), 6);
     }
@@ -441,7 +438,9 @@ mod tests {
         for k in (0..100u64).step_by(3) {
             t.remove(&mut h, k);
         }
-        let expected = (0..100u64).filter(|k| k % 3 != 0 && (20..=60).contains(k)).count();
+        let expected = (0..100u64)
+            .filter(|k| k % 3 != 0 && (20..=60).contains(k))
+            .count();
         assert_eq!(t.range_query(&mut h, 20, 60), expected);
     }
 }

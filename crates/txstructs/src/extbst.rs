@@ -8,7 +8,7 @@
 
 use crate::node::{alloc_in, deref, free_eager, retire_in, NULL};
 use crate::TxSet;
-use tm_api::{TmHandle, TVar, Transaction, TxKind, TxResult};
+use tm_api::{TVar, TmHandle, Transaction, TxKind, TxResult};
 
 /// A node of the external BST. A node is a leaf iff its `left` child is
 /// [`NULL`] (external BST internal nodes always have two children).

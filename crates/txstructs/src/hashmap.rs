@@ -7,7 +7,7 @@
 
 use crate::node::{alloc_in, deref, free_eager, retire_in, NULL};
 use crate::TxSet;
-use tm_api::{TmHandle, TVar, Transaction, TxKind, TxResult};
+use tm_api::{TVar, TmHandle, Transaction, TxKind, TxResult};
 
 /// A node of a bucket list.
 pub struct MapNode {

@@ -112,7 +112,7 @@ pub(crate) mod testutil {
                 }
                 _ => {
                     let lo = rng.gen_range(0..key_range);
-                    let hi = (lo + rng.gen_range(0..50)).min(key_range);
+                    let hi = (lo + rng.gen_range(0..50u64)).min(key_range);
                     let expected = model.range(lo..=hi).count();
                     let got = set.range_query(&mut h, lo, hi);
                     assert_eq!(got, expected, "range_query({lo},{hi}) mismatch at op {i}");

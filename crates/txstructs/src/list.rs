@@ -7,7 +7,7 @@
 
 use crate::node::{alloc_eager, alloc_in, deref, free_eager, retire_in, NULL};
 use crate::TxSet;
-use tm_api::{TmHandle, TVar, Transaction, TxKind, TxResult};
+use tm_api::{TVar, TmHandle, Transaction, TxKind, TxResult};
 
 /// A node of the sorted list.
 pub struct ListNode {
@@ -203,7 +203,11 @@ mod tests {
     #[test]
     fn model_check_on_multiverse() {
         let rt = testutil::multiverse_small();
-        testutil::check_against_model::<TxList, _, _>(TxList::new, std::sync::Arc::clone(&rt), 3000);
+        testutil::check_against_model::<TxList, _, _>(
+            TxList::new,
+            std::sync::Arc::clone(&rt),
+            3000,
+        );
         rt.shutdown();
     }
 

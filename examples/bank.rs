@@ -12,7 +12,7 @@ use multiverse::{MultiverseConfig, MultiverseRuntime};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use tm_api::{TmHandle, TmRuntime, Transaction, TVar, TxKind};
+use tm_api::{TVar, TmHandle, TmRuntime, Transaction, TxKind};
 
 const ACCOUNTS: usize = 4096;
 const INITIAL_BALANCE: u64 = 1_000;

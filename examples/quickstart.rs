@@ -7,7 +7,7 @@
 
 use multiverse::{MultiverseConfig, MultiverseRuntime};
 use std::sync::Arc;
-use tm_api::{TmHandle, TmRuntime, Transaction, TVar, TxKind};
+use tm_api::{TVar, TmHandle, TmRuntime, Transaction, TxKind};
 
 fn main() {
     // 1. Start the runtime (this also starts the background thread that

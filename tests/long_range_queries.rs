@@ -3,9 +3,7 @@
 //! continuously modify the keys they cover, and Multiverse serves them from
 //! the versioned code path (engaging Mode U when it pays off).
 
-use harness::{
-    run_workload, KeyDist, StructKind, TmKind, TrialConfig, WorkloadMix, WorkloadSpec,
-};
+use harness::{run_workload, KeyDist, StructKind, TmKind, TrialConfig, WorkloadMix, WorkloadSpec};
 use multiverse::{Mode, MultiverseConfig, MultiverseRuntime};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;

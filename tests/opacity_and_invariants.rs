@@ -7,7 +7,7 @@ use baselines::{DctlRuntime, GlockRuntime, NorecRuntime, TinyStmRuntime, Tl2Runt
 use multiverse::{MultiverseConfig, MultiverseRuntime};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use tm_api::{TmHandle, TmRuntime, Transaction, TVar, TxKind};
+use tm_api::{TVar, TmHandle, TmRuntime, Transaction, TxKind};
 
 const ACCOUNTS: usize = 256;
 const INITIAL: u64 = 100;
@@ -76,12 +76,16 @@ fn bank_invariant_multiverse() {
 
 #[test]
 fn bank_invariant_multiverse_mode_q_only() {
-    bank_invariant(MultiverseRuntime::start(MultiverseConfig::small_mode_q_only()));
+    bank_invariant(MultiverseRuntime::start(
+        MultiverseConfig::small_mode_q_only(),
+    ));
 }
 
 #[test]
 fn bank_invariant_multiverse_mode_u_only() {
-    bank_invariant(MultiverseRuntime::start(MultiverseConfig::small_mode_u_only()));
+    bank_invariant(MultiverseRuntime::start(
+        MultiverseConfig::small_mode_u_only(),
+    ));
 }
 
 #[test]

@@ -51,7 +51,9 @@ proptest! {
             history.push(ts);
         }
         let read_clock = read_offset.min(ts + 5);
-        let expected = history.iter().copied().filter(|&t| t <= read_clock).max();
+        // Strict acceptance: a version is visible only when its timestamp is
+        // strictly below the reader's clock (matches LockState::validate).
+        let expected = history.iter().copied().filter(|&t| t < read_clock).max();
         match expected {
             Some(e) => prop_assert_eq!(list.traverse(read_clock), Ok(e)),
             None => prop_assert!(list.traverse(read_clock).is_err()),
@@ -109,7 +111,11 @@ fn apply_op<S: TxSet, H: tm_api::TmHandle>(
             assert_eq!(set.remove(h, key), expected, "remove({key})");
         }
         2 => {
-            assert_eq!(set.contains(h, key), model.contains_key(&key), "contains({key})");
+            assert_eq!(
+                set.contains(h, key),
+                model.contains_key(&key),
+                "contains({key})"
+            );
         }
         _ => {
             let hi = key.saturating_add(50);
