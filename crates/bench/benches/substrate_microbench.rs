@@ -44,7 +44,7 @@ fn substrates(c: &mut Criterion) {
         // oldest one, so every traversal walks the full depth.
         let list = VersionList::with_initial(1, 0);
         for ts in 2..9u64 {
-            list.push_head(VersionNode::boxed(list.head(), ts, ts, false));
+            list.push_head(VersionNode::acquire(list.head(), ts, ts, false));
         }
         b.iter(|| list.traverse(2).unwrap())
     });

@@ -5,8 +5,15 @@
 //! one command:
 //!
 //! ```text
-//! cargo run --release -p bench --bin bench_trajectory [-- <output-path>]
+//! cargo run --release -p bench --bin bench_trajectory [-- <output-path>] \
+//!     [--check <tolerance> [--baseline <path>]]
 //! ```
+//!
+//! `--check` compares the fresh numbers against a committed baseline
+//! (default `BENCH_txset.json`) and prints per-entry deltas, flagging
+//! regressions beyond `tolerance` (a fraction, e.g. `0.30` = 30%). The check
+//! is **warn-only**: it never fails the process — micro-benchmarks on shared
+//! CI runners are too noisy to gate on, but the deltas belong in the job log.
 
 use baselines::{DctlRuntime, NorecRuntime, TinyStmRuntime, Tl2Runtime};
 use multiverse::{MultiverseConfig, MultiverseRuntime};
@@ -129,10 +136,158 @@ fn tm_measurements<R: TmRuntime>(name: &str, rt: Arc<R>, out: &mut Vec<(String, 
     rt.shutdown();
 }
 
+/// The versioned hot path: forced Mode U makes every updating transaction
+/// publish a version node per written word (plus a VLT node on the first
+/// write), which is exactly the path the epoch-recycled arena serves. At
+/// steady state the loop below runs allocation-free out of the pool.
+fn versioned_measurements(out: &mut Vec<(String, f64)>) {
+    const WORDS: usize = 64;
+    let rt = MultiverseRuntime::start(MultiverseConfig::small_mode_u_only());
+    let vars: Vec<TVar<u64>> = (0..WORDS).map(|i| TVar::new(i as u64)).collect();
+    let mut h = rt.register();
+
+    let mut i = 0u64;
+    out.push((
+        "stm/multiverse/versioned_update_2_words".into(),
+        measure(11, 20_000, || {
+            i += 1;
+            h.txn(TxKind::ReadWrite, |tx| {
+                tx.write_var(&vars[(i as usize) % WORDS], i)?;
+                tx.write_var(&vars[(i as usize + 7) % WORDS], i)
+            });
+        }),
+    ));
+    drop(h);
+    rt.shutdown();
+
+    // Versioning churn: versioned readers create version lists on demand
+    // (k1 = 0 puts every read-only transaction on the versioned path) while
+    // an aggressive unversioning threshold makes the background thread tear
+    // them down again — version/VLT nodes cycle continuously through the
+    // pool, and the mode machinery sees both directions of the transition.
+    let rt = MultiverseRuntime::start(MultiverseConfig {
+        k1_versioned_after: 0,
+        min_unversion_threshold: 1,
+        l_delta_samples: 1,
+        p_prefix_fraction: 1.0,
+        ..MultiverseConfig::small()
+    });
+    let vars: Vec<TVar<u64>> = (0..WORDS).map(|i| TVar::new(i as u64)).collect();
+    let mut h = rt.register();
+    let mut i = 0u64;
+    out.push((
+        "stm/multiverse/version_churn_mixed".into(),
+        measure(11, 5_000, || {
+            i += 1;
+            let sum = h.txn(TxKind::ReadOnly, |tx| {
+                let mut sum = 0u64;
+                for v in vars.iter().skip((i as usize) % 8).take(8) {
+                    sum = sum.wrapping_add(tx.read_var(v)?);
+                }
+                Ok(sum)
+            });
+            black_box(sum);
+            h.txn(TxKind::ReadWrite, |tx| {
+                tx.write_var(&vars[(i as usize) % WORDS], i)?;
+                tx.write_var(&vars[(i as usize + 31) % WORDS], i)
+            });
+        }),
+    ));
+    drop(h);
+    rt.shutdown();
+}
+
+/// Parse the committed baseline: lines of the form `"name": 123.45[,]`.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((name, value)) = line.split_once("\": ") else {
+            continue;
+        };
+        let name = name.trim_start_matches('"');
+        if name == "unit" {
+            continue;
+        }
+        if let Ok(v) = value.parse::<f64>() {
+            out.push((name.to_string(), v));
+        }
+    }
+    out
+}
+
+/// Warn-only regression check against the committed baseline.
+fn check_against_baseline(results: &[(String, f64)], baseline_path: &str, tolerance: f64) {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            println!("--check: cannot read baseline {baseline_path}: {e} (skipping)");
+            return;
+        }
+    };
+    let baseline = parse_baseline(&text);
+    println!(
+        "\n--check vs {baseline_path} (tolerance {:.0}%)",
+        tolerance * 100.0
+    );
+    println!(
+        "{:<50} {:>10} {:>10} {:>9}",
+        "entry", "base", "now", "delta"
+    );
+    let mut regressions = 0usize;
+    for (name, now) in results {
+        let Some((_, base)) = baseline.iter().find(|(n, _)| n == name) else {
+            println!("{name:<50} {:>10} {now:>10.1} {:>9}", "-", "new");
+            continue;
+        };
+        let delta = (now - base) / base;
+        let flag = if delta > tolerance {
+            regressions += 1;
+            "  WARN: regression"
+        } else {
+            ""
+        };
+        println!(
+            "{name:<50} {base:>10.1} {now:>10.1} {:>+8.1}%{flag}",
+            delta * 100.0
+        );
+    }
+    if regressions == 0 {
+        println!("--check: no entry regressed beyond the tolerance");
+    } else {
+        println!("--check: {regressions} entr{} regressed beyond the tolerance (warn-only, not failing the job)",
+                 if regressions == 1 { "y" } else { "ies" });
+    }
+}
+
 fn main() {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_txset.json".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_txset.json".to_string();
+    let mut check_tolerance: Option<f64> = None;
+    let mut baseline_path = "BENCH_txset.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => {
+                let tol = it
+                    .next()
+                    .and_then(|t| t.parse::<f64>().ok())
+                    .expect("--check requires a fractional tolerance, e.g. 0.30");
+                check_tolerance = Some(tol);
+            }
+            "--baseline" => {
+                baseline_path = it.next().expect("--baseline requires a path").clone();
+            }
+            other if other.starts_with("--") => {
+                // A typo'd flag silently becoming the output path would
+                // disable the regression check with exit code 0 — fail loud.
+                eprintln!("bench_trajectory: unknown flag {other}");
+                eprintln!("usage: bench_trajectory [out.json] [--check <tol>] [--baseline <path>]");
+                std::process::exit(2);
+            }
+            other => out_path = other.to_string(),
+        }
+    }
 
     let mut results: Vec<(String, f64)> = Vec::new();
     txset_measurements(&mut results);
@@ -141,6 +296,7 @@ fn main() {
         MultiverseRuntime::start(MultiverseConfig::small()),
         &mut results,
     );
+    versioned_measurements(&mut results);
     tm_measurements("dctl", Arc::new(DctlRuntime::with_defaults()), &mut results);
     tm_measurements("tl2", Arc::new(Tl2Runtime::with_defaults()), &mut results);
     tm_measurements("norec", Arc::new(NorecRuntime::new()), &mut results);
@@ -150,13 +306,20 @@ fn main() {
         &mut results,
     );
 
+    for (name, ns) in &results {
+        println!("{name:<50} {ns:>10.1} ns/iter");
+    }
+
     let mut json = String::from("{\n  \"unit\": \"ns_per_iter\",\n  \"results\": {\n");
     for (i, (name, ns)) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
         json.push_str(&format!("    \"{name}\": {ns:.2}{comma}\n"));
-        println!("{name:<50} {ns:>10.1} ns/iter");
     }
     json.push_str("  }\n}\n");
-    std::fs::write(&path, json).expect("write benchmark output file");
-    println!("\nwrote {path}");
+    std::fs::write(&out_path, json).expect("write benchmark output file");
+    println!("\nwrote {out_path}");
+
+    if let Some(tol) = check_tolerance {
+        check_against_baseline(&results, &baseline_path, tol);
+    }
 }

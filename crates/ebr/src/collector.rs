@@ -29,9 +29,13 @@ impl Participant {
         self.state.store(0, Ordering::Release);
     }
 
+    /// `SeqCst`: the advance scan's slot loads must be totally ordered
+    /// against pin stores so that a pin whose revalidation succeeded is
+    /// guaranteed visible to every later scan (see `LocalHandle::pin`).
+    /// Scan-side only — this never runs on the transaction hot path.
     #[inline]
     fn pinned_epoch(&self) -> Option<u64> {
-        let s = self.state.load(Ordering::Acquire);
+        let s = self.state.load(Ordering::SeqCst);
         if s & 1 == 1 {
             Some(s >> 1)
         } else {
@@ -83,6 +87,14 @@ impl Collector {
     #[inline]
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Current global epoch with a `SeqCst` load — used by the pin
+    /// handshake's revalidation step, which needs the load totally ordered
+    /// against the pin store and the advance CAS (see `LocalHandle::pin`).
+    #[inline]
+    pub(crate) fn epoch_seqcst(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
     }
 
     /// Bytes retired and not yet reclaimed.
@@ -143,22 +155,23 @@ impl Collector {
         self.orphans.lock().unwrap().extend(garbage);
     }
 
-    /// Reclaim orphaned garbage that is past its grace period.
+    /// Reclaim orphaned garbage that is past its grace period. In place
+    /// (`swap_remove`) so periodic calls allocate nothing.
     pub fn collect_orphans(&self) {
         let cur = self.epoch();
         let mut orphans = self.orphans.lock().unwrap();
-        let mut kept = Vec::with_capacity(orphans.len());
-        for r in orphans.drain(..) {
-            if r.epoch() + GRACE <= cur {
+        let mut i = 0;
+        while i < orphans.len() {
+            if orphans[i].epoch() + GRACE <= cur {
+                let r = orphans.swap_remove(i);
                 let bytes = r.bytes();
                 // Safety: grace period elapsed, no pinned thread can reach it.
                 unsafe { r.reclaim() };
                 self.note_reclaimed(bytes);
             } else {
-                kept.push(r);
+                i += 1;
             }
         }
-        *orphans = kept;
     }
 
     /// Number of orphaned items waiting for a grace period.

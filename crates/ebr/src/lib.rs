@@ -25,11 +25,13 @@
 
 mod collector;
 mod local;
+pub mod pool;
 mod retired;
 mod txmem;
 
 pub use collector::Collector;
 pub use local::{Guard, LocalHandle};
+pub use pool::{NodePool, PoolHandle};
 pub use retired::{Dtor, Retired};
 pub use txmem::TxMem;
 

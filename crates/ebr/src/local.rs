@@ -28,7 +28,10 @@ impl LocalHandle {
         Self {
             collector,
             slot,
-            garbage: Vec::new(),
+            // Pre-size the bag: steady-state garbage is bounded by a few
+            // collect periods' worth of retires, so reserving up front keeps
+            // the transaction hot loop free of Vec regrowth.
+            garbage: Vec::with_capacity(2 * COLLECT_THRESHOLD),
             pin_depth: 0,
             unpin_count: 0,
         }
@@ -40,10 +43,32 @@ impl LocalHandle {
     }
 
     /// Pin the current thread at the current global epoch. Pins nest.
+    ///
+    /// Announce-then-revalidate: after the `SeqCst` pin store we re-read the
+    /// global epoch (`SeqCst`) and re-announce if it moved. This closes the
+    /// classic pin/advance race (read epoch `e` → advance to `e+1` scans and
+    /// misses our not-yet-published store → we run pinned at a stale epoch
+    /// the collector no longer waits two steps for): once the re-read
+    /// confirms the announced epoch `E`, any later advance's scan is
+    /// `SeqCst`-ordered after our store and must observe the pin, so the
+    /// epoch can never move more than one step past `E` while we stay
+    /// pinned — the invariant the two-epoch grace period is built on. The
+    /// same handshake gives readers the happens-before edge the clock-gated
+    /// supersede retirement in `multiverse` relies on (a reader pinned after
+    /// an epoch advance observes everything the retiring thread did before
+    /// it, including the global-clock value it checked).
     #[inline]
     pub fn pin(&mut self) {
         if self.pin_depth == 0 {
-            self.slot.pin_at(self.collector.epoch());
+            let mut epoch = self.collector.epoch();
+            loop {
+                self.slot.pin_at(epoch);
+                let now = self.collector.epoch_seqcst();
+                if now == epoch {
+                    break;
+                }
+                epoch = now;
+            }
         }
         self.pin_depth += 1;
     }
@@ -91,20 +116,24 @@ impl LocalHandle {
     }
 
     /// Reclaim every locally-retired allocation whose grace period elapsed.
+    ///
+    /// Works in place (`swap_remove`, order is irrelevant) so the steady
+    /// state performs zero heap allocations — this runs on every 64th unpin,
+    /// inside the transaction hot loop.
     pub fn collect(&mut self) {
         let cur = self.collector.epoch();
-        let mut kept = Vec::with_capacity(self.garbage.len());
-        for r in self.garbage.drain(..) {
-            if r.epoch() + GRACE <= cur {
+        let mut i = 0;
+        while i < self.garbage.len() {
+            if self.garbage[i].epoch() + GRACE <= cur {
+                let r = self.garbage.swap_remove(i);
                 let bytes = r.bytes();
                 // Safety: grace period elapsed.
                 unsafe { r.reclaim() };
                 self.collector.note_reclaimed(bytes);
             } else {
-                kept.push(r);
+                i += 1;
             }
         }
-        self.garbage = kept;
     }
 
     /// Number of locally retired allocations awaiting reclamation.

@@ -45,6 +45,7 @@
 //! tm.shutdown();
 //! ```
 
+pub mod arena;
 pub mod config;
 pub mod modes;
 pub mod registry;

@@ -2,12 +2,12 @@
 //! thread that performs mode transitions and unversioning (paper §3.3, §4.3,
 //! §4.4, Listing 6).
 
+use crate::arena;
 use crate::config::{ForcedMode, MultiverseConfig};
 use crate::modes::Mode;
 use crate::registry::WorkerRegistry;
-use crate::txn::{dtor_version_node, dtor_vlt_node, MultiverseTx};
-use crate::version::VersionNode;
-use crate::vlt::{Vlt, VltNode};
+use crate::txn::MultiverseTx;
+use crate::vlt::Vlt;
 use ebr::{Collector, LocalHandle};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Weak};
@@ -211,11 +211,18 @@ impl MultiverseRuntime {
             .fetch_sub(bytes as i64, Ordering::Relaxed);
     }
 
-    /// Approximate live bytes of versioning metadata (VLT nodes + version
-    /// nodes), plus garbage awaiting a grace period.
+    /// Bytes of versioning metadata (VLT nodes + version nodes): live nodes,
+    /// garbage awaiting a grace period, **and pooled-but-free arena slots**.
+    ///
+    /// All version metadata lives in the process-wide node arena, whose
+    /// slots are never returned to the OS — so the honest footprint (what
+    /// Fig. 9 should report) is the arena total, not just the live bytes.
+    /// The `max` keeps the figure monotone with the live+pending view if
+    /// several runtimes share the process (unit tests); figure runs execute
+    /// one TM at a time, where the arena total is exact.
     pub fn version_metadata_bytes(&self) -> usize {
         let live = self.version_bytes.load(Ordering::Relaxed).max(0) as usize;
-        live + self.ebr.pending_bytes()
+        (live + self.ebr.pending_bytes()).max(arena::total_pool_bytes())
     }
 }
 
@@ -311,6 +318,10 @@ impl TmRuntime for MultiverseRuntime {
     fn stats(&self) -> TmStatsSnapshot {
         let mut snap = self.stats.snapshot();
         snap.buckets_unversioned += self.unversioned_bucket_count();
+        // Recycling happens in EBR destructors with no thread-stats handle;
+        // the arena counts it process-wide (one TM runs at a time in the
+        // figure harness).
+        snap.pool_recycled += arena::recycled_count();
         snap
     }
 
@@ -438,7 +449,13 @@ fn run_unversioning(rt: &MultiverseRuntime, ebr: &mut LocalHandle, samples: &mut
 
 /// Unversion one VLT bucket: claim the stripe lock (with the versioning
 /// flag so readers wait instead of aborting), detach the bucket, reset the
-/// bloom filter and retire everything through EBR.
+/// bloom filter and retire the whole chain as **one** EBR entry whose
+/// destructor recycles every node (and each version-list head) into the
+/// arena — batched retirement instead of one entry per node.
+///
+/// The version-list heads are detached at *reclaim* time (inside the
+/// destructor, after the grace period), so readers that found the bucket
+/// just before it was unlinked traverse fully intact lists.
 fn unversion_bucket(rt: &MultiverseRuntime, ebr: &mut LocalHandle, idx: usize) {
     let lock = rt.locks.lock_at(idx);
     let Ok(prev) = lock.try_lock(BG_TID, true) else {
@@ -448,30 +465,28 @@ fn unversion_bucket(rt: &MultiverseRuntime, ebr: &mut LocalHandle, idx: usize) {
     let chain = rt.vlt.take_bucket(idx);
     rt.bloom.reset(idx);
     lock.unlock_restore(prev);
+    if chain.is_null() {
+        return;
+    }
 
+    // Count slots for the memory accounting (one per node, one per still-
+    // linked version-list head; older versions were retired when they were
+    // superseded, §4.5). The walk only reads — the chain stays intact for
+    // concurrent readers until the grace period elapses.
+    let mut slots = 0usize;
     let mut cur = chain;
     while !cur.is_null() {
-        // Safety: the chain is detached; nodes stay alive until retired.
+        // Safety: the chain is detached; nodes stay alive until reclaimed.
         let node = unsafe { &*cur };
-        let next = node.next.load(Ordering::Acquire);
-        // Only the version-list head still needs retiring: superseded
-        // versions were retired when they were replaced (§4.5).
-        let head = node.vlist.detach_head();
-        if !head.is_null() {
-            ebr.retire(
-                head as *mut u8,
-                dtor_version_node,
-                VersionNode::heap_bytes(),
-            );
+        slots += 1;
+        if !node.vlist.head().is_null() {
+            slots += 1;
         }
-        ebr.retire(
-            cur as *mut u8,
-            dtor_vlt_node,
-            std::mem::size_of::<VltNode>(),
-        );
-        rt.sub_version_bytes(VltNode::heap_bytes());
-        cur = next;
+        cur = node.next.load(Ordering::Acquire);
     }
+    let bytes = slots * arena::NODE_SLOT_BYTES;
+    ebr.retire(chain as *mut u8, arena::recycle_vlt_chain, bytes);
+    rt.sub_version_bytes(bytes);
     rt.buckets_unversioned.fetch_add(1, Ordering::Relaxed);
 }
 

@@ -2,12 +2,14 @@
 //! paths, Mode Q / Mode U read protocols, commit and abort (paper §4.1–§4.3,
 //! Listings 1–5).
 
+use crate::arena;
 use crate::config::ForcedMode;
 use crate::modes::Mode;
 use crate::registry::ThreadSlot;
 use crate::runtime::MultiverseRuntime;
 use crate::version::{VersionList, VersionNode};
 use crate::vlt::VltNode;
+use ebr::pool::PoolHandle;
 use ebr::{LocalHandle, TxMem};
 use std::sync::atomic::{fence, Ordering};
 use std::sync::Arc;
@@ -20,16 +22,6 @@ use tm_api::{Abort, ThreadStats, Transaction, TxKind, TxWord};
 
 /// Sentinel for "no initial versioned timestamp recorded yet".
 pub(crate) const INVALID_TS: u64 = u64::MAX;
-
-/// Destructor for version nodes retired through EBR.
-pub(crate) unsafe fn dtor_version_node(p: *mut u8) {
-    drop(unsafe { Box::from_raw(p as *mut VersionNode) });
-}
-
-/// Destructor for VLT bucket nodes retired through EBR.
-pub(crate) unsafe fn dtor_vlt_node(p: *mut u8) {
-    drop(unsafe { Box::from_raw(p as *mut VltNode) });
-}
 
 /// Record of a version added to a version list by the running transaction,
 /// kept so commit can clear the TBD marks and abort can unlink the version.
@@ -45,6 +37,21 @@ struct VersionedWrite {
 /// happen outside Mode Q, and write sets are small in the paper's workloads.
 const VWRITE_INLINE: usize = 16;
 
+/// A superseded version node awaiting clock-gated retirement: the node and
+/// the commit timestamp of the commit that superseded it.
+#[derive(Clone, Copy)]
+struct Superseded {
+    node: *mut VersionNode,
+    commit_ts: u64,
+}
+
+/// Inline capacity of the superseded-node queue.
+const SUPERSEDE_INLINE: usize = 32;
+
+/// Queue length beyond which `flush_superseded` bumps the clock itself so
+/// the queue stays bounded even in abort-free (clock-quiescent) workloads.
+const SUPERSEDE_FORCE_AT: usize = 96;
+
 /// The Multiverse transaction descriptor. One per registered thread, reused
 /// across attempts and operations.
 pub struct MultiverseTx {
@@ -54,6 +61,11 @@ pub struct MultiverseTx {
     pub(crate) stats: Arc<ThreadStats>,
     pub(crate) ebr: LocalHandle,
     mem: TxMem,
+    /// Per-thread handle onto the shared version-node arena.
+    pool: PoolHandle,
+    /// Committed-but-superseded version nodes awaiting clock-gated
+    /// retirement (see [`Self::flush_superseded`]).
+    superseded: InlineVec<Superseded, SUPERSEDE_INLINE>,
 
     // ---- per-attempt state ----
     kind: TxKind,
@@ -94,6 +106,8 @@ impl MultiverseTx {
             stats,
             ebr,
             mem: TxMem::new(),
+            pool: arena::pool_handle(),
+            superseded: InlineVec::new(),
             kind: TxKind::ReadOnly,
             rv: 0,
             local_mode_counter: 0,
@@ -223,18 +237,20 @@ impl MultiverseTx {
     /// current value.
     fn version_then_read(&mut self, word: &TxWord, idx: usize) -> TxResult<u64> {
         let addr = word.addr();
-        let lock = self.rt.locks.lock_at(idx);
-        let mut spin = SpinWait::new();
-        let prev: LockState = loop {
-            match lock.try_lock(self.tid, true) {
-                Ok(prev) => break prev,
-                Err(_) => spin.spin(),
+        let prev: LockState = {
+            let lock = self.rt.locks.lock_at(idx);
+            let mut spin = SpinWait::new();
+            loop {
+                match lock.try_lock(self.tid, true) {
+                    Ok(prev) => break prev,
+                    Err(_) => spin.spin(),
+                }
             }
         };
         // Re-check: someone may have versioned the address while we waited.
         if let Some(vlist) = self.rt.vlt.find(idx, addr) {
             let vlist: *const VersionList = vlist;
-            lock.unlock_restore(prev);
+            self.rt.locks.lock_at(idx).unlock_restore(prev);
             // Safety: version lists are reclaimed through EBR; we are pinned.
             return unsafe { &*vlist }.traverse(self.rv);
         }
@@ -243,15 +259,14 @@ impl MultiverseTx {
         // TM concurrently entered Mode U, otherwise the lock version (§4.1,
         // §4.2 optimization).
         let ts = self.rt.first_obs_mode_u_ts().unwrap_or(prev.version);
-        let node = VltNode::boxed(addr, ts, data);
-        // Safety: `node` is freshly boxed (exclusively owned) and we hold the
-        // stripe lock for `idx`; the re-check above proved the address is not
-        // yet present.
+        let node = self.alloc_vlt_node(addr, ts, data);
+        // Safety: `node` is freshly initialised (exclusively owned) and we
+        // hold the stripe lock for `idx`; the re-check above proved the
+        // address is not yet present.
         unsafe { self.rt.vlt.insert(idx, node) };
         self.rt.bloom.try_add(idx, addr);
-        self.rt.add_version_bytes(VltNode::heap_bytes());
         self.stats.addresses_versioned.inc();
-        lock.unlock_restore(prev);
+        self.rt.locks.lock_at(idx).unlock_restore(prev);
         if !prev.validate(self.rv, self.tid) {
             // The address changed after our read clock; the (now-created)
             // version list stays, but this transaction must abort.
@@ -335,6 +350,37 @@ impl MultiverseTx {
     // Write path
     // ------------------------------------------------------------------
 
+    /// Allocate an arena slot through the per-thread pool handle, tracking
+    /// hit/miss statistics.
+    #[inline]
+    fn alloc_slot(&mut self) -> *mut u8 {
+        let (p, hit) = self.pool.alloc();
+        if hit {
+            self.stats.pool_hits.inc();
+        } else {
+            self.stats.pool_misses.inc();
+        }
+        p
+    }
+
+    /// Allocate and initialise a VLT bucket node plus its initial version
+    /// from the arena (in place of the old `VltNode::boxed`). The node is
+    /// exclusively owned until the caller publishes it under the stripe
+    /// lock.
+    fn alloc_vlt_node(&mut self, addr: usize, ts: u64, data: u64) -> *mut VltNode {
+        let initial = self.alloc_slot() as *mut VersionNode;
+        let node = self.alloc_slot() as *mut VltNode;
+        // Safety: both slots are freshly popped, exclusively owned, and
+        // slot-sized for either node type; init-before-publish is upheld by
+        // the caller (publication under the stripe lock, Release store).
+        unsafe {
+            arena::init_version_node(initial, std::ptr::null_mut(), ts, data, false);
+            arena::init_vlt_node(node, addr, initial);
+        }
+        self.rt.add_version_bytes(2 * arena::NODE_SLOT_BYTES);
+        node
+    }
+
     /// Append a (TBD) version carrying `value` to `vlist`
     /// (`tryWriteToVersionList` / the shared tail of `TMWrite`, Listing 3).
     /// Caller holds the stripe lock.
@@ -350,24 +396,64 @@ impl MultiverseTx {
             unsafe { &*head }.data.store(value, Ordering::Release);
             return;
         }
-        let node = VersionNode::boxed(head, self.rv, value, true);
+        let node = self.alloc_slot() as *mut VersionNode;
+        // Safety: fresh exclusive slot; published right below under the
+        // stripe lock (Release store in `push_head`).
+        unsafe { arena::init_version_node(node, head, self.rv, value, true) };
         list.push_head(node);
-        self.rt.add_version_bytes(VersionNode::heap_bytes());
-        if !head.is_null() {
-            // `eventualFree`: the superseded version is retired when this
-            // transaction commits (and the retire is revoked if it aborts).
-            self.mem.record_retire(
-                head as *mut u8,
-                dtor_version_node,
-                VersionNode::heap_bytes(),
-            );
-            self.rt.sub_version_bytes(VersionNode::heap_bytes());
-        }
+        self.rt.add_version_bytes(arena::NODE_SLOT_BYTES);
+        // `eventualFree` of the superseded head happens in `try_commit`,
+        // which queues it for clock-gated retirement; an abort instead
+        // unlinks and retires the *new* node and leaves `head` live.
         self.vwrites.push(VersionedWrite {
             vlist,
             node,
             older: head,
         });
+    }
+
+    /// Hand every version node superseded by a *committed* write of this
+    /// thread to EBR — but only once the global clock has advanced past the
+    /// superseding commit timestamp.
+    ///
+    /// Why the clock gate: under the strict `< read-clock` acceptance rule a
+    /// reader skips a committed version stamped `T` whenever its read clock
+    /// is `<= T` and walks on to the *older* node — and with the deferred
+    /// clock, readers with read clock `== T` can keep starting for as long
+    /// as the clock stays at `T` (commits do not advance it). Retiring the
+    /// older node at supersede time (the seed behaviour, sound under the
+    /// paper's non-strict rule) would let EBR reclaim memory such late
+    /// readers still dereference. Once the clock exceeds `T`, every new
+    /// reader's clock read is ordered after the advance (the EBR pin/epoch
+    /// handshake supplies the happens-before edge — see the `arena` module
+    /// docs), so it accepts the superseding version and never walks past it;
+    /// the grace period covers everyone older. The queue is bounded: if it
+    /// grows past [`SUPERSEDE_FORCE_AT`] while the clock is quiescent, we
+    /// bump the clock ourselves (always safe — the clock is monotonic and a
+    /// spurious tick only freshens future read clocks, exactly like the tick
+    /// every abort already performs).
+    fn flush_superseded(&mut self) {
+        if self.superseded.is_empty() {
+            return;
+        }
+        // Entries are queued in nondecreasing commit-timestamp order, so the
+        // whole queue is flushable iff the newest entry is.
+        let newest = self.superseded.as_slice()[self.superseded.len() - 1].commit_ts;
+        if newest >= self.rt.clock.read() {
+            if self.superseded.len() < SUPERSEDE_FORCE_AT {
+                return;
+            }
+            self.rt.clock.increment();
+        }
+        for &s in self.superseded.as_slice() {
+            self.ebr.retire(
+                s.node as *mut u8,
+                arena::recycle_version_node,
+                arena::NODE_SLOT_BYTES,
+            );
+            self.rt.sub_version_bytes(arena::NODE_SLOT_BYTES);
+        }
+        self.superseded.clear();
     }
 
     /// Mode-Q writer behaviour: only maintain version lists that already
@@ -398,13 +484,12 @@ impl MultiverseTx {
                 // not available yet).
                 let lock_version = self.rt.locks.lock_at(idx).load().version;
                 let ts = self.rt.first_obs_mode_u_ts().unwrap_or(lock_version);
-                let node = VltNode::boxed(addr, ts, old);
-                // Safety: `node` is freshly boxed (exclusively owned), this
-                // writer holds the stripe lock for `idx`, and the `find`
+                let node = self.alloc_vlt_node(addr, ts, old);
+                // Safety: `node` is freshly initialised (exclusively owned),
+                // this writer holds the stripe lock for `idx`, and the `find`
                 // above proved the address is not yet present.
                 unsafe { self.rt.vlt.insert(idx, node) };
                 self.rt.bloom.try_add(idx, addr);
-                self.rt.add_version_bytes(VltNode::heap_bytes());
                 self.stats.addresses_versioned.inc();
                 // Safety: we just created and published the node under the
                 // stripe lock; it is reclaimed only through EBR.
@@ -433,10 +518,19 @@ impl MultiverseTx {
         }
         let commit_clock = self.rt.clock.read();
         // Resolve the TBD versions before releasing any lock so versioned
-        // readers can never observe a committed write without its version.
-        for vw in &self.vwrites {
+        // readers can never observe a committed write without its version,
+        // and queue each superseded head for clock-gated retirement
+        // (`eventualFree`, §4.5 — see `flush_superseded` for the gate).
+        for i in 0..self.vwrites.len() {
+            let vw = self.vwrites.as_slice()[i];
             // Safety: nodes we created; still protected by the stripe lock.
             unsafe { &*vw.node }.resolve_committed(commit_clock);
+            if !vw.older.is_null() {
+                self.superseded.push(Superseded {
+                    node: vw.older,
+                    commit_ts: commit_clock,
+                });
+            }
         }
         self.locked.release_all(&self.rt.locks, commit_clock);
         self.note_commit_heuristics();
@@ -488,12 +582,12 @@ impl MultiverseTx {
         }
     }
 
-    /// Post-commit cleanup (memory management, announcements).
+    /// Post-commit cleanup (memory management, announcements). The
+    /// per-attempt logs are *not* cleared here: `begin` clears them at the
+    /// start of the next attempt, so the commit path stays minimal.
     pub(crate) fn finish_commit(&mut self) {
         self.mem.on_commit(&mut self.ebr);
-        self.undo.clear();
-        self.read_set.clear();
-        self.vwrites.clear();
+        self.flush_superseded();
         self.slot.clear_active();
         self.ebr.unpin();
     }
@@ -504,8 +598,12 @@ impl MultiverseTx {
     pub(crate) fn rollback(&mut self) {
         // 1. Roll back the in-place writes (newest first).
         self.undo.rollback();
-        // 2. Roll back versioned writes: mark deleted, unlink, retire.
-        for &vw in self.vwrites.as_slice() {
+        // 2. Roll back versioned writes: mark deleted, unlink, retire. The
+        //    unlinked node is unreachable for newly pinned readers, so plain
+        //    grace-period retirement suffices (no clock gate needed); the
+        //    retire destructor recycles the slot into the arena.
+        for i in 0..self.vwrites.len() {
+            let vw = self.vwrites.as_slice()[i];
             // Safety: we created the node and still hold the stripe lock.
             unsafe {
                 (*vw.node).resolve_deleted();
@@ -513,10 +611,10 @@ impl MultiverseTx {
             }
             self.ebr.retire(
                 vw.node as *mut u8,
-                dtor_version_node,
-                VersionNode::heap_bytes(),
+                arena::recycle_version_node,
+                arena::NODE_SLOT_BYTES,
             );
-            self.rt.sub_version_bytes(VersionNode::heap_bytes());
+            self.rt.sub_version_bytes(arena::NODE_SLOT_BYTES);
         }
         self.vwrites.clear();
         // 3. Revoke retires and free buffered allocations.
@@ -532,6 +630,9 @@ impl MultiverseTx {
             // already-committed write would spin on the same read clock).
             self.rt.clock.increment();
         }
+        // The clock just advanced past every queued commit timestamp, so the
+        // supersede queue is guaranteed to drain here.
+        self.flush_superseded();
         // 5. Heuristics: consider initiating the Mode Q -> QtoU transition.
         if self.kind == TxKind::ReadOnly {
             self.consider_mode_u_transition();
@@ -571,6 +672,18 @@ impl MultiverseTx {
         self.slot.set_sticky_mode_u(true);
         self.pending_small_threshold = true;
         self.consec_small = 0;
+    }
+}
+
+impl Drop for MultiverseTx {
+    fn drop(&mut self) {
+        // Hand any still-queued superseded nodes to EBR before the embedded
+        // `LocalHandle` drops (which orphans its garbage onto the
+        // collector). A forced clock tick makes the queue flushable.
+        if !self.superseded.is_empty() {
+            self.rt.clock.increment();
+            self.flush_superseded();
+        }
     }
 }
 

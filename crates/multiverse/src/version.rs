@@ -9,7 +9,12 @@
 //! the *deleted* sentinel and the node is unlinked). Versioned readers that
 //! encounter a relevant TBD head wait for it to resolve; deleted versions are
 //! skipped.
+//!
+//! Nodes live in the epoch-recycled arena (`crate::arena`), not on the plain
+//! heap: steady-state versioned transactions allocate nothing. See the arena
+//! module docs for the recycling safety argument.
 
+use crate::arena;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use tm_api::abort::TxResult;
 use tm_api::Abort;
@@ -18,7 +23,12 @@ use tm_api::Abort;
 pub const DELETED_TS: u64 = u64::MAX;
 
 /// A single version of one transactional word.
+///
+/// `repr(C)` with `older` first: a recycled slot's free-list link reuses the
+/// first word, so the pointer field (dead in a free node) absorbs it while
+/// the debug poison in `timestamp` stays intact.
 #[derive(Debug)]
+#[repr(C)]
 pub struct VersionNode {
     /// Next-older version (null for the oldest retained version).
     pub older: AtomicPtr<VersionNode>,
@@ -32,19 +42,30 @@ pub struct VersionNode {
 }
 
 impl VersionNode {
-    /// Allocate a new version node.
-    pub fn boxed(older: *mut VersionNode, timestamp: u64, data: u64, tbd: bool) -> *mut Self {
-        Box::into_raw(Box::new(Self {
+    /// Build a node *value* (used by the arena's in-place init).
+    pub(crate) fn new_value(older: *mut VersionNode, timestamp: u64, data: u64, tbd: bool) -> Self {
+        Self {
             older: AtomicPtr::new(older),
             timestamp: AtomicU64::new(timestamp),
             data: AtomicU64::new(data),
             tbd: AtomicBool::new(tbd),
-        }))
+        }
     }
 
-    /// Approximate heap footprint, for the memory-usage accounting (Fig. 9).
-    pub const fn heap_bytes() -> usize {
-        std::mem::size_of::<VersionNode>()
+    /// Acquire an initialised node from the arena (cold path: constructors
+    /// and tests; the transaction hot path goes through its pool handle).
+    pub fn acquire(older: *mut VersionNode, timestamp: u64, data: u64, tbd: bool) -> *mut Self {
+        arena::acquire_version_node(older, timestamp, data, tbd)
+    }
+
+    /// Return an exclusively owned node to the arena (teardown/tests).
+    ///
+    /// # Safety
+    /// `p` must be an arena node no other thread can still reach, released
+    /// exactly once.
+    pub(crate) unsafe fn release(p: *mut Self) {
+        // Safety: forwarded contract.
+        unsafe { arena::release_version_node(p) }
     }
 
     /// Resolve a TBD version to a committed version at `commit_ts`
@@ -78,12 +99,20 @@ impl VersionList {
     /// stripe lock) and its timestamp is the earliest safely usable one.
     pub fn with_initial(timestamp: u64, data: u64) -> Self {
         Self {
-            head: AtomicPtr::new(VersionNode::boxed(
+            head: AtomicPtr::new(VersionNode::acquire(
                 std::ptr::null_mut(),
                 timestamp,
                 data,
                 false,
             )),
+        }
+    }
+
+    /// Create a list around an already-initialised, unpublished head node
+    /// (the arena's in-place VLT-node init).
+    pub(crate) fn from_head(head: *mut VersionNode) -> Self {
+        Self {
+            head: AtomicPtr::new(head),
         }
     }
 
@@ -118,6 +147,12 @@ impl VersionList {
     /// at the read clock would let one snapshot mix pre-commit raw reads
     /// with at-clock versioned reads — an opacity violation observed as rare
     /// inconsistent sums in the bank-invariant tests.
+    ///
+    /// The strict rule also shapes reclamation: a reader walks *past* a
+    /// committed version stamped `T` only if its read clock is `<= T`, which
+    /// is why superseded versions are retired only once the global clock
+    /// exceeds the superseding commit timestamp (see `arena` docs and
+    /// `MultiverseTx::flush_superseded`).
     pub fn traverse(&self, read_clock: u64) -> TxResult<u64> {
         // Phase 1: wait while the head is a TBD version that could be
         // relevant to us. A TBD version resolves to a commit timestamp at
@@ -136,6 +171,11 @@ impl VersionList {
             let node = unsafe { &*node_ptr };
             let tbd = node.tbd.load(Ordering::Acquire);
             let ts = node.timestamp.load(Ordering::Acquire);
+            debug_assert_ne!(
+                ts,
+                arena::POISON_TS,
+                "reader reached a recycled version node"
+            );
             if tbd && ts < read_clock {
                 spin.spin();
                 continue;
@@ -149,6 +189,11 @@ impl VersionList {
             let node = unsafe { &*cur };
             let tbd = node.tbd.load(Ordering::Acquire);
             let ts = node.timestamp.load(Ordering::Acquire);
+            debug_assert_ne!(
+                ts,
+                arena::POISON_TS,
+                "reader reached a recycled version node"
+            );
             if !tbd && ts != DELETED_TS && ts < read_clock {
                 return Ok(node.data.load(Ordering::Acquire));
             }
@@ -166,6 +211,7 @@ impl VersionList {
             let node = unsafe { &*cur };
             let tbd = node.tbd.load(Ordering::Acquire);
             let ts = node.timestamp.load(Ordering::Acquire);
+            debug_assert_ne!(ts, arena::POISON_TS, "scan reached a recycled version node");
             if !tbd && ts != DELETED_TS {
                 return Some(ts);
             }
@@ -178,10 +224,11 @@ impl VersionList {
     /// holds the stripe lock and retires the returned node through EBR).
     ///
     /// Only the head needs explicit retirement: every *non-head* node was
-    /// already retired at the moment it was superseded ("immediately after an
-    /// update transaction adds a new version to a version list, the previous
-    /// version is retired", §4.5), so retiring the whole chain here would
-    /// double-free.
+    /// already retired — or queued for clock-gated retirement by the
+    /// transaction that superseded it — at the moment it was replaced
+    /// ("immediately after an update transaction adds a new version to a
+    /// version list, the previous version is retired", §4.5), so retiring
+    /// the whole chain here would double-free.
     pub fn detach_head(&self) -> *mut VersionNode {
         self.head.swap(std::ptr::null_mut(), Ordering::AcqRel)
     }
@@ -206,13 +253,14 @@ impl VersionList {
 impl Drop for VersionList {
     fn drop(&mut self) {
         // Only the head can still be owned by the list: every superseded
-        // version was retired (and is freed) through EBR when it was replaced
-        // (§4.5), and aborted versions were unlinked and retired on rollback.
-        // Freeing the whole chain here would therefore double-free; freeing
-        // only the head is exact.
+        // version was retired (and recycled) through EBR when it was
+        // replaced (§4.5), and aborted versions were unlinked and retired on
+        // rollback. Releasing the whole chain here would therefore
+        // double-free; releasing only the head is exact.
         let head = self.head.load(Ordering::Relaxed);
         if !head.is_null() {
-            drop(unsafe { Box::from_raw(head) });
+            // Safety: teardown — the list owns its head exclusively.
+            unsafe { VersionNode::release(head) };
         }
     }
 }
@@ -241,9 +289,9 @@ mod tests {
     #[test]
     fn traversal_picks_newest_suitable_version() {
         let list = VersionList::with_initial(2, 10);
-        let v2 = VersionNode::boxed(list.head(), 6, 20, false);
+        let v2 = VersionNode::acquire(list.head(), 6, 20, false);
         list.push_head(v2);
-        let v3 = VersionNode::boxed(list.head(), 9, 30, false);
+        let v3 = VersionNode::acquire(list.head(), 9, 30, false);
         list.push_head(v3);
         assert_eq!(list.len(), 3);
         assert_eq!(list.traverse(10), Ok(30));
@@ -257,7 +305,7 @@ mod tests {
     #[test]
     fn deleted_versions_are_skipped() {
         let list = VersionList::with_initial(2, 10);
-        let dead = VersionNode::boxed(list.head(), 7, 99, false);
+        let dead = VersionNode::acquire(list.head(), 7, 99, false);
         list.push_head(dead);
         unsafe { &*dead }.resolve_deleted();
         assert_eq!(list.traverse(10), Ok(10), "deleted version skipped");
@@ -266,7 +314,7 @@ mod tests {
     #[test]
     fn tbd_head_in_the_future_is_skipped_without_waiting() {
         let list = VersionList::with_initial(2, 10);
-        let pending = VersionNode::boxed(list.head(), 8, 99, true);
+        let pending = VersionNode::acquire(list.head(), 8, 99, true);
         list.push_head(pending);
         // A reader with read clock 5 does not care about a TBD version whose
         // provisional timestamp is 8 — it must not block.
@@ -277,7 +325,7 @@ mod tests {
     fn tbd_head_blocks_relevant_reader_until_resolution() {
         use std::sync::Arc;
         let list = Arc::new(VersionList::with_initial(2, 10));
-        let pending = VersionNode::boxed(list.head(), 4, 99, true);
+        let pending = VersionNode::acquire(list.head(), 4, 99, true);
         list.push_head(pending);
         let reader_list = Arc::clone(&list);
         let reader = std::thread::spawn(move || reader_list.traverse(6));
@@ -294,9 +342,9 @@ mod tests {
     fn newest_committed_timestamp_ignores_tbd_and_deleted() {
         let list = VersionList::with_initial(3, 1);
         assert_eq!(list.newest_committed_timestamp(), Some(3));
-        let committed = VersionNode::boxed(list.head(), 7, 2, false);
+        let committed = VersionNode::acquire(list.head(), 7, 2, false);
         list.push_head(committed);
-        let pending = VersionNode::boxed(list.head(), 9, 3, true);
+        let pending = VersionNode::acquire(list.head(), 9, 3, true);
         list.push_head(pending);
         assert_eq!(list.newest_committed_timestamp(), Some(7));
         unsafe { &*pending }.resolve_deleted();
@@ -307,27 +355,50 @@ mod tests {
     fn detach_head_empties_the_list() {
         let list = VersionList::with_initial(1, 1);
         let old_head = list.head();
-        let second = VersionNode::boxed(old_head, 2, 2, false);
+        let second = VersionNode::acquire(old_head, 2, 2, false);
         list.push_head(second);
         let detached = list.detach_head();
         assert_eq!(detached, second);
         assert!(list.is_empty());
-        // Free manually in this test (the runtime retires through EBR): the
-        // detached head plus the node it superseded.
-        drop(unsafe { Box::from_raw(detached) });
-        drop(unsafe { Box::from_raw(old_head) });
+        // Release manually in this test (the runtime retires through EBR):
+        // the detached head plus the node it superseded.
+        unsafe {
+            VersionNode::release(detached);
+            VersionNode::release(old_head);
+        }
     }
 
     #[test]
     fn rollback_restores_previous_head() {
         let list = VersionList::with_initial(2, 10);
         let old_head = list.head();
-        let pending = VersionNode::boxed(old_head, 4, 99, true);
+        let pending = VersionNode::acquire(old_head, 4, 99, true);
         list.push_head(pending);
         // Abort path: mark deleted, unlink, (retire elsewhere).
         unsafe { &*pending }.resolve_deleted();
         list.restore_head(old_head);
         assert_eq!(list.traverse(10), Ok(10));
-        drop(unsafe { Box::from_raw(pending) });
+        unsafe { VersionNode::release(pending) };
+    }
+
+    #[test]
+    fn recycled_slots_are_fully_reinitialised() {
+        // Churn one list through many acquire/release cycles: recycled slots
+        // must come back fully re-initialised (never poisoned, never stale),
+        // which the traverse asserts verify on every step.
+        let list = VersionList::with_initial(1, 0);
+        for i in 0..256u64 {
+            let old = list.head();
+            // The new head does not link to `old`: this test releases `old`
+            // immediately, so keeping it reachable would be a use-after-free.
+            let n = VersionNode::acquire(std::ptr::null_mut(), 2 + i, i, false);
+            list.push_head(n);
+            // Manually recycle the superseded node as the runtime would
+            // after its grace period.
+            unsafe { VersionNode::release(old) };
+            // The (recycled) head must carry exactly the fresh values.
+            assert_eq!(list.traverse(u64::MAX - 1), Ok(i));
+            assert_eq!(list.len(), 1);
+        }
     }
 }

@@ -8,35 +8,59 @@
 //! background thread unversions the bucket) requires holding stripe `i`'s
 //! lock; readers traverse buckets without locks and rely on epoch-based
 //! reclamation for safety.
+//!
+//! Bucket nodes live in the epoch-recycled arena (`crate::arena`); a drained
+//! bucket chain is retired as a *single* EBR entry and recycled wholesale.
 
+use crate::arena;
 use crate::version::{VersionList, VersionNode};
 use std::sync::atomic::{AtomicPtr, Ordering};
 
 /// One entry of a VLT bucket: the version list of a single address.
+///
+/// `repr(C)` with `next` first: a recycled slot's free-list link reuses the
+/// first word, so the pointer field (dead in a free node) absorbs it while
+/// the debug poison in `addr` stays intact.
 #[derive(Debug)]
+#[repr(C)]
 pub struct VltNode {
+    /// Next node in the same bucket.
+    pub next: AtomicPtr<VltNode>,
     /// The transactional address whose versions this node tracks.
     pub addr: usize,
     /// The address's version list.
     pub vlist: VersionList,
-    /// Next node in the same bucket.
-    pub next: AtomicPtr<VltNode>,
 }
 
 impl VltNode {
-    /// Allocate a bucket node for `addr` whose version list starts with the
-    /// initial version (`timestamp`, `data`).
-    pub fn boxed(addr: usize, timestamp: u64, data: u64) -> *mut Self {
-        Box::into_raw(Box::new(Self {
-            addr,
-            vlist: VersionList::with_initial(timestamp, data),
+    /// Build a node *value* around an initialised, unpublished initial
+    /// version (used by the arena's in-place init).
+    pub(crate) fn new_value(addr: usize, initial: *mut VersionNode) -> Self {
+        Self {
             next: AtomicPtr::new(std::ptr::null_mut()),
-        }))
+            addr,
+            vlist: VersionList::from_head(initial),
+        }
     }
 
-    /// Approximate heap footprint of a bucket node plus its initial version.
-    pub const fn heap_bytes() -> usize {
-        std::mem::size_of::<VltNode>() + VersionNode::heap_bytes()
+    /// Acquire an initialised bucket node for `addr` whose version list
+    /// starts with the initial version (`timestamp`, `data`). Cold path:
+    /// tests and diagnostics; the transaction hot path allocates through its
+    /// pool handle.
+    #[cfg(test)]
+    pub(crate) fn acquire(addr: usize, timestamp: u64, data: u64) -> *mut Self {
+        arena::acquire_vlt_node(addr, timestamp, data)
+    }
+
+    /// Return an exclusively owned bucket node (and its version-list head)
+    /// to the arena (teardown/tests).
+    ///
+    /// # Safety
+    /// `p` must be an arena node no other thread can still reach, released
+    /// exactly once.
+    pub(crate) unsafe fn release(p: *mut Self) {
+        // Safety: forwarded contract.
+        unsafe { arena::release_vlt_node(p) }
     }
 }
 
@@ -80,6 +104,11 @@ impl Vlt {
         while !cur.is_null() {
             // Safety: see above.
             let node = unsafe { &*cur };
+            debug_assert_ne!(
+                node.addr,
+                arena::POISON_ADDR,
+                "reader reached a recycled VLT node"
+            );
             if node.addr == addr {
                 return Some(&node.vlist);
             }
@@ -103,8 +132,8 @@ impl Vlt {
     }
 
     /// Detach bucket `idx` and return its chain head (used by unversioning).
-    /// Caller must hold the stripe lock; the returned nodes must be retired
-    /// through EBR.
+    /// Caller must hold the stripe lock; the returned chain must be retired
+    /// through EBR (as one entry — see `arena::recycle_vlt_chain`).
     #[inline]
     pub fn take_bucket(&self, idx: usize) -> *mut VltNode {
         self.buckets[idx].swap(std::ptr::null_mut(), Ordering::AcqRel)
@@ -147,13 +176,16 @@ impl Vlt {
 
 impl Drop for Vlt {
     fn drop(&mut self) {
-        // Runtime teardown: free any bucket chains that were never
-        // unversioned. Version lists free their own nodes.
+        // Runtime teardown: release any bucket chains that were never
+        // unversioned back into the arena (node plus version-list head;
+        // non-head versions were already retired when superseded).
         for bucket in self.buckets.iter() {
             let mut cur = bucket.load(Ordering::Relaxed);
             while !cur.is_null() {
-                let node = unsafe { Box::from_raw(cur) };
-                cur = node.next.load(Ordering::Relaxed);
+                let next = unsafe { &*cur }.next.load(Ordering::Relaxed);
+                // Safety: teardown — no other thread can reach the chain.
+                unsafe { VltNode::release(cur) };
+                cur = next;
             }
         }
     }
@@ -174,7 +206,7 @@ mod tests {
     #[test]
     fn insert_then_find() {
         let vlt = Vlt::new(8);
-        let node = VltNode::boxed(0x1000, 3, 42);
+        let node = VltNode::acquire(0x1000, 3, 42);
         unsafe { vlt.insert(2, node) };
         let found = vlt.find(2, 0x1000).expect("address should be versioned");
         assert_eq!(found.traverse(5), Ok(42));
@@ -185,9 +217,9 @@ mod tests {
     #[test]
     fn multiple_addresses_share_a_bucket() {
         let vlt = Vlt::new(4);
-        unsafe { vlt.insert(1, VltNode::boxed(0x1000, 1, 10)) };
-        unsafe { vlt.insert(1, VltNode::boxed(0x2000, 2, 20)) };
-        unsafe { vlt.insert(1, VltNode::boxed(0x3000, 3, 30)) };
+        unsafe { vlt.insert(1, VltNode::acquire(0x1000, 1, 10)) };
+        unsafe { vlt.insert(1, VltNode::acquire(0x2000, 2, 20)) };
+        unsafe { vlt.insert(1, VltNode::acquire(0x3000, 3, 30)) };
         assert_eq!(vlt.bucket_len(1), 3);
         assert_eq!(vlt.find(1, 0x1000).unwrap().traverse(9), Ok(10));
         assert_eq!(vlt.find(1, 0x2000).unwrap().traverse(9), Ok(20));
@@ -197,8 +229,8 @@ mod tests {
     #[test]
     fn newest_timestamp_in_bucket_tracks_all_lists() {
         let vlt = Vlt::new(4);
-        unsafe { vlt.insert(0, VltNode::boxed(0x1000, 5, 1)) };
-        unsafe { vlt.insert(0, VltNode::boxed(0x2000, 9, 2)) };
+        unsafe { vlt.insert(0, VltNode::acquire(0x1000, 5, 1)) };
+        unsafe { vlt.insert(0, VltNode::acquire(0x2000, 9, 2)) };
         assert_eq!(vlt.newest_timestamp_in_bucket(0), Some(9));
         assert_eq!(vlt.newest_timestamp_in_bucket(1), None);
     }
@@ -206,18 +238,19 @@ mod tests {
     #[test]
     fn take_bucket_detaches_chain() {
         let vlt = Vlt::new(4);
-        unsafe { vlt.insert(3, VltNode::boxed(0x1000, 1, 1)) };
-        unsafe { vlt.insert(3, VltNode::boxed(0x2000, 2, 2)) };
+        unsafe { vlt.insert(3, VltNode::acquire(0x1000, 1, 1)) };
+        unsafe { vlt.insert(3, VltNode::acquire(0x2000, 2, 2)) };
         let head = vlt.take_bucket(3);
         assert!(vlt.bucket_is_empty(3));
         assert!(!head.is_null());
-        // Free the detached chain manually (the runtime normally retires it
-        // through EBR).
+        // Release the detached chain manually (the runtime normally retires
+        // it through EBR as one chain entry).
         let mut cur = head;
         let mut count = 0;
         while !cur.is_null() {
-            let node = unsafe { Box::from_raw(cur) };
-            cur = node.next.load(Ordering::Relaxed);
+            let next = unsafe { &*cur }.next.load(Ordering::Relaxed);
+            unsafe { VltNode::release(cur) };
+            cur = next;
             count += 1;
         }
         assert_eq!(count, 2);

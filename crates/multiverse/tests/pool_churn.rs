@@ -1,0 +1,112 @@
+//! Stress test for arena recycling under version/unversion churn.
+//!
+//! Multiple threads drive the whole node life cycle concurrently:
+//!
+//! * versioned read-only transactions (`k1 = 0`) create version lists on
+//!   demand (`versionThenRead`),
+//! * updaters append versions (superseding — and eventually recycling — the
+//!   previous ones through the clock-gated supersede queue),
+//! * the background thread unversions buckets aggressively (threshold 1),
+//!   retiring whole VLT chains as single EBR entries,
+//! * recycled slots immediately feed new versioning.
+//!
+//! Reuse-before-grace would surface in three independent ways: the debug
+//! poison asserts in `VersionList::traverse` / `Vlt::find` (this test builds
+//! with `debug_assertions`), torn values breaking the transfer invariant
+//! checked inside every read-only scan, or crashes from walking a recycled
+//! link word. A clean run across many unversion cycles is the evidence the
+//! ISSUE asks for.
+
+use multiverse::{MultiverseConfig, MultiverseRuntime};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use tm_api::{TVar, TmHandle, TmRuntime, Transaction, TxKind};
+
+#[test]
+fn version_unversion_churn_recycles_safely() {
+    const ACCOUNTS: usize = 128;
+    const INITIAL: u64 = 1_000;
+    let rt = MultiverseRuntime::start(MultiverseConfig {
+        // Every read-only transaction runs versioned: constant list creation.
+        k1_versioned_after: 0,
+        // Unversion as fast as the heuristic allows: constant teardown.
+        min_unversion_threshold: 1,
+        l_delta_samples: 1,
+        p_prefix_fraction: 1.0,
+        bg_sleep_us: 20,
+        // Few stripes => crowded buckets => multi-node chains get recycled.
+        stripes: 64,
+        ..MultiverseConfig::small()
+    });
+    let accounts: Arc<Vec<TVar<u64>>> =
+        Arc::new((0..ACCOUNTS).map(|_| TVar::new(INITIAL)).collect());
+    let expected = (ACCOUNTS as u64) * INITIAL;
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        // Updaters: transfers keep the total invariant and continuously
+        // supersede versions.
+        for t in 0..2u64 {
+            let rt = Arc::clone(&rt);
+            let accounts = Arc::clone(&accounts);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut h = rt.register();
+                let mut x = t + 1;
+                while !stop.load(Ordering::Relaxed) {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let from = (x as usize) % ACCOUNTS;
+                    let to = ((x >> 20) as usize) % ACCOUNTS;
+                    let amt = x % 7;
+                    h.txn(TxKind::ReadWrite, |tx| {
+                        let a = tx.read_var(&accounts[from])?;
+                        let b = tx.read_var(&accounts[to])?;
+                        if from != to && a >= amt {
+                            tx.write_var(&accounts[from], a - amt)?;
+                            tx.write_var(&accounts[to], b + amt)?;
+                        }
+                        Ok(())
+                    });
+                }
+            });
+        }
+        // Versioned scanners: create version lists and verify snapshots.
+        let rt_obs = Arc::clone(&rt);
+        let accounts_obs = Arc::clone(&accounts);
+        let stop_obs = Arc::clone(&stop);
+        s.spawn(move || {
+            let mut h = rt_obs.register();
+            for _ in 0..400 {
+                let sum = h.txn(TxKind::ReadOnly, |tx| {
+                    let mut sum = 0u64;
+                    for a in accounts_obs.iter() {
+                        sum += tx.read_var(a)?;
+                    }
+                    Ok(sum)
+                });
+                assert_eq!(sum, expected, "snapshot must preserve the total balance");
+            }
+            stop_obs.store(true, Ordering::Relaxed);
+        });
+    });
+
+    let final_sum: u64 = accounts.iter().map(|a| a.load_direct()).sum();
+    assert_eq!(final_sum, expected);
+
+    let stats = rt.stats();
+    assert!(
+        stats.addresses_versioned > 0,
+        "churn must have versioned addresses"
+    );
+    assert!(
+        stats.buckets_unversioned > 0,
+        "churn must have unversioned buckets (bg teardown ran)"
+    );
+    assert!(
+        stats.pool_recycled > 0,
+        "unversioned chains must have been recycled into the arena"
+    );
+    rt.shutdown();
+}

@@ -1,0 +1,141 @@
+//! End-to-end steady-state allocation audit for the **versioned** Multiverse
+//! hot path.
+//!
+//! PR 1 proved the transaction-local sets (`tm_api::txset`) allocation-free;
+//! this audit closes the loop for the shared version-list memory: after a
+//! warm-up phase, a Mode-U transaction loop — every write publishes a version
+//! node, superseded versions are retired through EBR and recycled into the
+//! arena — must perform **zero** heap allocations on the worker thread.
+//!
+//! Mechanics: a counting global allocator that only counts allocations made
+//! while the current thread has tracking enabled (a `const`-initialised
+//! thread-local `Cell`, so the allocator itself never allocates). The
+//! Multiverse background thread and the libtest machinery therefore cannot
+//! pollute the counter; the test still runs with `harness = false` so no
+//! helper thread inherits the main thread's identity.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use multiverse::{MultiverseConfig, MultiverseRuntime};
+use tm_api::{TVar, TmHandle, TmRuntime, Transaction, TxKind};
+
+static TRACKED_ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Whether allocations on this thread are counted. `const`-initialised:
+    /// first access performs no lazy initialisation (and hence no
+    /// allocation), which makes it safe to read inside the allocator.
+    static TRACK: Cell<bool> = const { Cell::new(false) };
+}
+
+struct CountingAllocator;
+
+// Safety: delegates to `System`, only adding a counter.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if TRACK.try_with(|t| t.get()).unwrap_or(false) {
+            TRACKED_ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if TRACK.try_with(|t| t.get()).unwrap_or(false) {
+            TRACKED_ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn tracked_allocations() -> u64 {
+    TRACKED_ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn main() {
+    versioned_steady_state_does_not_allocate();
+    println!("versioned_alloc: warmed-up versioned transaction loop performed zero heap allocations ... ok");
+}
+
+fn versioned_steady_state_does_not_allocate() {
+    // Forced Mode U: every updating transaction versions every address it
+    // writes — the heaviest allocation profile the TM has.
+    let rt = MultiverseRuntime::start(MultiverseConfig::small_mode_u_only());
+    let vars: Vec<TVar<u64>> = (0..64).map(|i| TVar::new(i as u64)).collect();
+    let mut h = rt.register();
+
+    let mut iteration = |i: u64| {
+        // A versioned read-only scan (Mode-U read protocol).
+        let _ = h.txn(TxKind::ReadOnly, |tx| {
+            let mut sum = 0u64;
+            for v in vars.iter().skip((i as usize) % 8).take(8) {
+                sum = sum.wrapping_add(tx.read_var(v)?);
+            }
+            Ok(sum)
+        });
+        // A versioned update: version-list appends, supersede retirement,
+        // arena recycling.
+        h.txn(TxKind::ReadWrite, |tx| {
+            let a = (i as usize) % 64;
+            let b = (i as usize + 17) % 64;
+            let va = tx.read_var(&vars[a])?;
+            tx.write_var(&vars[a], va + 1)?;
+            tx.write_var(&vars[b], i)
+        });
+    };
+
+    // Warm-up: fill the arena, spill the logs to their high-watermark, let
+    // EBR reach its steady reclaim rhythm (collects run every 64 unpins).
+    for i in 0..20_000u64 {
+        iteration(i);
+    }
+
+    // Steady state must contain a long window with *zero* allocations. A
+    // couple of extra windows tolerate warm-up-tail watermark drift (the
+    // background thread's epoch advances are timed nondeterministically, so
+    // the EBR bag's peak can shift by a few entries right after warm-up); a
+    // real per-transaction leak would allocate in every window and still
+    // fail.
+    const WINDOW: u64 = 30_000;
+    const MAX_WINDOWS: u64 = 6;
+    let mut clean = false;
+    let mut last_window_allocs = 0;
+    for w in 0..MAX_WINDOWS {
+        TRACK.with(|t| t.set(true));
+        let before = tracked_allocations();
+        for i in 0..WINDOW {
+            iteration(w * WINDOW + i);
+        }
+        last_window_allocs = tracked_allocations() - before;
+        TRACK.with(|t| t.set(false));
+        if last_window_allocs == 0 {
+            clean = true;
+            break;
+        }
+    }
+    assert!(
+        clean,
+        "warmed-up versioned transactions must be allocation-free: every \
+         window allocated (last window: {last_window_allocs} allocations \
+         across {WINDOW} transactions)"
+    );
+
+    // Sanity: the loop really exercised the pooled versioned path.
+    let stats = rt.stats();
+    assert!(stats.pool_hits > 0, "expected pool hits, got none");
+    assert!(
+        stats.pool_recycled > 0,
+        "expected nodes recycled through EBR, got none"
+    );
+
+    drop(h);
+    rt.shutdown();
+}

@@ -50,20 +50,28 @@ macro_rules! stat_counters {
 }
 
 /// A relaxed atomic counter padded to its own cache line pair.
+///
+/// **Single-writer contract:** `inc`/`add` are implemented as a relaxed
+/// load + store rather than an atomic RMW, because every counter has exactly
+/// one writer (the owning thread; see the module docs). A plain store is
+/// several times cheaper than a locked `fetch_add` and these run multiple
+/// times per transaction attempt. Concurrent *readers* (snapshot aggregation)
+/// remain safe; a second concurrent writer would lose increments.
 #[derive(Debug, Default)]
 pub struct CachePaddedCounter(CachePadded<AtomicU64>);
 
 impl CachePaddedCounter {
-    /// Increment by one.
+    /// Increment by one (single writer; see the type docs).
     #[inline(always)]
     pub fn inc(&self) {
-        self.0.fetch_add(1, Ordering::Relaxed);
+        self.add(1);
     }
 
-    /// Increment by `n`.
+    /// Increment by `n` (single writer; see the type docs).
     #[inline(always)]
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        let v = self.0.load(Ordering::Relaxed);
+        self.0.store(v.wrapping_add(n), Ordering::Relaxed);
     }
 
     /// Current value.
@@ -104,6 +112,12 @@ stat_counters! {
     buckets_unversioned,
     /// Global TM mode transitions observed/performed.
     mode_transitions,
+    /// Version/VLT node allocations served from the recycled node pool.
+    pool_hits,
+    /// Version/VLT node allocations that had to grow the node pool.
+    pool_misses,
+    /// Nodes recycled into the pool after their EBR grace period.
+    pool_recycled,
 }
 
 /// Registry of all per-thread statistics for one TM runtime instance.

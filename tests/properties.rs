@@ -47,7 +47,7 @@ proptest! {
         let mut history = vec![ts];
         for inc in increments {
             ts += inc;
-            list.push_head(VersionNode::boxed(list.head(), ts, ts, false));
+            list.push_head(VersionNode::acquire(list.head(), ts, ts, false));
             history.push(ts);
         }
         let read_clock = read_offset.min(ts + 5);
