@@ -117,6 +117,7 @@ pub struct DctlTx {
 
 impl DctlTx {
     fn begin(&mut self, kind: TxKind, irrevocable: bool) {
+        tm_api::record::on_begin(kind);
         self.kind = kind;
         self.irrevocable = irrevocable;
         self.stats.starts.inc();
@@ -200,7 +201,9 @@ impl Transaction for DctlTx {
             // Irrevocable transactions claim locks on reads so that they can
             // never be invalidated (and can therefore never abort).
             self.lock_stripe_blocking(idx);
-            return Ok(word.tm_load());
+            let val = word.tm_load();
+            tm_api::record::on_read(word.addr(), val);
+            return Ok(val);
         }
         let val = word.tm_load();
         fence(Ordering::Acquire);
@@ -209,6 +212,7 @@ impl Transaction for DctlTx {
             return Err(Abort);
         }
         self.read_set.push(idx);
+        tm_api::record::on_read(word.addr(), val);
         Ok(val)
     }
 
@@ -241,6 +245,7 @@ impl Transaction for DctlTx {
         }
         self.undo.push(word, word.tm_load());
         word.tm_store(value);
+        tm_api::record::on_write(word.addr(), value);
         Ok(())
     }
 
@@ -287,6 +292,7 @@ impl TmHandle for DctlHandle {
             let outcome = body(&mut self.tx).and_then(|r| self.tx.try_commit().map(|()| r));
             match outcome {
                 Ok(r) => {
+                    tm_api::record::on_commit();
                     self.tx.finish_commit();
                     if irrevocable {
                         self.tx.rt.release_irrevocable(self.tx.tid);
@@ -303,6 +309,7 @@ impl TmHandle for DctlHandle {
                 }
                 Err(_) => {
                     self.tx.rollback_and_finish();
+                    tm_api::record::on_abort();
                     if irrevocable {
                         // Only explicit user aborts can get here; the token
                         // must still be released.

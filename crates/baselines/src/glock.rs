@@ -88,13 +88,16 @@ impl Transaction for GlockTx {
     fn read(&mut self, word: &TxWord) -> TxResult<u64> {
         self.reads += 1;
         self.stats.reads.inc();
-        Ok(word.tm_load())
+        let val = word.tm_load();
+        tm_api::record::on_read(word.addr(), val);
+        Ok(val)
     }
 
     fn write(&mut self, word: &TxWord, value: u64) -> TxResult<()> {
         self.stats.writes.inc();
         self.undo.push(word, word.tm_load());
         word.tm_store(value);
+        tm_api::record::on_write(word.addr(), value);
         Ok(())
     }
 
@@ -133,10 +136,12 @@ impl TmHandle for GlockHandle {
                 return TxOutcome::GaveUp;
             }
             attempts += 1;
+            tm_api::record::on_begin(kind);
             self.tx.begin();
             match body(&mut self.tx) {
                 Ok(r) => {
                     self.tx.finish(true);
+                    tm_api::record::on_commit();
                     self.tx.stats.commits.inc();
                     if kind == TxKind::ReadOnly {
                         self.tx.stats.ro_commits.inc();
@@ -148,6 +153,7 @@ impl TmHandle for GlockHandle {
                 Err(_) => {
                     // Only explicit user aborts can reach this point.
                     self.tx.finish(false);
+                    tm_api::record::on_abort();
                     self.tx.stats.aborts.inc();
                 }
             }

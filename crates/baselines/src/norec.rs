@@ -78,6 +78,7 @@ pub struct NorecTx {
 
 impl NorecTx {
     fn begin(&mut self, kind: TxKind) {
+        tm_api::record::on_begin(kind);
         self.kind = kind;
         self.stats.starts.inc();
         self.ebr.pin();
@@ -145,6 +146,7 @@ impl Transaction for NorecTx {
         self.reads += 1;
         self.stats.reads.inc();
         if let Some(v) = self.redo.lookup(word) {
+            tm_api::record::on_read(word.addr(), v);
             return Ok(v);
         }
         let mut val = word.tm_load();
@@ -153,12 +155,14 @@ impl Transaction for NorecTx {
             val = word.tm_load();
         }
         self.reads_values.push(word, val);
+        tm_api::record::on_read(word.addr(), val);
         Ok(val)
     }
 
     fn write(&mut self, word: &TxWord, value: u64) -> TxResult<()> {
         self.stats.writes.inc();
         self.redo.insert(word, value);
+        tm_api::record::on_write(word.addr(), value);
         Ok(())
     }
 
@@ -201,6 +205,7 @@ impl TmHandle for NorecHandle {
             let outcome = body(&mut self.tx).and_then(|r| self.tx.try_commit().map(|()| r));
             match outcome {
                 Ok(r) => {
+                    tm_api::record::on_commit();
                     self.tx.finish_commit();
                     self.tx.stats.commits.inc();
                     if kind == TxKind::ReadOnly {
@@ -213,6 +218,7 @@ impl TmHandle for NorecHandle {
                 }
                 Err(_) => {
                     self.tx.finish_abort();
+                    tm_api::record::on_abort();
                     self.tx.stats.aborts.inc();
                     self.backoff.abort_and_wait();
                 }

@@ -88,6 +88,7 @@ pub struct TinyStmTx {
 
 impl TinyStmTx {
     fn begin(&mut self, kind: TxKind) {
+        tm_api::record::on_begin(kind);
         self.kind = kind;
         self.stats.starts.inc();
         self.ebr.pin();
@@ -170,12 +171,14 @@ impl Transaction for TinyStmTx {
             if st.locked {
                 if st.tid == self.tid {
                     self.read_set.push(idx);
+                    tm_api::record::on_read(word.addr(), val);
                     return Ok(val);
                 }
                 return Err(Abort);
             }
             if st.version <= self.rv {
                 self.read_set.push(idx);
+                tm_api::record::on_read(word.addr(), val);
                 return Ok(val);
             }
             // The stripe is newer than our snapshot: try to extend it and
@@ -210,6 +213,7 @@ impl Transaction for TinyStmTx {
         }
         self.undo.push(word, word.tm_load());
         word.tm_store(value);
+        tm_api::record::on_write(word.addr(), value);
         Ok(())
     }
 
@@ -252,6 +256,7 @@ impl TmHandle for TinyStmHandle {
             let outcome = body(&mut self.tx).and_then(|r| self.tx.try_commit().map(|()| r));
             match outcome {
                 Ok(r) => {
+                    tm_api::record::on_commit();
                     self.tx.finish_commit();
                     self.tx.stats.commits.inc();
                     if kind == TxKind::ReadOnly {
@@ -264,6 +269,7 @@ impl TmHandle for TinyStmHandle {
                 }
                 Err(_) => {
                     self.tx.rollback_and_finish();
+                    tm_api::record::on_abort();
                     self.tx.stats.aborts.inc();
                     self.backoff.abort_and_wait();
                 }

@@ -86,6 +86,7 @@ pub struct Tl2Tx {
 
 impl Tl2Tx {
     fn begin(&mut self, kind: TxKind) {
+        tm_api::record::on_begin(kind);
         self.kind = kind;
         self.stats.starts.inc();
         self.ebr.pin();
@@ -182,6 +183,7 @@ impl Transaction for Tl2Tx {
         self.reads += 1;
         self.stats.reads.inc();
         if let Some(v) = self.redo.lookup(word) {
+            tm_api::record::on_read(word.addr(), v);
             return Ok(v);
         }
         let idx = self.rt.locks.index_of(word.addr());
@@ -198,12 +200,14 @@ impl Transaction for Tl2Tx {
             return Err(Abort);
         }
         self.read_set.push(idx);
+        tm_api::record::on_read(word.addr(), val);
         Ok(val)
     }
 
     fn write(&mut self, word: &TxWord, value: u64) -> TxResult<()> {
         self.stats.writes.inc();
         self.redo.insert(word, value);
+        tm_api::record::on_write(word.addr(), value);
         Ok(())
     }
 
@@ -246,6 +250,7 @@ impl TmHandle for Tl2Handle {
             let outcome = body(&mut self.tx).and_then(|r| self.tx.try_commit().map(|()| r));
             match outcome {
                 Ok(r) => {
+                    tm_api::record::on_commit();
                     self.tx.finish_commit();
                     self.tx.stats.commits.inc();
                     if kind == TxKind::ReadOnly {
@@ -258,6 +263,7 @@ impl TmHandle for Tl2Handle {
                 }
                 Err(_) => {
                     self.tx.finish_abort();
+                    tm_api::record::on_abort();
                     self.tx.stats.aborts.inc();
                     self.backoff.abort_and_wait();
                 }

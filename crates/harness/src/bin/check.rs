@@ -1,0 +1,139 @@
+//! `harness check` — drive every TM through the scenario generator with
+//! history recording enabled and validate opacity + serializability offline.
+//!
+//! ```text
+//! cargo run --release -p harness --features record --bin check -- \
+//!     --backend all --scenario all --seed 1 [--seeds N] [--smoke|--full]
+//! ```
+//!
+//! * `--backend`  comma list of TM names or `all` (the six algorithms plus
+//!   the two forced-mode Multiverse ablations).
+//! * `--scenario` comma list of scenario families or `all`.
+//! * `--seed N`   first seed (default 1).
+//! * `--seeds N`  number of consecutive seeds to sweep (default 1).
+//! * `--smoke`    CI sizing (default); `--full` for the larger local sweep.
+//!
+//! Exit status is non-zero iff any violation was found. See TESTING.md for
+//! the history model and how to reproduce a failing seed.
+
+use harness::registry::TmKind;
+use harness::scenario::{run_and_check, ScenarioKind, ScenarioSpec};
+
+struct Args {
+    backends: Vec<TmKind>,
+    scenarios: Vec<ScenarioKind>,
+    seed: u64,
+    seeds: u64,
+    full: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: check [--backend all|tm,tm,...] [--scenario all|name,...] \
+         [--seed N] [--seeds N] [--smoke|--full]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        backends: TmKind::all(),
+        scenarios: ScenarioKind::all(),
+        seed: 1,
+        seeds: 1,
+        full: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--backend" | "--backends" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                if v != "all" {
+                    args.backends = v
+                        .split(',')
+                        .map(|s| {
+                            TmKind::parse(s.trim()).unwrap_or_else(|| {
+                                eprintln!("unknown backend '{s}'");
+                                usage()
+                            })
+                        })
+                        .collect();
+                }
+            }
+            "--scenario" | "--scenarios" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                if v != "all" {
+                    args.scenarios = v
+                        .split(',')
+                        .map(|s| {
+                            ScenarioKind::parse(s.trim()).unwrap_or_else(|| {
+                                eprintln!("unknown scenario '{s}'");
+                                usage()
+                            })
+                        })
+                        .collect();
+                }
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seeds" => {
+                args.seeds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--smoke" => args.full = false,
+            "--full" => args.full = true,
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mut total_runs = 0usize;
+    let mut dirty_runs = 0usize;
+    for seed in args.seed..args.seed + args.seeds.max(1) {
+        for &scenario in &args.scenarios {
+            let spec = if args.full {
+                ScenarioSpec::full(scenario, seed)
+            } else {
+                ScenarioSpec::smoke(scenario, seed)
+            };
+            for &tm in &args.backends {
+                let report = run_and_check(tm, &spec);
+                total_runs += 1;
+                let verdict = if report.is_clean() { "ok" } else { "VIOLATION" };
+                println!(
+                    "check {:<18} {:<22} attempts={:<6} committed={:<6} aborted={:<5} reads={:<7} {}",
+                    report.backend,
+                    report.scenario,
+                    report.stats.attempts,
+                    report.stats.committed,
+                    report.stats.aborted,
+                    report.stats.reads_checked,
+                    verdict
+                );
+                if !report.is_clean() {
+                    dirty_runs += 1;
+                    for v in report.violations.iter().take(8) {
+                        println!("    {v}");
+                    }
+                    if report.violations.len() > 8 {
+                        println!("    ... {} more", report.violations.len() - 8);
+                    }
+                }
+            }
+        }
+    }
+    if dirty_runs > 0 {
+        eprintln!("{dirty_runs}/{total_runs} runs had opacity/serializability violations");
+        std::process::exit(1);
+    }
+    println!("{total_runs} runs clean: no opacity/serializability violations");
+}

@@ -1,0 +1,1082 @@
+//! # checker — offline opacity / serializability validation of recorded
+//! transaction histories.
+//!
+//! PRs 1 and 2 each found a latent correctness bug (the `==` read-clock
+//! opacity violation, the supersede-time use-after-free) that the seed tests
+//! only caught probabilistically, as rare inconsistent sums. This module
+//! turns the underlying invariants into *machine-checked properties of
+//! recorded histories*: any TM in the repository can be driven through a
+//! scenario with recording enabled (`tm-api` feature `record`) and the
+//! resulting [`History`] validated for
+//!
+//! * **final-state serializability** — all committed writes are explainable
+//!   by some serial order: per-address version chains are linear (no lost
+//!   updates), the conflict graph over committed transactions is acyclic,
+//!   and the final memory state is the last version of every chain;
+//! * **opacity, as snapshot consistency** — every transaction attempt's
+//!   reads, *including the reads of attempts that later aborted*, are
+//!   consistent with a committed prefix at the reader's snapshot: there must
+//!   exist a point in the serial order at which every read value was the
+//!   latest committed version of its address.
+//!
+//! Deliberately **not** checked: real-time recency of read-only snapshots.
+//! Under the deferred clock a versioned reader whose read clock equals a
+//! just-committed timestamp legitimately serializes *before* that commit
+//! (the strict `< read-clock` rule skips versions stamped at the clock);
+//! flagging that would reject the paper's protocol itself.
+//!
+//! ## The history model and the RMW discipline
+//!
+//! The checker identifies which committed transaction wrote the value a read
+//! returned *by value*, so scenario workloads must follow two rules that the
+//! generator (`crate::scenario`) enforces and the checker verifies:
+//!
+//! 1. **Every write is an RMW**: the transaction reads an address before
+//!    writing it (no blind writes). The version order of an address is then
+//!    recoverable as a chain: initial value → (read by) writer 1 → value 1 →
+//!    (read by) writer 2 → ...
+//! 2. **Writes never repeat a value on the same address** (the generator
+//!    embeds a per-address sequence number in the upper bits). Chains are
+//!    therefore uniquely valued and `value → version` is well defined.
+//!
+//! Given the chains, every read of address `a` returning version `k` is
+//! valid in the window *after* `writer(a, k)` commits and *before*
+//! `writer(a, k+1)` commits. A set of reads is a consistent snapshot iff
+//! those windows can all contain one common point — equivalently, iff there
+//! are no two reads `i, j` with `writer(a_i, k_i+1)` preceding (or being)
+//! `writer(a_j, k_j)` in the committed-transaction dependency order. This is
+//! exactly the signature of the PR 1 `==` read-clock bug: a snapshot that
+//! mixes a pre-commit read of one address with an at-clock read of another
+//! address written by the *same* commit.
+
+use std::collections::HashMap;
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// History model
+// ---------------------------------------------------------------------------
+
+/// One recorded operation of a transaction attempt, in program order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// A transactional read of variable `var` returned `value`.
+    Read {
+        /// Variable index (dense, assigned by the scenario).
+        var: usize,
+        /// The value the read returned to the user.
+        value: u64,
+    },
+    /// A transactional write of `value` to `var` was accepted (it takes
+    /// effect iff the attempt commits).
+    Write {
+        /// Variable index.
+        var: usize,
+        /// The written value.
+        value: u64,
+    },
+}
+
+/// How a recorded attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The attempt committed; its writes took effect.
+    Committed,
+    /// The attempt aborted; its writes were rolled back / discarded.
+    Aborted,
+}
+
+/// One transaction attempt. Each retry of an operation is a separate attempt
+/// (and, for opacity, a separate transaction of the history).
+///
+/// Attempts carry no timestamps: the checker orders committed transactions
+/// purely by data dependencies (version chains and conflict edges), because
+/// under the deferred clock a snapshot reader may legitimately serialize
+/// before transactions that committed in real time before it began.
+#[derive(Debug, Clone)]
+pub struct Attempt {
+    /// Recording-thread label.
+    pub thread: u64,
+    /// The attempt's operations in program order.
+    pub ops: Vec<Op>,
+    /// Commit or abort.
+    pub outcome: Outcome,
+}
+
+/// A complete recorded history over a dense set of variables.
+#[derive(Debug, Clone)]
+pub struct History {
+    /// Label of the TM that produced the history (for reports).
+    pub backend: String,
+    /// Label of the scenario that produced the history (for reports).
+    pub scenario: String,
+    /// Initial value of every variable (index = variable).
+    pub initial: Vec<u64>,
+    /// Memory value of every variable after the run.
+    pub final_mem: Vec<u64>,
+    /// Every recorded attempt.
+    pub attempts: Vec<Attempt>,
+}
+
+// ---------------------------------------------------------------------------
+// Violations
+// ---------------------------------------------------------------------------
+
+/// A property violation found in a history. `attempt` fields index
+/// [`History::attempts`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// An attempt wrote a variable it never read (scenario-contract breach:
+    /// the checker cannot place blind writes on a version chain).
+    BlindWrite { attempt: usize, var: usize },
+    /// A committed write stored the value the transaction read (scenario
+    /// contract: values must change so chains stay uniquely valued).
+    NoopWrite {
+        attempt: usize,
+        var: usize,
+        value: u64,
+    },
+    /// A read returned something other than the attempt's own earlier write.
+    LostOwnWrite {
+        attempt: usize,
+        var: usize,
+        expected: u64,
+        got: u64,
+    },
+    /// Two reads of the same variable within one attempt (with no
+    /// intervening own write) returned different values.
+    UnrepeatableRead {
+        attempt: usize,
+        var: usize,
+        first: u64,
+        second: u64,
+    },
+    /// Two committed transactions both consumed the same version of a
+    /// variable (classic lost update: the chain forks).
+    ForkedChain {
+        var: usize,
+        value: u64,
+        writer_a: usize,
+        writer_b: usize,
+    },
+    /// A chain revisited a value (scenario contract breach or ABA).
+    DuplicateChainValue { var: usize, value: u64 },
+    /// A read returned a value no committed transaction (and no initial
+    /// state) ever produced for that variable — e.g. an uncommitted write.
+    DirtyRead {
+        attempt: usize,
+        var: usize,
+        value: u64,
+    },
+    /// The final memory value of a variable is not the last version of its
+    /// chain: some committed write was lost or misordered.
+    FinalStateMismatch { var: usize, expected: u64, got: u64 },
+    /// The committed-transaction conflict graph (read-from, write-order and
+    /// anti-dependency edges) has a cycle: no serial order explains the
+    /// history.
+    DependencyCycle { attempts: Vec<usize> },
+    /// An attempt's reads cannot all come from one committed prefix: the
+    /// read of `(var_a, value_a)` requires a point *before* the commit of
+    /// `blocker`, while the read of `(var_b, value_b)` requires a point at
+    /// or *after* it. The signature of the `==` read-clock bug is
+    /// `blocker` being the transaction that wrote both variables.
+    InconsistentSnapshot {
+        attempt: usize,
+        var_a: usize,
+        value_a: u64,
+        var_b: usize,
+        value_b: u64,
+        blocker: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::BlindWrite { attempt, var } => {
+                write!(f, "attempt {attempt}: blind write to var {var} (no prior read)")
+            }
+            Violation::NoopWrite { attempt, var, value } => {
+                write!(f, "attempt {attempt}: no-op write of {value:#x} to var {var}")
+            }
+            Violation::LostOwnWrite { attempt, var, expected, got } => write!(
+                f,
+                "attempt {attempt}: read of var {var} lost own write (wrote {expected:#x}, read {got:#x})"
+            ),
+            Violation::UnrepeatableRead { attempt, var, first, second } => write!(
+                f,
+                "attempt {attempt}: unrepeatable read of var {var} ({first:#x} then {second:#x})"
+            ),
+            Violation::ForkedChain { var, value, writer_a, writer_b } => write!(
+                f,
+                "lost update on var {var}: attempts {writer_a} and {writer_b} both consumed value {value:#x}"
+            ),
+            Violation::DuplicateChainValue { var, value } => {
+                write!(f, "var {var}: version chain revisits value {value:#x}")
+            }
+            Violation::DirtyRead { attempt, var, value } => write!(
+                f,
+                "attempt {attempt}: read of var {var} returned {value:#x}, which no committed transaction wrote"
+            ),
+            Violation::FinalStateMismatch { var, expected, got } => write!(
+                f,
+                "final state of var {var} is {got:#x}, but the last committed version is {expected:#x}"
+            ),
+            Violation::DependencyCycle { attempts } => {
+                write!(f, "committed-transaction dependency cycle involving attempts {attempts:?}")
+            }
+            Violation::InconsistentSnapshot { attempt, var_a, value_a, var_b, value_b, blocker } => write!(
+                f,
+                "attempt {attempt}: torn snapshot — read var {var_a}={value_a:#x} predates the commit of \
+                 attempt {blocker}, read var {var_b}={value_b:#x} requires it (or a later commit)"
+            ),
+        }
+    }
+}
+
+/// Summary counters of one check run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Attempts examined.
+    pub attempts: usize,
+    /// Committed attempts.
+    pub committed: usize,
+    /// Aborted attempts (their reads are still opacity-checked).
+    pub aborted: usize,
+    /// External reads validated against the snapshot-consistency property.
+    pub reads_checked: usize,
+    /// Variables with at least one committed write.
+    pub vars_written: usize,
+}
+
+/// The result of checking one history.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Backend label copied from the history.
+    pub backend: String,
+    /// Scenario label copied from the history.
+    pub scenario: String,
+    /// Violations found (empty = the history is opaque and serializable
+    /// under the checker's model). Truncated at [`MAX_VIOLATIONS`].
+    pub violations: Vec<Violation>,
+    /// Summary counters.
+    pub stats: CheckStats,
+}
+
+impl Report {
+    /// `true` if no violation was found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Cap on reported violations per history: one real bug typically produces
+/// thousands of them, and the first few localize it.
+pub const MAX_VIOLATIONS: usize = 50;
+
+// ---------------------------------------------------------------------------
+// Per-attempt digest
+// ---------------------------------------------------------------------------
+
+/// The externally visible footprint of one attempt: its first read of every
+/// variable before writing it, and its final write per variable.
+struct Digest {
+    /// `(var, value)` of the first external (pre-own-write) read per
+    /// variable, in read order.
+    ext_reads: Vec<(usize, u64)>,
+    /// `(var, consumed_value, written_value)` per written variable: the
+    /// external read it consumed and the last value it wrote.
+    writes: Vec<(usize, u64, u64)>,
+}
+
+fn digest_attempt(idx: usize, attempt: &Attempt, out: &mut Vec<Violation>) -> Digest {
+    let mut ext: HashMap<usize, u64> = HashMap::new();
+    let mut own: HashMap<usize, u64> = HashMap::new();
+    let mut ext_reads = Vec::new();
+    let mut write_order: Vec<usize> = Vec::new();
+    for &op in &attempt.ops {
+        match op {
+            Op::Read { var, value } => {
+                if let Some(&w) = own.get(&var) {
+                    if value != w {
+                        out.push(Violation::LostOwnWrite {
+                            attempt: idx,
+                            var,
+                            expected: w,
+                            got: value,
+                        });
+                    }
+                } else if let Some(&prev) = ext.get(&var) {
+                    if value != prev {
+                        out.push(Violation::UnrepeatableRead {
+                            attempt: idx,
+                            var,
+                            first: prev,
+                            second: value,
+                        });
+                    }
+                } else {
+                    ext.insert(var, value);
+                    ext_reads.push((var, value));
+                }
+            }
+            Op::Write { var, value } => {
+                if let std::collections::hash_map::Entry::Vacant(e) = ext.entry(var) {
+                    out.push(Violation::BlindWrite { attempt: idx, var });
+                    // Keep going: treat the pre-write value as unknowable by
+                    // pretending the write consumed itself; the chain checks
+                    // will not link this writer.
+                    e.insert(value);
+                    ext_reads.push((var, value));
+                }
+                if !own.contains_key(&var) {
+                    write_order.push(var);
+                }
+                own.insert(var, value);
+            }
+        }
+    }
+    let writes = write_order
+        .into_iter()
+        .map(|var| (var, ext[&var], own[&var]))
+        .collect();
+    Digest { ext_reads, writes }
+}
+
+// ---------------------------------------------------------------------------
+// The checker
+// ---------------------------------------------------------------------------
+
+/// Check a history for final-state serializability and snapshot-consistency
+/// opacity. See the module docs for the model and its assumptions.
+pub fn check_history(history: &History) -> Report {
+    let mut violations: Vec<Violation> = Vec::new();
+    let nvars = history.initial.len();
+    assert_eq!(
+        history.final_mem.len(),
+        nvars,
+        "final_mem and initial must cover the same variables"
+    );
+
+    // ---- per-attempt digests + local checks ----
+    let digests: Vec<Digest> = history
+        .attempts
+        .iter()
+        .enumerate()
+        .map(|(i, a)| digest_attempt(i, a, &mut violations))
+        .collect();
+
+    let committed: Vec<usize> = (0..history.attempts.len())
+        .filter(|&i| history.attempts[i].outcome == Outcome::Committed)
+        .collect();
+    let node_of: HashMap<usize, usize> =
+        committed.iter().enumerate().map(|(n, &a)| (a, n)).collect();
+    let n = committed.len();
+
+    // Committed no-op writes break value uniqueness; flag them here (aborted
+    // no-op writes are invisible and harmless).
+    for &a in &committed {
+        for &(var, consumed, written) in &digests[a].writes {
+            if consumed == written {
+                violations.push(Violation::NoopWrite {
+                    attempt: a,
+                    var,
+                    value: written,
+                });
+            }
+        }
+    }
+
+    // ---- version chains per variable ----
+    // writer_by_prev[(var, value)] = committed attempts whose write of `var`
+    // consumed `value`.
+    let mut writer_by_prev: HashMap<(usize, u64), Vec<usize>> = HashMap::new();
+    let mut committed_writes_per_var: Vec<usize> = vec![0; nvars];
+    for &a in &committed {
+        for &(var, consumed, _written) in &digests[a].writes {
+            writer_by_prev.entry((var, consumed)).or_default().push(a);
+            committed_writes_per_var[var] += 1;
+        }
+    }
+
+    // chain_writers[var][k] = attempt that wrote version k (k=0 is initial,
+    // writer None); version_of[(var, value)] = k.
+    let mut chain_writers: Vec<Vec<Option<usize>>> = Vec::with_capacity(nvars);
+    let mut version_of: HashMap<(usize, u64), usize> = HashMap::new();
+    for (var, &init) in history.initial.iter().enumerate() {
+        let mut writers: Vec<Option<usize>> = vec![None];
+        let mut tail = init;
+        version_of.insert((var, tail), 0);
+        let mut broken = false;
+        while let Some(next) = writer_by_prev.get(&(var, tail)) {
+            if next.len() > 1 {
+                violations.push(Violation::ForkedChain {
+                    var,
+                    value: tail,
+                    writer_a: next[0],
+                    writer_b: next[1],
+                });
+                broken = true;
+                break;
+            }
+            let w = next[0];
+            let written = digests[w]
+                .writes
+                .iter()
+                .find(|&&(v, _, _)| v == var)
+                .map(|&(_, _, wr)| wr)
+                .expect("writer_by_prev entries come from digests[w].writes");
+            if version_of.contains_key(&(var, written)) {
+                violations.push(Violation::DuplicateChainValue {
+                    var,
+                    value: written,
+                });
+                broken = true;
+                break;
+            }
+            version_of.insert((var, written), writers.len());
+            writers.push(Some(w));
+            tail = written;
+        }
+        if !broken {
+            // Every committed writer of the variable must sit on the chain
+            // (unlinked writers consumed a value nobody produced — their
+            // DirtyRead is reported by the read checks) and the final memory
+            // must be the chain tail.
+            if writers.len() - 1 == committed_writes_per_var[var] && history.final_mem[var] != tail
+            {
+                violations.push(Violation::FinalStateMismatch {
+                    var,
+                    expected: tail,
+                    got: history.final_mem[var],
+                });
+            }
+        }
+        chain_writers.push(writers);
+    }
+
+    // ---- conflict graph over committed attempts ----
+    // Edges: ww (chain order), wr (writer -> committed reader of its
+    // version) and rw (committed reader of version k -> writer of k+1).
+    let mut succ: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let push_edge = |succ: &mut Vec<Vec<u32>>, from: usize, to: usize| {
+        if from != to {
+            succ[from].push(to as u32);
+        }
+    };
+    for writers in chain_writers.iter() {
+        for k in 1..writers.len().saturating_sub(1) {
+            if let (Some(a), Some(b)) = (writers[k], writers[k + 1]) {
+                push_edge(&mut succ, node_of[&a], node_of[&b]);
+            }
+        }
+    }
+    let mut reads_checked = 0usize;
+    for &a in &committed {
+        for &(var, value) in &digests[a].ext_reads {
+            let Some(&k) = version_of.get(&(var, value)) else {
+                continue; // reported as DirtyRead below
+            };
+            let writers = &chain_writers[var];
+            if let Some(w) = writers[k] {
+                push_edge(&mut succ, node_of[&w], node_of[&a]);
+            }
+            if k + 1 < writers.len() {
+                if let Some(w) = writers[k + 1] {
+                    push_edge(&mut succ, node_of[&a], node_of[&w]);
+                }
+            }
+        }
+    }
+    for s in succ.iter_mut() {
+        s.sort_unstable();
+        s.dedup();
+    }
+
+    // ---- cycles + transitive closure (condensation) ----
+    let scc = tarjan_scc(&succ);
+    let mut scc_members: HashMap<u32, Vec<usize>> = HashMap::new();
+    for (node, &c) in scc.iter().enumerate() {
+        scc_members.entry(c).or_default().push(node);
+    }
+    for members in scc_members.values() {
+        if members.len() > 1 {
+            violations.push(Violation::DependencyCycle {
+                attempts: members.iter().map(|&m| committed[m]).collect(),
+            });
+        }
+    }
+    let reach = transitive_closure(&succ, &scc);
+
+    // ---- snapshot consistency of every attempt ----
+    // A read of (var, version k) pins the snapshot to the window
+    // [commit of writer(var, k), commit of writer(var, k+1)). Two reads are
+    // incompatible iff the upper bound of one must precede (or is) the lower
+    // bound of the other.
+    for (a, attempt) in history.attempts.iter().enumerate() {
+        let digest = &digests[a];
+        if digest.ext_reads.is_empty() {
+            continue;
+        }
+        // Resolve versions; report dirty reads.
+        let mut resolved: Vec<(usize, u64, usize)> = Vec::with_capacity(digest.ext_reads.len());
+        for &(var, value) in &digest.ext_reads {
+            reads_checked += 1;
+            match version_of.get(&(var, value)) {
+                Some(&k) => resolved.push((var, value, k)),
+                None => violations.push(Violation::DirtyRead {
+                    attempt: a,
+                    var,
+                    value,
+                }),
+            }
+        }
+        // Upper bounds: the writer that overwrote what read i saw.
+        // Lower bounds: the writer that produced what read j saw.
+        'outer: for &(var_a, value_a, k_a) in &resolved {
+            let writers_a = &chain_writers[var_a];
+            let Some(upper) = writers_a.get(k_a + 1).copied().flatten() else {
+                continue;
+            };
+            if upper == a {
+                // The attempt itself overwrote this version; its own read
+                // of the previous version is trivially consistent.
+                continue;
+            }
+            let u_node = node_of[&upper];
+            for &(var_b, value_b, k_b) in &resolved {
+                let Some(lower) = chain_writers[var_b][k_b] else {
+                    continue;
+                };
+                let l_node = node_of[&lower];
+                if upper == lower || reaches(&reach, &scc, u_node, l_node) {
+                    violations.push(Violation::InconsistentSnapshot {
+                        attempt: a,
+                        var_a,
+                        value_a,
+                        var_b,
+                        value_b,
+                        blocker: upper,
+                    });
+                    if attempt.outcome == Outcome::Aborted || violations.len() >= MAX_VIOLATIONS {
+                        break 'outer;
+                    }
+                    // One witness per upper bound is enough.
+                    break;
+                }
+            }
+            if violations.len() >= MAX_VIOLATIONS {
+                break;
+            }
+        }
+        if violations.len() >= MAX_VIOLATIONS {
+            break;
+        }
+    }
+
+    violations.truncate(MAX_VIOLATIONS);
+    Report {
+        backend: history.backend.clone(),
+        scenario: history.scenario.clone(),
+        stats: CheckStats {
+            attempts: history.attempts.len(),
+            committed: committed.len(),
+            aborted: history.attempts.len() - committed.len(),
+            reads_checked,
+            vars_written: committed_writes_per_var.iter().filter(|&&c| c > 0).count(),
+        },
+        violations,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Graph utilities
+// ---------------------------------------------------------------------------
+
+/// Iterative Tarjan SCC. Returns the SCC id of every node; ids are assigned
+/// in reverse topological order of the condensation (a node's SCC id is
+/// >= the ids of every SCC it reaches).
+fn tarjan_scc(succ: &[Vec<u32>]) -> Vec<u32> {
+    let n = succ.len();
+    const UNSEEN: u32 = u32::MAX;
+    let mut index = vec![UNSEEN; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![UNSEEN; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut next_comp = 0u32;
+    // Explicit DFS stack: (node, next child position).
+    let mut dfs: Vec<(u32, usize)> = Vec::new();
+    for root in 0..n as u32 {
+        if index[root as usize] != UNSEEN {
+            continue;
+        }
+        dfs.push((root, 0));
+        index[root as usize] = next_index;
+        low[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+        while let Some(&mut (v, ref mut ci)) = dfs.last_mut() {
+            if *ci < succ[v as usize].len() {
+                let w = succ[v as usize][*ci];
+                *ci += 1;
+                if index[w as usize] == UNSEEN {
+                    index[w as usize] = next_index;
+                    low[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    dfs.push((w, 0));
+                } else if on_stack[w as usize] {
+                    low[v as usize] = low[v as usize].min(index[w as usize]);
+                }
+            } else {
+                dfs.pop();
+                if let Some(&(p, _)) = dfs.last() {
+                    low[p as usize] = low[p as usize].min(low[v as usize]);
+                }
+                if low[v as usize] == index[v as usize] {
+                    loop {
+                        let w = stack.pop().expect("SCC stack underflow");
+                        on_stack[w as usize] = false;
+                        comp[w as usize] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// Dense bitset reachability over the condensation: `rows[c]` has bit `d`
+/// set iff SCC `c` reaches SCC `d` (irreflexive unless the SCC is cyclic —
+/// callers treat same-SCC as reachable separately).
+struct Closure {
+    words: usize,
+    rows: Vec<u64>,
+    comps: usize,
+}
+
+fn transitive_closure(succ: &[Vec<u32>], scc: &[u32]) -> Closure {
+    let comps = scc.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let words = comps.div_ceil(64);
+    let mut rows = vec![0u64; comps * words];
+    // Tarjan ids are reverse-topological: every successor SCC has a smaller
+    // id, so processing SCCs in ascending id order sees successors first.
+    let mut edges: Vec<Vec<u32>> = vec![Vec::new(); comps];
+    for (v, vs) in succ.iter().enumerate() {
+        for &w in vs {
+            let (a, b) = (scc[v], scc[w as usize]);
+            if a != b {
+                edges[a as usize].push(b);
+            }
+        }
+    }
+    for (c, es) in edges.iter_mut().enumerate() {
+        es.sort_unstable();
+        es.dedup();
+        // Split `rows` so we can read successor rows while writing row `c`.
+        let (done, cur) = rows.split_at_mut(c * words);
+        let row = &mut cur[..words];
+        for &d in es.iter() {
+            let d = d as usize;
+            debug_assert!(d < c, "Tarjan ids must be reverse-topological");
+            row[d / 64] |= 1u64 << (d % 64);
+            let drow = &done[d * words..(d + 1) * words];
+            for (r, &x) in row.iter_mut().zip(drow.iter()) {
+                *r |= x;
+            }
+        }
+    }
+    Closure { words, rows, comps }
+}
+
+/// Whether committed node `from` must precede committed node `to` in every
+/// explaining serial order (strictly: same node returns false, same
+/// non-trivial SCC returns true).
+fn reaches(closure: &Closure, scc: &[u32], from: usize, to: usize) -> bool {
+    let (a, b) = (scc[from] as usize, scc[to] as usize);
+    if a == b {
+        return from != to; // same cyclic SCC: mutually ordered (already a cycle violation)
+    }
+    debug_assert!(a < closure.comps && b < closure.comps);
+    closure.rows[a * closure.words + b / 64] & (1u64 << (b % 64)) != 0
+}
+
+// ---------------------------------------------------------------------------
+// Building a History from recorded events (feature `record`)
+// ---------------------------------------------------------------------------
+
+/// Conversion of raw `tm_api::record` logs into the checker's model.
+#[cfg(feature = "record")]
+pub mod from_record {
+    use super::{Attempt, History, Op, Outcome};
+    use std::collections::HashMap;
+    use tm_api::record::{Event, ThreadLog};
+
+    /// Build a [`History`] from recorded thread logs.
+    ///
+    /// `addrs[i]` is the raw address of variable `i` (e.g.
+    /// `TVar::word().addr()`); events touching addresses outside `addrs`
+    /// (recorded by unrelated threads of the process while the session was
+    /// active) are dropped, as are attempts left with no relevant operation
+    /// and attempts truncated by the session boundary.
+    pub fn history_from_logs(
+        backend: &str,
+        scenario: &str,
+        logs: Vec<ThreadLog>,
+        addrs: &[usize],
+        initial: Vec<u64>,
+        final_mem: Vec<u64>,
+    ) -> History {
+        assert_eq!(addrs.len(), initial.len());
+        let var_of: HashMap<usize, usize> =
+            addrs.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+        let mut attempts = Vec::new();
+        for log in logs {
+            let mut cur: Option<Vec<Op>> = None;
+            for ev in log.events {
+                match ev {
+                    Event::Begin { .. } => {
+                        // A Begin without a terminator (session truncation)
+                        // discards the half-recorded attempt.
+                        cur = Some(Vec::new());
+                    }
+                    Event::Read { addr, value } => {
+                        if let (Some(ops), Some(&var)) = (cur.as_mut(), var_of.get(&addr)) {
+                            ops.push(Op::Read { var, value });
+                        }
+                    }
+                    Event::Write { addr, value } => {
+                        if let (Some(ops), Some(&var)) = (cur.as_mut(), var_of.get(&addr)) {
+                            ops.push(Op::Write { var, value });
+                        }
+                    }
+                    Event::Commit => {
+                        if let Some(ops) = cur.take() {
+                            if !ops.is_empty() {
+                                attempts.push(Attempt {
+                                    thread: log.thread,
+                                    ops,
+                                    outcome: Outcome::Committed,
+                                });
+                            }
+                        }
+                    }
+                    Event::Abort => {
+                        if let Some(ops) = cur.take() {
+                            if !ops.is_empty() {
+                                attempts.push(Attempt {
+                                    thread: log.thread,
+                                    ops,
+                                    outcome: Outcome::Aborted,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        History {
+            backend: backend.to_string(),
+            scenario: scenario.to_string(),
+            initial,
+            final_mem,
+            attempts,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests (synthetic histories)
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn committed(thread: u64, ops: Vec<Op>) -> Attempt {
+        Attempt {
+            thread,
+            ops,
+            outcome: Outcome::Committed,
+        }
+    }
+
+    fn aborted(thread: u64, ops: Vec<Op>) -> Attempt {
+        Attempt {
+            thread,
+            ops,
+            outcome: Outcome::Aborted,
+        }
+    }
+
+    fn r(var: usize, value: u64) -> Op {
+        Op::Read { var, value }
+    }
+
+    fn w(var: usize, value: u64) -> Op {
+        Op::Write { var, value }
+    }
+
+    fn history(initial: Vec<u64>, final_mem: Vec<u64>, attempts: Vec<Attempt>) -> History {
+        History {
+            backend: "test".into(),
+            scenario: "synthetic".into(),
+            initial,
+            final_mem,
+            attempts,
+        }
+    }
+
+    #[test]
+    fn clean_serial_history_passes() {
+        // Two increments of var 0 and a consistent reader between them.
+        let h = history(
+            vec![10, 20],
+            vec![12, 21],
+            vec![
+                committed(0, vec![r(0, 10), w(0, 11)]),
+                committed(1, vec![r(0, 11), r(1, 20)]),
+                committed(0, vec![r(0, 11), w(0, 12)]),
+                committed(1, vec![r(1, 20), w(1, 21)]),
+                aborted(2, vec![r(0, 12), r(1, 21)]),
+            ],
+        );
+        let report = check_history(&h);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert_eq!(report.stats.committed, 4);
+        assert_eq!(report.stats.aborted, 1);
+        assert_eq!(report.stats.vars_written, 2);
+    }
+
+    #[test]
+    fn stale_but_consistent_snapshot_passes() {
+        // The deferred-clock behaviour: a reader that began after writer 0
+        // committed may still serialize before it — consistent, not flagged.
+        let h = history(
+            vec![1, 2],
+            vec![10, 20],
+            vec![
+                committed(0, vec![r(0, 1), r(1, 2), w(0, 10), w(1, 20)]),
+                committed(1, vec![r(0, 1), r(1, 2)]), // pre-writer snapshot
+            ],
+        );
+        let report = check_history(&h);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn torn_snapshot_is_caught_in_aborted_attempt() {
+        // The PR 1 `==` read-clock signature: writer W updates both vars in
+        // one transaction; a (later aborted) reader sees the old var 0 but
+        // the new var 1.
+        let h = history(
+            vec![1, 2],
+            vec![10, 20],
+            vec![
+                committed(0, vec![r(0, 1), r(1, 2), w(0, 10), w(1, 20)]),
+                aborted(1, vec![r(0, 1), r(1, 20)]),
+            ],
+        );
+        let report = check_history(&h);
+        assert!(
+            report.violations.iter().any(|v| matches!(
+                v,
+                Violation::InconsistentSnapshot {
+                    attempt: 1,
+                    blocker: 0,
+                    ..
+                }
+            )),
+            "expected a torn-snapshot violation, got {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn torn_snapshot_across_two_writers_is_caught() {
+        // W1 writes var 0, then W2 (which read W1's var-0 value) writes
+        // var 1. Reading old var 0 with new var 1 is inconsistent even
+        // though no single writer wrote both.
+        let h = history(
+            vec![1, 2],
+            vec![10, 20],
+            vec![
+                committed(0, vec![r(0, 1), w(0, 10)]),
+                committed(0, vec![r(0, 10), r(1, 2), w(1, 20)]),
+                committed(1, vec![r(0, 1), r(1, 20)]),
+            ],
+        );
+        let report = check_history(&h);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::InconsistentSnapshot { attempt: 2, .. })),
+            "expected a transitive torn-snapshot violation, got {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn lost_update_forks_the_chain() {
+        let h = history(
+            vec![5],
+            vec![7],
+            vec![
+                committed(0, vec![r(0, 5), w(0, 6)]),
+                committed(1, vec![r(0, 5), w(0, 7)]),
+            ],
+        );
+        let report = check_history(&h);
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            Violation::ForkedChain {
+                var: 0,
+                value: 5,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn dirty_read_is_caught() {
+        // Attempt 1 reads a value only the aborted attempt 0 ever wrote.
+        let h = history(
+            vec![5],
+            vec![5],
+            vec![
+                aborted(0, vec![r(0, 5), w(0, 99)]),
+                committed(1, vec![r(0, 99)]),
+            ],
+        );
+        let report = check_history(&h);
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            Violation::DirtyRead {
+                attempt: 1,
+                var: 0,
+                value: 99
+            }
+        )));
+    }
+
+    #[test]
+    fn final_state_mismatch_is_caught() {
+        let h = history(
+            vec![5],
+            vec![5], // memory still holds 5, but a commit wrote 6
+            vec![committed(0, vec![r(0, 5), w(0, 6)])],
+        );
+        let report = check_history(&h);
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            Violation::FinalStateMismatch {
+                var: 0,
+                expected: 6,
+                got: 5
+            }
+        )));
+    }
+
+    #[test]
+    fn write_skew_cycle_is_caught() {
+        // Classic write skew: each transaction reads both vars and writes
+        // the other one; both commit against the initial state.
+        let h = history(
+            vec![1, 2],
+            vec![10, 20],
+            vec![
+                committed(0, vec![r(0, 1), r(1, 2), w(0, 10)]),
+                committed(1, vec![r(0, 1), r(1, 2), w(1, 20)]),
+            ],
+        );
+        let report = check_history(&h);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::DependencyCycle { .. })),
+            "expected a dependency cycle, got {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn intra_attempt_anomalies_are_caught() {
+        let h = history(
+            vec![5, 7],
+            vec![5, 8],
+            vec![
+                // Unrepeatable read of var 0; lost own write on var 1.
+                committed(0, vec![r(0, 5), r(0, 6), r(1, 7), w(1, 8), r(1, 9)]),
+                // Blind write.
+                committed(1, vec![w(0, 11)]),
+            ],
+        );
+        let report = check_history(&h);
+        let has = |f: &dyn Fn(&Violation) -> bool| report.violations.iter().any(f);
+        assert!(has(&|v| matches!(
+            v,
+            Violation::UnrepeatableRead {
+                attempt: 0,
+                var: 0,
+                first: 5,
+                second: 6
+            }
+        )));
+        assert!(has(&|v| matches!(
+            v,
+            Violation::LostOwnWrite {
+                attempt: 0,
+                var: 1,
+                expected: 8,
+                got: 9
+            }
+        )));
+        assert!(has(&|v| matches!(
+            v,
+            Violation::BlindWrite { attempt: 1, var: 0 }
+        )));
+    }
+
+    #[test]
+    fn read_own_previous_version_is_consistent() {
+        // An updater reads version k and writes k+1: its own upper bound
+        // must not flag its snapshot.
+        let h = history(
+            vec![1, 2],
+            vec![10, 20],
+            vec![committed(
+                0,
+                vec![r(0, 1), r(1, 2), w(0, 10), w(1, 20), r(0, 10)],
+            )],
+        );
+        let report = check_history(&h);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn counter_chain_with_retries_passes() {
+        // Two threads increment a counter with one aborted attempt in the
+        // middle — the classic deferred-clock shape.
+        let h = history(
+            vec![0],
+            vec![3],
+            vec![
+                committed(0, vec![r(0, 0), w(0, 1)]),
+                aborted(1, vec![r(0, 0), w(0, 1)]),
+                committed(1, vec![r(0, 1), w(0, 2)]),
+                committed(0, vec![r(0, 2), w(0, 3)]),
+            ],
+        );
+        let report = check_history(&h);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+    }
+}

@@ -17,19 +17,23 @@
 //!   (Figure 9) and a CPU-time energy proxy (Figure 10 substitute, see
 //!   DESIGN.md).
 
+pub mod checker;
 pub mod cli;
 pub mod driver;
 pub mod figures;
 pub mod measure;
 pub mod registry;
+#[cfg(feature = "record")]
+pub mod scenario;
 pub mod timevarying;
 pub mod workload;
 pub mod zipf;
 
+pub use checker::{check_history, History, Report, Violation};
 pub use cli::BenchArgs;
 pub use driver::{run_trial, TrialConfig, TrialResult};
 pub use figures::{default_thread_sweep, print_results, run_sweep, FigurePoint, FigureSpec};
-pub use registry::{run_workload, StructKind, TmKind};
+pub use registry::{run_workload, with_backend, BackendVisitor, RuntimeScale, StructKind, TmKind};
 pub use timevarying::{run_time_varying, Interval, TimeVaryingResult};
 pub use workload::{KeyDist, OpKind, WorkloadMix, WorkloadSpec};
 pub use zipf::Zipf;

@@ -6,7 +6,7 @@ use crate::driver::{run_trial, TrialConfig, TrialResult};
 use crate::timevarying::{run_time_varying, Interval, TimeVaryingResult};
 use crate::workload::WorkloadSpec;
 use baselines::{DctlRuntime, GlockRuntime, NorecRuntime, TinyStmRuntime, Tl2Runtime};
-use multiverse::{MultiverseConfig, MultiverseRuntime};
+use multiverse::{ForcedMode, MultiverseConfig, MultiverseRuntime};
 use std::sync::Arc;
 use tm_api::TmRuntime;
 use txstructs::{TxAbTree, TxAvlTree, TxExtBst, TxHashMap, TxList, TxSet};
@@ -90,14 +90,21 @@ impl TmKind {
             .find(|t| t.name() == s.to_lowercase())
     }
 
+    /// Apply the forced mode this kind implies (no-op for the dynamic TM
+    /// and the non-Multiverse kinds). The single source of the
+    /// kind → forced-mode mapping, shared by every dispatch path.
+    fn apply_forced_mode(self, cfg: &mut MultiverseConfig) {
+        match self {
+            TmKind::MultiverseModeQ => cfg.forced_mode = Some(ForcedMode::ModeQ),
+            TmKind::MultiverseModeU => cfg.forced_mode = Some(ForcedMode::ModeU),
+            _ => {}
+        }
+    }
+
     fn multiverse_config(self, stripes: usize) -> MultiverseConfig {
         let mut cfg = MultiverseConfig::paper_defaults();
         cfg.stripes = stripes;
-        match self {
-            TmKind::MultiverseModeQ => cfg.forced_mode = Some(multiverse::ForcedMode::ModeQ),
-            TmKind::MultiverseModeU => cfg.forced_mode = Some(multiverse::ForcedMode::ModeU),
-            _ => {}
-        }
+        self.apply_forced_mode(&mut cfg);
         cfg
     }
 }
@@ -148,6 +155,69 @@ impl StructKind {
 /// enough that stripe collisions are negligible for scaled-down prefills.
 const BENCH_STRIPES: usize = 1 << 18;
 
+/// Stripe-table size for test-scale runtimes ([`RuntimeScale::Test`]).
+const TEST_STRIPES: usize = 1 << 12;
+
+/// How a [`with_backend`] runtime is configured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeScale {
+    /// Paper-shaped parameters with a bench-sized stripe table.
+    Bench,
+    /// Small tables and aggressive Multiverse heuristics
+    /// ([`MultiverseConfig::small`]) so tests exercise the versioned path
+    /// and the mode machinery quickly.
+    Test,
+}
+
+/// A generic computation over a TM runtime. The registry cannot hand out
+/// `dyn TmRuntime` (the trait has an associated handle type), so callers
+/// that want "run this for backend X by name" implement this visitor and let
+/// [`with_backend`] pick the concrete runtime type.
+pub trait BackendVisitor {
+    /// Result of the computation.
+    type Out;
+    /// Run against a freshly started runtime. The visitor is responsible
+    /// for calling [`TmRuntime::shutdown`] when it is done.
+    fn visit<R: TmRuntime>(self, rt: Arc<R>) -> Self::Out;
+}
+
+/// Start a runtime for `tm` at the given scale and run `visitor` on it.
+pub fn with_backend<V: BackendVisitor>(tm: TmKind, scale: RuntimeScale, visitor: V) -> V::Out {
+    let stripes = match scale {
+        RuntimeScale::Bench => BENCH_STRIPES,
+        RuntimeScale::Test => TEST_STRIPES,
+    };
+    match tm {
+        TmKind::Multiverse | TmKind::MultiverseModeQ | TmKind::MultiverseModeU => {
+            let cfg = match scale {
+                RuntimeScale::Bench => tm.multiverse_config(stripes),
+                RuntimeScale::Test => {
+                    let mut cfg = MultiverseConfig::small();
+                    // Put every read-only attempt on the versioned path:
+                    // the correctness harness exists to exercise the
+                    // delicate version-list machinery, not to wait for the
+                    // K1 heuristic to engage it.
+                    cfg.k1_versioned_after = 0;
+                    tm.apply_forced_mode(&mut cfg);
+                    cfg
+                }
+            };
+            visitor.visit(MultiverseRuntime::start(cfg))
+        }
+        TmKind::Dctl => visitor.visit(Arc::new(DctlRuntime::new(baselines::DctlConfig {
+            stripes,
+            ..Default::default()
+        }))),
+        TmKind::Tl2 => visitor.visit(Arc::new(Tl2Runtime::new(baselines::Tl2Config { stripes }))),
+        TmKind::Norec => visitor.visit(Arc::new(NorecRuntime::new())),
+        TmKind::TinyStm => visitor.visit(Arc::new(TinyStmRuntime::new(baselines::TinyStmConfig {
+            stripes,
+            ..Default::default()
+        }))),
+        TmKind::Glock => visitor.visit(Arc::new(GlockRuntime::new())),
+    }
+}
+
 fn run_generic<R, S>(tm: Arc<R>, set: S, spec: &WorkloadSpec, trial: &TrialConfig) -> TrialResult
 where
     R: TmRuntime,
@@ -159,40 +229,26 @@ where
     result
 }
 
+struct TrialVisitor<'a, S: TxSet> {
+    set: S,
+    spec: &'a WorkloadSpec,
+    trial: &'a TrialConfig,
+}
+
+impl<S: TxSet> BackendVisitor for TrialVisitor<'_, S> {
+    type Out = TrialResult;
+    fn visit<R: TmRuntime>(self, rt: Arc<R>) -> TrialResult {
+        run_generic(rt, self.set, self.spec, self.trial)
+    }
+}
+
 fn with_tm_struct<S: TxSet>(
     tm: TmKind,
     set: S,
     spec: &WorkloadSpec,
     trial: &TrialConfig,
 ) -> TrialResult {
-    match tm {
-        TmKind::Multiverse | TmKind::MultiverseModeQ | TmKind::MultiverseModeU => {
-            let rt = MultiverseRuntime::start(tm.multiverse_config(BENCH_STRIPES));
-            run_generic(rt, set, spec, trial)
-        }
-        TmKind::Dctl => {
-            let cfg = baselines::DctlConfig {
-                stripes: BENCH_STRIPES,
-                ..Default::default()
-            };
-            run_generic(Arc::new(DctlRuntime::new(cfg)), set, spec, trial)
-        }
-        TmKind::Tl2 => {
-            let cfg = baselines::Tl2Config {
-                stripes: BENCH_STRIPES,
-            };
-            run_generic(Arc::new(Tl2Runtime::new(cfg)), set, spec, trial)
-        }
-        TmKind::Norec => run_generic(Arc::new(NorecRuntime::new()), set, spec, trial),
-        TmKind::TinyStm => {
-            let cfg = baselines::TinyStmConfig {
-                stripes: BENCH_STRIPES,
-                ..Default::default()
-            };
-            run_generic(Arc::new(TinyStmRuntime::new(cfg)), set, spec, trial)
-        }
-        TmKind::Glock => run_generic(Arc::new(GlockRuntime::new()), set, spec, trial),
-    }
+    with_backend(tm, RuntimeScale::Bench, TrialVisitor { set, spec, trial })
 }
 
 /// Run one trial of `spec` with the named TM and structure.
@@ -234,8 +290,36 @@ where
     r
 }
 
+struct TimeVaryingVisitor<'a> {
+    intervals: &'a [Interval],
+    threads: usize,
+    sample_ms: u64,
+    seed: u64,
+}
+
+impl BackendVisitor for TimeVaryingVisitor<'_> {
+    type Out = TimeVaryingResult;
+    fn visit<R: TmRuntime>(self, rt: Arc<R>) -> TimeVaryingResult {
+        time_varying_generic(
+            rt,
+            TxAbTree::new(),
+            self.intervals,
+            self.threads,
+            self.sample_ms,
+            self.seed,
+        )
+    }
+}
+
 /// Run the Figure 8 style time-varying trial on the (a,b)-tree with the named
 /// TM.
+///
+/// Note: since the dispatch moved onto [`with_backend`], the lock-based
+/// baselines use the same `BENCH_STRIPES` (2^18) table as [`run_workload`]
+/// here — previously this path built them with the paper's 2^20 default.
+/// This is deliberate (one bench configuration everywhere); at the scaled-
+/// down prefills the harness runs, stripe collisions stay negligible either
+/// way.
 pub fn run_time_varying_abtree(
     tm: TmKind,
     intervals: &[Interval],
@@ -243,52 +327,16 @@ pub fn run_time_varying_abtree(
     sample_ms: u64,
     seed: u64,
 ) -> TimeVaryingResult {
-    match tm {
-        TmKind::Multiverse | TmKind::MultiverseModeQ | TmKind::MultiverseModeU => {
-            let rt = MultiverseRuntime::start(tm.multiverse_config(BENCH_STRIPES));
-            time_varying_generic(rt, TxAbTree::new(), intervals, threads, sample_ms, seed)
-        }
-        TmKind::Dctl => time_varying_generic(
-            Arc::new(DctlRuntime::with_defaults()),
-            TxAbTree::new(),
+    with_backend(
+        tm,
+        RuntimeScale::Bench,
+        TimeVaryingVisitor {
             intervals,
             threads,
             sample_ms,
             seed,
-        ),
-        TmKind::Tl2 => time_varying_generic(
-            Arc::new(Tl2Runtime::with_defaults()),
-            TxAbTree::new(),
-            intervals,
-            threads,
-            sample_ms,
-            seed,
-        ),
-        TmKind::Norec => time_varying_generic(
-            Arc::new(NorecRuntime::new()),
-            TxAbTree::new(),
-            intervals,
-            threads,
-            sample_ms,
-            seed,
-        ),
-        TmKind::TinyStm => time_varying_generic(
-            Arc::new(TinyStmRuntime::with_defaults()),
-            TxAbTree::new(),
-            intervals,
-            threads,
-            sample_ms,
-            seed,
-        ),
-        TmKind::Glock => time_varying_generic(
-            Arc::new(GlockRuntime::new()),
-            TxAbTree::new(),
-            intervals,
-            threads,
-            sample_ms,
-            seed,
-        ),
-    }
+        },
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,488 @@
+//! # scenario — deterministic workload generator for the history checker
+//! (feature `record`).
+//!
+//! Each scenario family drives a TM through a seeded, reproducible mix of
+//! transactions while `tm_api::record` captures the history, then hands the
+//! history to [`crate::checker`]. The same `(scenario, seed)` pair produces
+//! the same per-thread operation sequences on every backend, so one command
+//! compares all TMs on identical schedules (`harness check --backend all`).
+//!
+//! ## The checker contract
+//!
+//! Every generated write follows the checker's RMW discipline (module docs
+//! of [`crate::checker`]):
+//!
+//! * a transaction reads an address before writing it, and
+//! * the written value embeds a per-address **sequence number in the upper
+//!   32 bits** ([`bump`]), so no value ever repeats on one address and the
+//!   checker can reconstruct version chains by value. The lower 32 bits are
+//!   the scenario's payload (a counter, a bank balance, ...), free to go up
+//!   or down.
+//!
+//! ## Families
+//!
+//! | name         | shape                                                    |
+//! |--------------|----------------------------------------------------------|
+//! | `counter`    | few hot counters, heavy RMW contention + snapshot reads  |
+//! | `zipf-mix`   | Zipfian (θ=0.9) multi-var updates and reads              |
+//! | `read-mostly`| 90% window scans, 10% single-var updates                 |
+//! | `long-scan`  | bank transfers + full-array read-only scans (the paper's |
+//! |              | long-range-query shape; exercises the versioned path)    |
+//! | `hot-write`  | every transaction RMWs 2–3 vars of a tiny hot set        |
+
+use crate::checker::{self, Report};
+use crate::registry::{with_backend, BackendVisitor, RuntimeScale, TmKind};
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use tm_api::{TVar, TmHandle, TmRuntime, Transaction, TxKind};
+
+/// The scenario families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// Contended counters: increments + consistent multi-counter reads.
+    Counter,
+    /// Zipfian mixed reads/updates over a medium array.
+    ZipfMix,
+    /// Read-dominated window scans with occasional updates.
+    ReadMostly,
+    /// Long full-array scans against bank-style transfers.
+    LongScan,
+    /// Write-heavy contention on a tiny hot set.
+    HotWrite,
+}
+
+impl ScenarioKind {
+    /// All scenario families.
+    pub fn all() -> Vec<ScenarioKind> {
+        vec![
+            ScenarioKind::Counter,
+            ScenarioKind::ZipfMix,
+            ScenarioKind::ReadMostly,
+            ScenarioKind::LongScan,
+            ScenarioKind::HotWrite,
+        ]
+    }
+
+    /// CLI / display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioKind::Counter => "counter",
+            ScenarioKind::ZipfMix => "zipf-mix",
+            ScenarioKind::ReadMostly => "read-mostly",
+            ScenarioKind::LongScan => "long-scan",
+            ScenarioKind::HotWrite => "hot-write",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<ScenarioKind> {
+        Self::all()
+            .into_iter()
+            .find(|k| k.name() == s.to_lowercase())
+    }
+}
+
+/// A fully specified scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// The family.
+    pub kind: ScenarioKind,
+    /// Number of transactional variables.
+    pub vars: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Operations (transactions) per thread.
+    pub ops_per_thread: usize,
+    /// Seed for the per-thread schedules.
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    /// CI-friendly sizing: seconds per backend across all families.
+    pub fn smoke(kind: ScenarioKind, seed: u64) -> Self {
+        let (vars, threads, ops) = match kind {
+            ScenarioKind::Counter => (4, 3, 400),
+            ScenarioKind::ZipfMix => (48, 3, 300),
+            ScenarioKind::ReadMostly => (48, 3, 300),
+            ScenarioKind::LongScan => (64, 3, 120),
+            ScenarioKind::HotWrite => (6, 3, 300),
+        };
+        Self {
+            kind,
+            vars,
+            threads,
+            ops_per_thread: ops,
+            seed,
+        }
+    }
+
+    /// Full sizing for local runs and the gated CI sweep.
+    pub fn full(kind: ScenarioKind, seed: u64) -> Self {
+        let (vars, threads, ops) = match kind {
+            ScenarioKind::Counter => (4, 4, 1200),
+            ScenarioKind::ZipfMix => (96, 4, 900),
+            ScenarioKind::ReadMostly => (96, 4, 900),
+            ScenarioKind::LongScan => (128, 4, 350),
+            ScenarioKind::HotWrite => (8, 4, 900),
+        };
+        Self {
+            kind,
+            vars,
+            threads,
+            ops_per_thread: ops,
+            seed,
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("{}(seed={})", self.kind.name(), self.seed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value encoding (see module docs)
+// ---------------------------------------------------------------------------
+
+/// Payload (lower 32 bits) of a variable's value.
+#[inline]
+pub fn payload(value: u64) -> u64 {
+    value & 0xffff_ffff
+}
+
+/// Next value for an address currently holding `old`: sequence number
+/// incremented, payload replaced. Guarantees the written value differs from
+/// every earlier value of the address.
+#[inline]
+pub fn bump(old: u64, new_payload: u64) -> u64 {
+    debug_assert!(new_payload <= 0xffff_ffff, "payload overflow");
+    ((old >> 32) + 1) << 32 | new_payload
+}
+
+/// Initial value of variable `i`: sequence 0, scenario-defined payload.
+fn initial_value(kind: ScenarioKind, _i: usize) -> u64 {
+    match kind {
+        ScenarioKind::Counter | ScenarioKind::ZipfMix | ScenarioKind::HotWrite => 0,
+        // Bank balances / scan payloads start high enough that transfers
+        // rarely bottom out.
+        ScenarioKind::ReadMostly | ScenarioKind::LongScan => 1_000,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The per-thread schedules
+// ---------------------------------------------------------------------------
+
+fn thread_rng_for(seed: u64, thread: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (thread as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Cross-thread coordination for scenarios with dedicated updaters: the
+/// updaters keep running their seeded op stream until every scanner thread
+/// has finished, so long transactions race against live writers for their
+/// whole duration (the shape the `==` read-clock bug needs to surface).
+struct ScenarioCtl {
+    stop: AtomicBool,
+    scanners_left: AtomicUsize,
+    transfers_done: AtomicUsize,
+    /// Live updater threads. Decremented on updater exit — including panic
+    /// unwinds, via a drop guard — so scanners waiting for transfer progress
+    /// can bail out instead of spinning forever when a (deliberately broken)
+    /// build kills a writer mid-run.
+    updaters_alive: AtomicUsize,
+}
+
+/// Decrements `updaters_alive` when an updater leaves `run_worker`, whether
+/// normally or by unwinding out of a panicking transaction.
+struct UpdaterGuard<'a>(&'a ScenarioCtl);
+
+impl Drop for UpdaterGuard<'_> {
+    fn drop(&mut self) {
+        self.0.updaters_alive.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// In [`ScenarioKind::LongScan`], threads below this index are dedicated
+/// updaters.
+const LONG_SCAN_UPDATERS: usize = 2;
+
+/// A scanner does not start scan `k` until `REQ_PER_SCAN * k` transfers have
+/// committed, so scans never outrun cold-starting updaters.
+const LONG_SCAN_TRANSFER_REQ_PER_SCAN: usize = 8;
+
+/// Hard cap on transfers per updater (bounds the history the checker must
+/// close over even if the stop flag is slow to arrive).
+const LONG_SCAN_UPDATER_CAP: usize = 40;
+
+/// Spin iterations an updater burns *inside* each transfer transaction,
+/// after its writes and before commit. This throttles updater throughput by
+/// slowing the transaction itself, which (a) spreads commits continuously
+/// across the scan window instead of bursting between scans — a paced-burst
+/// updater commits everything while the scanner sits in its progress wait,
+/// leaving every scan to run against a quiescent array — and (b) widens the
+/// published-but-unresolved (TBD) window that the `==` read-clock bug needs
+/// to produce a torn snapshot. Without this, the checker demonstrably could
+/// not catch the reintroduced PR 1 bug.
+const LONG_SCAN_IN_TXN_SPIN: usize = 600;
+
+fn run_worker<R: TmRuntime>(
+    rt: &Arc<R>,
+    vars: &[TVar<u64>],
+    spec: &ScenarioSpec,
+    ctl: &ScenarioCtl,
+    thread: usize,
+) {
+    let mut h = rt.register();
+    let mut rng = thread_rng_for(spec.seed, thread);
+    let zipf = Zipf::new(vars.len() as u64, 0.9);
+    let n = vars.len();
+    if spec.kind == ScenarioKind::LongScan {
+        if thread < LONG_SCAN_UPDATERS {
+            // Dedicated updater: bank-style transfers until the scanners
+            // are done, paced to scanner progress so writers stay live for
+            // the whole scan phase.
+            let _guard = UpdaterGuard(ctl);
+            let cap = spec.ops_per_thread * LONG_SCAN_UPDATER_CAP;
+            let mut done = 0usize;
+            while !ctl.stop.load(Ordering::Relaxed) && done < cap {
+                let from = rng.gen_range(0..n);
+                let mut to = rng.gen_range(0..n);
+                if to == from {
+                    to = (from + 1) % n;
+                }
+                let amt = rng.gen_range(1..8u64);
+                transfer(&mut h, &vars[from], &vars[to], amt, LONG_SCAN_IN_TXN_SPIN);
+                ctl.transfers_done.fetch_add(1, Ordering::Relaxed);
+                done += 1;
+            }
+        } else {
+            // Scanner: full-array read-only transactions — the paper's
+            // long-range-query shape, pushed onto the versioned path.
+            for k in 0..spec.ops_per_thread {
+                let req = LONG_SCAN_TRANSFER_REQ_PER_SCAN * k;
+                while ctl.transfers_done.load(Ordering::Relaxed) < req {
+                    if ctl.updaters_alive.load(Ordering::Acquire) == 0 {
+                        // Every updater is gone (finished its cap or
+                        // panicked); waiting for more transfers would hang.
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+                scan(&mut h, vars, 0, n);
+            }
+            if ctl.scanners_left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                ctl.stop.store(true, Ordering::Release);
+            }
+        }
+        tm_api::record::flush_thread();
+        return;
+    }
+    for _ in 0..spec.ops_per_thread {
+        match spec.kind {
+            ScenarioKind::Counter => {
+                if rng.gen_range(0..10) < 7 {
+                    let i = rng.gen_range(0..n);
+                    increment(&mut h, &vars[i], 1);
+                } else {
+                    scan(&mut h, vars, 0, n);
+                }
+            }
+            ScenarioKind::ZipfMix => {
+                if rng.gen_bool(0.5) {
+                    let a = zipf.sample(&mut rng) as usize;
+                    let mut b = zipf.sample(&mut rng) as usize;
+                    if b == a {
+                        b = (a + 1) % n;
+                    }
+                    increment_pair(&mut h, &vars[a.min(b)], &vars[a.max(b)]);
+                } else {
+                    let reads: Vec<usize> =
+                        (0..6).map(|_| zipf.sample(&mut rng) as usize).collect();
+                    read_some(&mut h, vars, &reads);
+                }
+            }
+            ScenarioKind::ReadMostly => {
+                if rng.gen_range(0..10) == 0 {
+                    let i = rng.gen_range(0..n);
+                    increment(&mut h, &vars[i], rng.gen_range(1..4));
+                } else {
+                    let start = rng.gen_range(0..n);
+                    scan(&mut h, vars, start, 16.min(n));
+                }
+            }
+            ScenarioKind::LongScan => unreachable!("handled above"),
+            ScenarioKind::HotWrite => {
+                let a = rng.gen_range(0..n);
+                let mut b = rng.gen_range(0..n);
+                if b == a {
+                    b = (a + 1) % n;
+                }
+                increment_pair(&mut h, &vars[a.min(b)], &vars[a.max(b)]);
+            }
+        }
+    }
+    // Hand this worker's events to the collector before the closure returns:
+    // scoped threads unblock the scope when the closure ends, so the
+    // TLS-drop flush alone could race past the session's `finish()`.
+    tm_api::record::flush_thread();
+}
+
+/// RMW-increment one variable's payload by `delta`.
+fn increment<H: TmHandle>(h: &mut H, var: &TVar<u64>, delta: u64) {
+    h.txn(TxKind::ReadWrite, |tx| {
+        let v = tx.read_var(var)?;
+        tx.write_var(var, bump(v, payload(v) + delta))
+    });
+}
+
+/// RMW-increment two variables in one transaction (in address order, which
+/// is fixed by the caller passing `a < b` positions).
+fn increment_pair<H: TmHandle>(h: &mut H, a: &TVar<u64>, b: &TVar<u64>) {
+    h.txn(TxKind::ReadWrite, |tx| {
+        let va = tx.read_var(a)?;
+        let vb = tx.read_var(b)?;
+        tx.write_var(a, bump(va, payload(va) + 1))?;
+        tx.write_var(b, bump(vb, payload(vb) + 1))
+    });
+}
+
+/// Bank-style transfer preserving the payload sum. Skips the writes (but
+/// keeps the reads) when the source balance is too low, so every write stays
+/// a paired RMW. `in_txn_spin` iterations are burned between the writes and
+/// the commit (see [`LONG_SCAN_IN_TXN_SPIN`]).
+fn transfer<H: TmHandle>(
+    h: &mut H,
+    from: &TVar<u64>,
+    to: &TVar<u64>,
+    amt: u64,
+    in_txn_spin: usize,
+) {
+    h.txn(TxKind::ReadWrite, |tx| {
+        let f = tx.read_var(from)?;
+        let t = tx.read_var(to)?;
+        if payload(f) >= amt {
+            tx.write_var(from, bump(f, payload(f) - amt))?;
+            tx.write_var(to, bump(t, payload(t) + amt))?;
+        }
+        for _ in 0..in_txn_spin {
+            std::hint::spin_loop();
+        }
+        Ok(())
+    });
+}
+
+/// Read-only wrap-around window scan of `len` variables starting at `start`.
+fn scan<H: TmHandle>(h: &mut H, vars: &[TVar<u64>], start: usize, len: usize) {
+    h.txn(TxKind::ReadOnly, |tx| {
+        let mut acc = 0u64;
+        for k in 0..len {
+            let v = tx.read_var(&vars[(start + k) % vars.len()])?;
+            acc = acc.wrapping_add(payload(v));
+        }
+        Ok(acc)
+    });
+}
+
+/// Read-only read of an explicit set of variables.
+fn read_some<H: TmHandle>(h: &mut H, vars: &[TVar<u64>], idxs: &[usize]) {
+    h.txn(TxKind::ReadOnly, |tx| {
+        let mut acc = 0u64;
+        for &i in idxs {
+            acc = acc.wrapping_add(tx.read_var(&vars[i])?);
+        }
+        Ok(acc)
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Driving a backend through a scenario
+// ---------------------------------------------------------------------------
+
+struct ScenarioVisitor<'a> {
+    spec: &'a ScenarioSpec,
+    backend: &'static str,
+}
+
+impl BackendVisitor for ScenarioVisitor<'_> {
+    type Out = Report;
+
+    fn visit<R: TmRuntime>(self, rt: Arc<R>) -> Report {
+        let spec = self.spec;
+        let vars: Vec<TVar<u64>> = (0..spec.vars)
+            .map(|i| TVar::new(initial_value(spec.kind, i)))
+            .collect();
+        let initial: Vec<u64> = vars.iter().map(|v| v.load_direct()).collect();
+
+        let ctl = ScenarioCtl {
+            stop: AtomicBool::new(false),
+            scanners_left: AtomicUsize::new(spec.threads.saturating_sub(LONG_SCAN_UPDATERS)),
+            transfers_done: AtomicUsize::new(0),
+            updaters_alive: AtomicUsize::new(LONG_SCAN_UPDATERS.min(spec.threads)),
+        };
+        let guard = tm_api::record::start();
+        std::thread::scope(|s| {
+            for t in 0..spec.threads {
+                let rt = &rt;
+                let vars = &vars;
+                let ctl = &ctl;
+                s.spawn(move || run_worker(rt, vars, spec, ctl, t));
+            }
+        });
+        // Workers are joined (scope ended), so their thread-local buffers
+        // have flushed; the history is complete.
+        let logs = guard.finish();
+        rt.shutdown();
+
+        let final_mem: Vec<u64> = vars.iter().map(|v| v.load_direct()).collect();
+        let addrs: Vec<usize> = vars.iter().map(|v| v.word().addr()).collect();
+        let history = checker::from_record::history_from_logs(
+            self.backend,
+            &spec.label(),
+            logs,
+            &addrs,
+            initial,
+            final_mem,
+        );
+        checker::check_history(&history)
+    }
+}
+
+/// Run one backend through one scenario with recording enabled and check
+/// the resulting history. Returns the checker's report.
+pub fn run_and_check(tm: TmKind, spec: &ScenarioSpec) -> Report {
+    with_backend(
+        tm,
+        RuntimeScale::Test,
+        ScenarioVisitor {
+            spec,
+            backend: tm.name(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_names_roundtrip() {
+        for k in ScenarioKind::all() {
+            assert_eq!(ScenarioKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(ScenarioKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn value_encoding_bumps_sequence_and_keeps_payload() {
+        let v0 = 1_000u64;
+        let v1 = bump(v0, 990);
+        let v2 = bump(v1, 1_005);
+        assert_eq!(payload(v1), 990);
+        assert_eq!(payload(v2), 1_005);
+        assert_eq!(v1 >> 32, 1);
+        assert_eq!(v2 >> 32, 2);
+        assert_ne!(v1, v2);
+    }
+}

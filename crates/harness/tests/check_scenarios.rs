@@ -1,0 +1,78 @@
+//! End-to-end recorder → checker tests (run with
+//! `cargo test -p harness --features record`).
+//!
+//! Every backend is driven through recorded scenarios and the resulting
+//! histories must be free of opacity/serializability violations. A
+//! glock-based smoke test also pins that the recorder itself produces
+//! non-trivial histories (attempts, commits, reads).
+
+use harness::registry::TmKind;
+use harness::scenario::{run_and_check, ScenarioKind, ScenarioSpec};
+
+fn assert_clean(tm: TmKind, kind: ScenarioKind, seed: u64) {
+    let spec = ScenarioSpec::smoke(kind, seed);
+    let report = run_and_check(tm, &spec);
+    assert!(
+        report.stats.committed > 0,
+        "{}/{}: no committed attempts recorded",
+        report.backend,
+        report.scenario
+    );
+    assert!(
+        report.is_clean(),
+        "{}/{} found violations:\n  {}",
+        report.backend,
+        report.scenario,
+        report
+            .violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n  ")
+    );
+}
+
+#[test]
+fn recorder_produces_a_nontrivial_history_on_the_oracle() {
+    let spec = ScenarioSpec::smoke(ScenarioKind::Counter, 7);
+    let report = run_and_check(TmKind::Glock, &spec);
+    assert!(report.is_clean(), "violations: {:?}", report.violations);
+    assert!(report.stats.attempts >= report.stats.committed);
+    assert!(report.stats.reads_checked > 0);
+    assert!(report.stats.vars_written > 0);
+}
+
+#[test]
+fn counter_scenario_is_clean_on_all_backends() {
+    for tm in TmKind::all() {
+        assert_clean(tm, ScenarioKind::Counter, 1);
+    }
+}
+
+#[test]
+fn zipf_mix_scenario_is_clean_on_all_backends() {
+    for tm in TmKind::all() {
+        assert_clean(tm, ScenarioKind::ZipfMix, 2);
+    }
+}
+
+#[test]
+fn read_mostly_scenario_is_clean_on_all_backends() {
+    for tm in TmKind::all() {
+        assert_clean(tm, ScenarioKind::ReadMostly, 3);
+    }
+}
+
+#[test]
+fn long_scan_scenario_is_clean_on_all_backends() {
+    for tm in TmKind::all() {
+        assert_clean(tm, ScenarioKind::LongScan, 4);
+    }
+}
+
+#[test]
+fn hot_write_scenario_is_clean_on_all_backends() {
+    for tm in TmKind::all() {
+        assert_clean(tm, ScenarioKind::HotWrite, 5);
+    }
+}

@@ -44,6 +44,9 @@ pub struct MultiverseRuntime {
     bg_join: Mutex<Option<JoinHandle<()>>>,
     /// Buckets unversioned by the background thread (diagnostic counter).
     buckets_unversioned: AtomicU64,
+    /// Arena slots retired to EBR by the background thread's unversioning
+    /// (workers count their own retires in their `ThreadStats`).
+    bg_pool_retires: AtomicU64,
     /// Mode transitions performed (workers' CAS plus background thread).
     mode_transitions: AtomicU64,
 }
@@ -78,6 +81,7 @@ impl MultiverseRuntime {
             stop_bg: AtomicBool::new(false),
             bg_join: Mutex::new(None),
             buckets_unversioned: AtomicU64::new(0),
+            bg_pool_retires: AtomicU64::new(0),
             mode_transitions: AtomicU64::new(0),
             cfg,
         });
@@ -269,6 +273,7 @@ impl TmHandle for MultiverseHandle {
             let result = body(&mut self.tx).and_then(|r| self.tx.try_commit().map(|()| r));
             match result {
                 Ok(r) => {
+                    tm_api::record::on_commit();
                     self.tx.finish_commit();
                     self.tx.stats.commits.inc();
                     if kind == TxKind::ReadOnly {
@@ -281,6 +286,7 @@ impl TmHandle for MultiverseHandle {
                 }
                 Err(_) => {
                     self.tx.rollback();
+                    tm_api::record::on_abort();
                     self.tx.stats.aborts.inc();
                     self.tx.attempts += 1;
                     self.backoff.abort_and_wait();
@@ -318,6 +324,10 @@ impl TmRuntime for MultiverseRuntime {
     fn stats(&self) -> TmStatsSnapshot {
         let mut snap = self.stats.snapshot();
         snap.buckets_unversioned += self.unversioned_bucket_count();
+        snap.pool_retires += self.bg_pool_retires.load(Ordering::Relaxed);
+        // Derived, not separately counted: every arena allocation is exactly
+        // one hit or one miss (`MultiverseTx::alloc_slot`).
+        snap.pool_allocs = snap.pool_hits + snap.pool_misses;
         // Recycling happens in EBR destructors with no thread-stats handle;
         // the arena counts it process-wide (one TM runs at a time in the
         // figure harness).
@@ -487,6 +497,8 @@ fn unversion_bucket(rt: &MultiverseRuntime, ebr: &mut LocalHandle, idx: usize) {
     let bytes = slots * arena::NODE_SLOT_BYTES;
     ebr.retire(chain as *mut u8, arena::recycle_vlt_chain, bytes);
     rt.sub_version_bytes(bytes);
+    rt.bg_pool_retires
+        .fetch_add(slots as u64, Ordering::Relaxed);
     rt.buckets_unversioned.fetch_add(1, Ordering::Relaxed);
 }
 

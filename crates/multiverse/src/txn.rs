@@ -140,6 +140,9 @@ impl MultiverseTx {
     /// whether this attempt runs on the versioned path, and announce the
     /// attempt to the background thread.
     pub(crate) fn begin(&mut self, kind: TxKind) {
+        // Recorded before the read clock is taken so the begin stamp
+        // precedes the snapshot (no-op unless tm-api/record is active).
+        tm_api::record::on_begin(kind);
         self.kind = kind;
         self.stats.starts.inc();
         self.ebr.pin();
@@ -355,6 +358,8 @@ impl MultiverseTx {
     #[inline]
     fn alloc_slot(&mut self) -> *mut u8 {
         let (p, hit) = self.pool.alloc();
+        // `pool_allocs` is derived as hits + misses in the stats snapshot;
+        // no third counter bump on this hot path.
         if hit {
             self.stats.pool_hits.inc();
         } else {
@@ -451,6 +456,7 @@ impl MultiverseTx {
                 arena::recycle_version_node,
                 arena::NODE_SLOT_BYTES,
             );
+            self.stats.pool_retires.inc();
             self.rt.sub_version_bytes(arena::NODE_SLOT_BYTES);
         }
         self.superseded.clear();
@@ -614,6 +620,7 @@ impl MultiverseTx {
                 arena::recycle_version_node,
                 arena::NODE_SLOT_BYTES,
             );
+            self.stats.pool_retires.inc();
             self.rt.sub_version_bytes(arena::NODE_SLOT_BYTES);
         }
         self.vwrites.clear();
@@ -692,16 +699,22 @@ impl Transaction for MultiverseTx {
         self.reads += 1;
         self.stats.reads.inc();
         let idx = self.rt.locks.index_of(word.addr());
-        if self.versioned {
+        let result = if self.versioned {
             // Versioned readers use the Mode-U protocol only while their
             // local mode is Mode U; in QtoU and UtoQ they behave as in Mode Q
             // (Table 1).
             if self.local_mode == Mode::U || self.rt.cfg.forced_mode == Some(ForcedMode::ModeU) {
-                return self.mode_u_versioned_read(word, idx);
+                self.mode_u_versioned_read(word, idx)
+            } else {
+                self.mode_q_versioned_read(word, idx)
             }
-            return self.mode_q_versioned_read(word, idx);
+        } else {
+            self.unversioned_read(word, idx)
+        };
+        if let Ok(v) = result {
+            tm_api::record::on_read(word.addr(), v);
         }
-        self.unversioned_read(word, idx)
+        result
     }
 
     fn write(&mut self, word: &TxWord, value: u64) -> TxResult<()> {
@@ -740,6 +753,7 @@ impl Transaction for MultiverseTx {
             self.try_write_to_version_list(word, idx, value);
         }
         word.tm_store(value);
+        tm_api::record::on_write(word.addr(), value);
         Ok(())
     }
 

@@ -108,5 +108,26 @@ fn version_unversion_churn_recycles_safely() {
         stats.pool_recycled > 0,
         "unversioned chains must have been recycled into the arena"
     );
+    // Pool accounting invariants (ISSUE 3): every arena slot handed out is
+    // classified as exactly one of hit/miss, and nothing can be recycled
+    // that was not first retired (worker supersede/rollback retires plus the
+    // background thread's chain retires, all counted in `pool_retires`).
+    //
+    // NOTE: `pool_recycled` is sourced from the process-wide arena counter,
+    // while `pool_retires` is per-runtime — the inequality below is only
+    // meaningful because this test binary hosts exactly one runtime. Keep
+    // this file single-test (or switch to counter deltas) if that changes.
+    assert_eq!(
+        stats.pool_allocs,
+        stats.pool_hits + stats.pool_misses,
+        "every allocation must be either a pool hit or a pool miss"
+    );
+    assert!(stats.pool_retires > 0, "churn must have retired nodes");
+    assert!(
+        stats.pool_recycled <= stats.pool_retires,
+        "recycles ({}) cannot outnumber retirements ({})",
+        stats.pool_recycled,
+        stats.pool_retires
+    );
     rt.shutdown();
 }

@@ -1,0 +1,99 @@
+//! Regression test for the `flush_superseded` clock gate (ROADMAP
+//! reclamation invariant, introduced by PR 2).
+//!
+//! Under the strict `< read-clock` acceptance rule, a versioned reader whose
+//! read clock equals a commit timestamp `T` *skips* every version stamped
+//! `T` and keeps walking to the next older node — and with the deferred
+//! clock (commits do not tick it), such readers keep starting for as long as
+//! the clock stays at `T`. A superseded version stamped `T` may therefore be
+//! EBR-retired only once the global clock *exceeds* `T`
+//! (`MultiverseTx::flush_superseded`); retiring at supersede time — the seed
+//! behaviour, which PR 2 found to be a latent use-after-free — would let the
+//! grace period elapse under the reader's feet and recycle the very node it
+//! is about to dereference.
+//!
+//! The test manufactures exactly that situation, deterministically in shape:
+//! phases of back-to-back lockstep commits (`y == 2x`) at one quiescent
+//! clock value `T`, interleaved with versioned read-only transactions pinned
+//! at `rv == T`. Every such reader must traverse past the whole stack of
+//! `T`-stamped versions onto the phase-entry version — a node that is
+//! *superseded and queued* under the clock gate, but would be retired (and,
+//! with enough reader pins driving EBR collection cycles, recycled) if
+//! anyone reverts to supersede-time retirement. A revert surfaces as the
+//! debug poison assertion in `VersionList::traverse`, a torn `y != 2x`
+//! pair, or a crash on a recycled link word.
+
+use multiverse::{MultiverseConfig, MultiverseRuntime};
+use tm_api::{Abort, TVar, TmHandle, TmRuntime, Transaction, TxKind};
+
+/// Lockstep commits per phase. Two superseded nodes are queued per commit
+/// (one per variable); the total per phase stays below the queue's
+/// forced-flush threshold so the gate — not the overflow fallback — is what
+/// keeps the nodes alive.
+const COMMITS_PER_PHASE: usize = 40;
+/// Versioned reads interleaved with each phase's commits.
+const READS_PER_PHASE: usize = 20;
+const PHASES: usize = 50;
+
+#[test]
+fn reader_pinned_at_superseding_commit_ts_traverses_safely() {
+    let rt = MultiverseRuntime::start(MultiverseConfig {
+        // Every read-only attempt runs versioned, straight into `traverse`.
+        k1_versioned_after: 0,
+        ..MultiverseConfig::small_mode_u_only()
+    });
+    let x = TVar::new(1u64);
+    let y = TVar::new(2u64);
+    let mut writer = rt.register();
+    let mut reader = rt.register();
+
+    let mut v = 1u64;
+    let mut versioned_reads = 0u64;
+    for _ in 0..PHASES {
+        // One phase: back-to-back lockstep commits. The deferred clock does
+        // not advance on commits, so every commit in the phase shares one
+        // timestamp `T`, each superseding the previous version pair.
+        for k in 0..COMMITS_PER_PHASE {
+            v += 1;
+            writer.txn(TxKind::ReadWrite, |tx| {
+                tx.write_var(&x, v)?;
+                tx.write_var(&y, v * 2)
+            });
+            // Interleave readers *within* the phase: their read clock is the
+            // same `T` the commits are stamped with, so `traverse` must skip
+            // every in-phase version and return the phase-entry pair — the
+            // superseded nodes the clock gate is holding back. The repeated
+            // pin/unpin cycles are also what drives EBR collection, so a
+            // supersede-time retirement would actually get recycled here.
+            if k % (COMMITS_PER_PHASE / READS_PER_PHASE) == 0 {
+                let (a, b) = reader.txn(TxKind::ReadOnly, |tx| {
+                    let a = tx.read_var(&x)?;
+                    let b = tx.read_var(&y)?;
+                    Ok((a, b))
+                });
+                assert_eq!(b, a * 2, "reader observed a torn lockstep pair");
+                versioned_reads += 1;
+            }
+        }
+        // End of phase: tick the clock (aborts advance it) so the queued
+        // superseded nodes become flushable and the next phase starts fresh.
+        let gave_up = writer.txn_budget(TxKind::ReadWrite, 1, |tx| {
+            let _ = tx.read_var(&x)?;
+            Err::<(), _>(Abort)
+        });
+        assert!(!gave_up.is_committed());
+    }
+
+    assert!(versioned_reads >= (PHASES * READS_PER_PHASE / 2) as u64);
+    let stats = rt.stats();
+    assert!(
+        stats.versioned_commits > 0,
+        "readers must have exercised the versioned path"
+    );
+    assert!(
+        stats.pool_retires > 0,
+        "phases must have queued and flushed superseded nodes"
+    );
+    assert_eq!(x.load_direct() * 2, y.load_direct());
+    rt.shutdown();
+}

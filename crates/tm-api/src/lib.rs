@@ -29,6 +29,7 @@ pub mod clock;
 pub mod fxhash;
 pub mod locktable;
 pub mod padded;
+pub mod record;
 pub mod stats;
 pub mod traits;
 pub mod txset;

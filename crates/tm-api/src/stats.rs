@@ -118,6 +118,12 @@ stat_counters! {
     pool_misses,
     /// Nodes recycled into the pool after their EBR grace period.
     pool_recycled,
+    /// Version/VLT node slots handed out by the arena. Derived (hits +
+    /// misses) in the runtime's snapshot rather than counted on the hot
+    /// path; pinned by `crates/multiverse/tests/pool_churn.rs`.
+    pool_allocs,
+    /// Version/VLT node slots handed to EBR for eventual recycling.
+    pool_retires,
 }
 
 /// Registry of all per-thread statistics for one TM runtime instance.

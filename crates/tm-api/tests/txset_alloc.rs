@@ -90,8 +90,42 @@ fn attempt(
 
 fn main() {
     steady_state_attempts_do_not_allocate();
+    record_hooks_are_free_without_the_feature();
     println!("txset_alloc: steady-state attempts performed zero heap allocations ... ok");
 }
+
+/// The `record` feature must be zero-cost when disabled: the hooks compile
+/// to empty inline stubs (`ENABLED == false`) and calling them on a hot loop
+/// performs no allocation and records nothing. Compiled out when the
+/// feature *is* enabled (then the hooks legitimately buffer events while a
+/// session is active, and `crates/harness` owns the recording tests).
+#[cfg(not(feature = "record"))]
+fn record_hooks_are_free_without_the_feature() {
+    const {
+        assert!(
+            !tm_api::record::ENABLED,
+            "record stubs must report ENABLED == false"
+        )
+    };
+    let w = TxWord::new(7);
+    let before = allocation_count();
+    for i in 0..100_000u64 {
+        tm_api::record::on_begin(tm_api::TxKind::ReadWrite);
+        tm_api::record::on_read(w.addr(), i);
+        tm_api::record::on_write(w.addr(), i);
+        tm_api::record::on_commit();
+        tm_api::record::on_abort();
+    }
+    assert!(!tm_api::record::is_active());
+    assert_eq!(
+        allocation_count() - before,
+        0,
+        "disabled record hooks must never allocate"
+    );
+}
+
+#[cfg(feature = "record")]
+fn record_hooks_are_free_without_the_feature() {}
 
 fn steady_state_attempts_do_not_allocate() {
     let words: Vec<TxWord> = (0..64).map(|i| TxWord::new(i as u64)).collect();

@@ -2,9 +2,16 @@
 //! transactional invariants under concurrency (the observable face of
 //! opacity), and read-only transactions must always see consistent
 //! snapshots — including the long, many-address reads Multiverse targets.
+//!
+//! Backend dispatch goes through the harness checker registry
+//! (`harness::with_backend` + `BackendVisitor`), so adding a TM to
+//! `TmKind::all()` automatically adds it to the invariant suite instead of
+//! requiring another hand-written constructor per test. The deeper,
+//! history-based validation of the same invariants lives in
+//! `crates/harness/tests/check_scenarios.rs` and the `harness check` CLI
+//! (see TESTING.md).
 
-use baselines::{DctlRuntime, GlockRuntime, NorecRuntime, TinyStmRuntime, Tl2Runtime};
-use multiverse::{MultiverseConfig, MultiverseRuntime};
+use harness::{with_backend, BackendVisitor, RuntimeScale, TmKind};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use tm_api::{TVar, TmHandle, TmRuntime, Transaction, TxKind};
@@ -69,50 +76,6 @@ fn bank_invariant<R: TmRuntime>(tm: Arc<R>) {
     tm.shutdown();
 }
 
-#[test]
-fn bank_invariant_multiverse() {
-    bank_invariant(MultiverseRuntime::start(MultiverseConfig::small()));
-}
-
-#[test]
-fn bank_invariant_multiverse_mode_q_only() {
-    bank_invariant(MultiverseRuntime::start(
-        MultiverseConfig::small_mode_q_only(),
-    ));
-}
-
-#[test]
-fn bank_invariant_multiverse_mode_u_only() {
-    bank_invariant(MultiverseRuntime::start(
-        MultiverseConfig::small_mode_u_only(),
-    ));
-}
-
-#[test]
-fn bank_invariant_dctl() {
-    bank_invariant(Arc::new(DctlRuntime::with_defaults()));
-}
-
-#[test]
-fn bank_invariant_tl2() {
-    bank_invariant(Arc::new(Tl2Runtime::with_defaults()));
-}
-
-#[test]
-fn bank_invariant_norec() {
-    bank_invariant(Arc::new(NorecRuntime::new()));
-}
-
-#[test]
-fn bank_invariant_tinystm() {
-    bank_invariant(Arc::new(TinyStmRuntime::with_defaults()));
-}
-
-#[test]
-fn bank_invariant_glock_oracle() {
-    bank_invariant(Arc::new(GlockRuntime::new()));
-}
-
 /// Two variables moving in lock-step: any transaction (even one that later
 /// aborts) must never observe them out of sync. This is the classic
 /// "zombie transaction" opacity probe: x and y always satisfy y == 2*x.
@@ -161,27 +124,111 @@ fn lockstep_probe<R: TmRuntime>(tm: Arc<R>) {
     tm.shutdown();
 }
 
+/// Run the bank invariant against a backend by registry name.
+struct BankVisitor;
+impl BackendVisitor for BankVisitor {
+    type Out = ();
+    fn visit<R: TmRuntime>(self, rt: Arc<R>) {
+        bank_invariant(rt);
+    }
+}
+
+/// Run the lockstep probe against a backend by registry name.
+struct LockstepVisitor;
+impl BackendVisitor for LockstepVisitor {
+    type Out = ();
+    fn visit<R: TmRuntime>(self, rt: Arc<R>) {
+        lockstep_probe(rt);
+    }
+}
+
+fn run_bank(tm: TmKind) {
+    with_backend(tm, RuntimeScale::Test, BankVisitor);
+}
+
+fn run_lockstep(tm: TmKind) {
+    with_backend(tm, RuntimeScale::Test, LockstepVisitor);
+}
+
+#[test]
+fn bank_invariant_multiverse() {
+    run_bank(TmKind::Multiverse);
+}
+
+#[test]
+fn bank_invariant_multiverse_mode_q_only() {
+    run_bank(TmKind::MultiverseModeQ);
+}
+
+#[test]
+fn bank_invariant_multiverse_mode_u_only() {
+    run_bank(TmKind::MultiverseModeU);
+}
+
+#[test]
+fn bank_invariant_dctl() {
+    run_bank(TmKind::Dctl);
+}
+
+#[test]
+fn bank_invariant_tl2() {
+    run_bank(TmKind::Tl2);
+}
+
+#[test]
+fn bank_invariant_norec() {
+    run_bank(TmKind::Norec);
+}
+
+#[test]
+fn bank_invariant_tinystm() {
+    run_bank(TmKind::TinyStm);
+}
+
+#[test]
+fn bank_invariant_glock_oracle() {
+    run_bank(TmKind::Glock);
+}
+
 #[test]
 fn lockstep_probe_multiverse() {
-    lockstep_probe(MultiverseRuntime::start(MultiverseConfig::small()));
+    run_lockstep(TmKind::Multiverse);
 }
 
 #[test]
 fn lockstep_probe_dctl() {
-    lockstep_probe(Arc::new(DctlRuntime::with_defaults()));
+    run_lockstep(TmKind::Dctl);
 }
 
 #[test]
 fn lockstep_probe_tl2() {
-    lockstep_probe(Arc::new(Tl2Runtime::with_defaults()));
+    run_lockstep(TmKind::Tl2);
 }
 
 #[test]
 fn lockstep_probe_norec() {
-    lockstep_probe(Arc::new(NorecRuntime::new()));
+    run_lockstep(TmKind::Norec);
 }
 
 #[test]
 fn lockstep_probe_tinystm() {
-    lockstep_probe(Arc::new(TinyStmRuntime::with_defaults()));
+    run_lockstep(TmKind::TinyStm);
+}
+
+/// Stress rerun across **all** backends (previously Multiverse Mode-U only).
+/// `STRESS_RERUNS` scales the repetition count: the default keeps `cargo
+/// test` quick; CI's gated seed sweep sets it to 40 to reproduce the
+/// repetition level that exposed the PR 1 opacity bug.
+#[test]
+fn bank_invariant_stress_rerun_all_backends() {
+    let reruns: usize = std::env::var("STRESS_RERUNS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    for round in 0..reruns {
+        for tm in TmKind::all() {
+            eprintln!("stress round {round}: {}", tm.name());
+            run_bank(tm);
+        }
+    }
 }
