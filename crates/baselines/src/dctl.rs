@@ -18,13 +18,13 @@
 //!   Starvation Freedom") attributes DCTL's huge variance to exactly this
 //!   path, which this implementation reproduces.
 
-use crate::common::{LockedStripes, StripeReadSet, UndoLog};
 use ebr::{Collector, LocalHandle, TxMem};
 use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::Arc;
 use tm_api::abort::TxResult;
 use tm_api::backoff::SpinWait;
 use tm_api::traits::Dtor;
+use tm_api::txset::{LockedStripes, StripeReadSet, UndoLog};
 use tm_api::{
     Abort, Backoff, CachePadded, GlobalClock, LockTable, StatsRegistry, ThreadStats, TmHandle,
     TmRuntime, TmStatsSnapshot, Transaction, TxKind, TxOutcome, TxWord, DEFAULT_STRIPES,

@@ -5,13 +5,13 @@
 //! the real STMs. Transactions take one global mutex for their whole
 //! duration, so every history is serial by construction.
 
-use crate::common::UndoLog;
 use ebr::{Collector, LocalHandle, TxMem};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tm_api::abort::TxResult;
 use tm_api::traits::Dtor;
+use tm_api::txset::UndoLog;
 use tm_api::{
     StatsRegistry, ThreadStats, TmHandle, TmRuntime, TmStatsSnapshot, Transaction, TxKind,
     TxOutcome, TxWord,

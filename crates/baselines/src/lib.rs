@@ -20,9 +20,12 @@
 //!
 //! All of them implement the [`tm_api::TmRuntime`] / [`tm_api::TmHandle`] /
 //! [`tm_api::Transaction`] traits, so the transactional data structures and
-//! the benchmark harness treat them interchangeably with Multiverse.
+//! the benchmark harness treat them interchangeably with Multiverse. Their
+//! per-attempt bookkeeping (read sets, undo/redo logs, locked-stripe lists)
+//! comes straight from [`tm_api::txset`] — the shared allocation-free
+//! hot-path primitive layer — so Multiverse and every baseline run on the
+//! same structures.
 
-pub mod common;
 pub mod dctl;
 pub mod glock;
 pub mod norec;

@@ -8,13 +8,13 @@
 //! transactions revalidate their whole read set every time any writer
 //! commits — the behaviour the paper's long-range-query experiments expose.
 
-use crate::common::{RedoLog, ValueReadSet};
 use ebr::{Collector, LocalHandle, TxMem};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tm_api::abort::TxResult;
 use tm_api::backoff::SpinWait;
 use tm_api::traits::Dtor;
+use tm_api::txset::{RedoLog, ValueReadSet};
 use tm_api::{
     Abort, Backoff, CachePadded, StatsRegistry, ThreadStats, TmHandle, TmRuntime, TmStatsSnapshot,
     Transaction, TxKind, TxOutcome, TxWord,

@@ -7,13 +7,13 @@
 //! set and, if nothing it read has changed, extends its snapshot to the
 //! current clock instead of aborting.
 
-use crate::common::{StripeReadSet, UndoLog};
 use ebr::{Collector, LocalHandle, TxMem};
 use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::Arc;
 use tm_api::abort::TxResult;
 use tm_api::traits::Dtor;
 use tm_api::txset::InlineVec;
+use tm_api::txset::{StripeReadSet, UndoLog};
 use tm_api::vlock::LockState;
 use tm_api::{
     Abort, Backoff, GlobalClock, LockTable, StatsRegistry, ThreadStats, TmHandle, TmRuntime,

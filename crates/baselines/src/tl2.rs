@@ -14,13 +14,13 @@
 //! the property that makes the §4.5 reclamation race possible, which is why
 //! every transaction attempt here is pinned in EBR.
 
-use crate::common::{LockedStripes, RedoLog, StripeReadSet};
 use ebr::{Collector, LocalHandle, TxMem};
 use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::Arc;
 use tm_api::abort::TxResult;
 use tm_api::traits::Dtor;
 use tm_api::txset::InlineVec;
+use tm_api::txset::{LockedStripes, RedoLog, StripeReadSet};
 use tm_api::vlock::LockState;
 use tm_api::{
     Abort, Backoff, GlobalClock, LockTable, StatsRegistry, ThreadStats, TmHandle, TmRuntime,

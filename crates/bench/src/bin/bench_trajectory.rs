@@ -23,6 +23,47 @@ use std::time::Instant;
 use tm_api::txset::{StripeReadSet, WriteMap, READ_SET_INLINE};
 use tm_api::{TVar, TmHandle, TmRuntime, Transaction, TxKind, TxWord};
 
+/// Median ns/op across `threads` concurrent workers: per sample, every
+/// worker runs `iters_per_sample` iterations between two barriers and the
+/// wall time of the batch is divided by the total operation count — an
+/// inverse-throughput metric, so cross-thread contention (shared clock,
+/// stripe locks, pool shards) shows up directly. The first batch is warm-up.
+fn measure_mt<M, F>(threads: usize, samples: usize, iters_per_sample: u64, make_worker: M) -> f64
+where
+    M: Fn(usize) -> F + Sync,
+    F: FnMut(),
+{
+    let start = std::sync::Barrier::new(threads + 1);
+    let done = std::sync::Barrier::new(threads + 1);
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let (start, done, make_worker) = (&start, &done, &make_worker);
+            s.spawn(move || {
+                let mut f = make_worker(t);
+                for _ in 0..samples + 1 {
+                    start.wait();
+                    for _ in 0..iters_per_sample {
+                        f();
+                    }
+                    done.wait();
+                }
+            });
+        }
+        for sample in 0..samples + 1 {
+            start.wait();
+            let t0 = Instant::now();
+            done.wait();
+            let ns = t0.elapsed().as_nanos() as f64 / (iters_per_sample * threads as u64) as f64;
+            if sample > 0 {
+                times.push(ns);
+            }
+        }
+    });
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
 /// Median ns/iter of `f` over `samples` batches of `iters_per_sample`.
 fn measure<F: FnMut()>(samples: usize, iters_per_sample: u64, mut f: F) -> f64 {
     // Warm-up batch.
@@ -194,6 +235,44 @@ fn versioned_measurements(out: &mut Vec<(String, f64)>) {
         }),
     ));
     drop(h);
+    rt.shutdown();
+
+    // The same mixed churn with four workers sharing the runtime: version/
+    // VLT slots flow continuously between the threads' pool handles — the
+    // contention profile the sharded free lists target. Tracked so the
+    // multi-thread win (and any regression in the shard/steal machinery)
+    // is visible in BENCH_txset.json, alongside the single-thread entries.
+    let rt = MultiverseRuntime::start(MultiverseConfig {
+        k1_versioned_after: 0,
+        min_unversion_threshold: 1,
+        l_delta_samples: 1,
+        p_prefix_fraction: 1.0,
+        ..MultiverseConfig::small()
+    });
+    let vars: Vec<TVar<u64>> = (0..WORDS).map(|i| TVar::new(i as u64)).collect();
+    out.push((
+        "stm/multiverse/version_churn_mixed_mt4".into(),
+        measure_mt(4, 7, 3_000, |t| {
+            let mut h = rt.register();
+            let vars = &vars;
+            let mut i = (t as u64).wrapping_mul(0x9E37_79B9) + 1;
+            move || {
+                i += 1;
+                let sum = h.txn(TxKind::ReadOnly, |tx| {
+                    let mut sum = 0u64;
+                    for v in vars.iter().skip((i as usize) % 8).take(8) {
+                        sum = sum.wrapping_add(tx.read_var(v)?);
+                    }
+                    Ok(sum)
+                });
+                black_box(sum);
+                h.txn(TxKind::ReadWrite, |tx| {
+                    tx.write_var(&vars[(i as usize) % WORDS], i)?;
+                    tx.write_var(&vars[(i as usize + 31) % WORDS], i)
+                });
+            }
+        }),
+    ));
     rt.shutdown();
 }
 

@@ -31,7 +31,7 @@ mod txmem;
 
 pub use collector::Collector;
 pub use local::{Guard, LocalHandle};
-pub use pool::{NodePool, PoolHandle};
+pub use pool::{NodePool, PoolHandle, SlotSource};
 pub use retired::{Dtor, Retired};
 pub use txmem::TxMem;
 

@@ -1,0 +1,83 @@
+//! Property tests for the sharded node pool: home-shard assignment covers
+//! every shard across handle registrations, and arbitrary alloc/free
+//! interleavings (exercising the batched spill/refill and steal paths)
+//! round-trip slots without duplication or loss, with a `HashSet` of slot
+//! addresses as the oracle.
+//!
+//! Pools are `Box::leak`ed per case: `PoolHandle` requires a `'static` pool
+//! (as the real arena is), and pool memory is never returned to the OS by
+//! design, so leaking matches production semantics.
+
+use ebr::pool::{NodePool, PoolHandle, CACHE_LINE};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn leaked_pool(shards: usize) -> &'static NodePool {
+    Box::leak(Box::new(NodePool::with_shards(CACHE_LINE, shards)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Registration assigns home shards round-robin: as soon as at least
+    /// `shards` handles exist, every shard index is someone's home.
+    #[test]
+    fn home_shard_assignment_covers_every_shard(
+        shards in 1usize..=16,
+        extra in 0usize..24,
+    ) {
+        let pool = leaked_pool(shards);
+        prop_assert_eq!(pool.shard_count(), shards);
+        let handles: Vec<PoolHandle> =
+            (0..shards + extra).map(|_| PoolHandle::new(pool)).collect();
+        let homes: HashSet<usize> = handles.iter().map(|h| h.home_shard()).collect();
+        prop_assert_eq!(homes, (0..shards).collect::<HashSet<usize>>());
+        for h in &handles {
+            prop_assert!(h.home_shard() < shards, "home shard out of range");
+        }
+    }
+
+    /// Arbitrary alloc/free interleavings across several handles of one
+    /// sharded pool: no slot is ever handed to two owners at once (HashSet
+    /// oracle over slot addresses), and once everything is freed, every slot
+    /// the pool ever grew is back on exactly one free list (no loss, no
+    /// duplication through the batched spill/refill and steal paths).
+    #[test]
+    fn spill_refill_round_trips_slots_without_duplication(
+        shards in 1usize..=8,
+        nhandles in 1usize..=3,
+        ops in prop::collection::vec((any::<bool>(), 0usize..3, 0usize..1024), 1..400),
+    ) {
+        let pool = leaked_pool(shards);
+        let mut handles: Vec<PoolHandle> =
+            (0..nhandles).map(|_| PoolHandle::new(pool)).collect();
+        let mut held: Vec<*mut u8> = Vec::new();
+        let mut out: HashSet<usize> = HashSet::new(); // oracle: slots handed out
+        for (is_alloc, h, pick) in ops {
+            let h = h % nhandles;
+            if is_alloc || held.is_empty() {
+                let (p, _) = handles[h].alloc();
+                prop_assert!(out.insert(p as usize), "slot {:p} double-served", p);
+                held.push(p);
+            } else {
+                // Free through a (possibly) different handle than allocated,
+                // crossing shards and exercising spills.
+                let p = held.swap_remove(pick % held.len());
+                out.remove(&(p as usize));
+                // Safety: `p` was handed out exactly once and is freed once.
+                unsafe { handles[h].free(p) };
+            }
+        }
+        for p in held {
+            // Safety: as above.
+            unsafe { handles[0].free(p) };
+        }
+        drop(handles);
+        // Conservation: every grown slot sits on exactly one free list. A
+        // lost slot makes the count short; a duplicated one makes it long
+        // (it is counted once per list position).
+        let total = pool.total_bytes() / pool.slot_bytes();
+        // Safety: no concurrent pool users — the walk is quiescent.
+        prop_assert_eq!(unsafe { pool.free_slot_count() }, total);
+    }
+}

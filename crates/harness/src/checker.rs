@@ -187,6 +187,15 @@ pub enum Violation {
         value_b: u64,
         blocker: usize,
     },
+    /// A committed structure operation contradicted the audit state observed
+    /// in the same transaction (the `struct-churn` scenario pairs every
+    /// `txstructs` operation with presence variables; a committed mismatch
+    /// means the structure traversal and the audit reads did not see one
+    /// snapshot). Produced by the scenario driver, not by `check_history`.
+    StructAudit {
+        /// Human-readable description of the contradiction.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -229,6 +238,9 @@ impl fmt::Display for Violation {
                 "attempt {attempt}: torn snapshot — read var {var_a}={value_a:#x} predates the commit of \
                  attempt {blocker}, read var {var_b}={value_b:#x} requires it (or a later commit)"
             ),
+            Violation::StructAudit { detail } => {
+                write!(f, "structure/audit mismatch in a committed transaction: {detail}")
+            }
         }
     }
 }

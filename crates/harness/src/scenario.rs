@@ -21,23 +21,44 @@
 //!
 //! ## Families
 //!
-//! | name         | shape                                                    |
-//! |--------------|----------------------------------------------------------|
-//! | `counter`    | few hot counters, heavy RMW contention + snapshot reads  |
-//! | `zipf-mix`   | Zipfian (θ=0.9) multi-var updates and reads              |
-//! | `read-mostly`| 90% window scans, 10% single-var updates                 |
-//! | `long-scan`  | bank transfers + full-array read-only scans (the paper's |
-//! |              | long-range-query shape; exercises the versioned path)    |
-//! | `hot-write`  | every transaction RMWs 2–3 vars of a tiny hot set        |
+//! | name          | shape                                                    |
+//! |---------------|----------------------------------------------------------|
+//! | `counter`     | few hot counters, heavy RMW contention + snapshot reads  |
+//! | `zipf-mix`    | Zipfian (θ=0.9) multi-var updates and reads              |
+//! | `read-mostly` | 90% window scans, 10% single-var updates                 |
+//! | `long-scan`   | bank transfers + full-array read-only scans (the paper's |
+//! |               | long-range-query shape; exercises the versioned path)    |
+//! | `hot-write`   | every transaction RMWs 2–3 vars of a tiny hot set        |
+//! | `struct-churn`| `TxList` + `TxAbTree` insert/remove/contains/range under |
+//! |               | audit (see below) — the paper's data structures          |
+//!
+//! ## `struct-churn`: checking structure-level histories
+//!
+//! The transactional structures allocate and retire nodes, so their internal
+//! reads and writes live at unstable addresses with repeating (pointer)
+//! values — outside the checker's by-value chain model. The scenario brings
+//! them in scope with **presence audit variables**: each key of each
+//! structure owns a tracked [`TVar`] whose payload is 1 iff the key is in
+//! the structure, updated *in the same transaction* as the structure
+//! operation (via the `*_tx` composable ops). Every committed operation's
+//! result is then cross-checked against the presence payload it observed —
+//! a disagreement means the structure traversal and the audit read did not
+//! see one snapshot and is reported as [`Violation::StructAudit`] — while
+//! the presence variables themselves follow the RMW discipline, so the
+//! ordinary opacity/serializability checks run over histories whose
+//! attempts *are* structure operations (list/tree traversals on the
+//! versioned path, node alloc/retire through the arena, range scans against
+//! concurrent toggles).
 
-use crate::checker::{self, Report};
+use crate::checker::{self, Report, Violation};
 use crate::registry::{with_backend, BackendVisitor, RuntimeScale, TmKind};
 use crate::zipf::Zipf;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use tm_api::{TVar, TmHandle, TmRuntime, Transaction, TxKind};
+use txstructs::{TxAbTree, TxList, TxSet};
 
 /// The scenario families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +73,9 @@ pub enum ScenarioKind {
     LongScan,
     /// Write-heavy contention on a tiny hot set.
     HotWrite,
+    /// `TxList` + `TxAbTree` insert/remove/contains/range churn with
+    /// in-transaction presence auditing (see the module docs).
+    StructChurn,
 }
 
 impl ScenarioKind {
@@ -63,6 +87,7 @@ impl ScenarioKind {
             ScenarioKind::ReadMostly,
             ScenarioKind::LongScan,
             ScenarioKind::HotWrite,
+            ScenarioKind::StructChurn,
         ]
     }
 
@@ -74,6 +99,7 @@ impl ScenarioKind {
             ScenarioKind::ReadMostly => "read-mostly",
             ScenarioKind::LongScan => "long-scan",
             ScenarioKind::HotWrite => "hot-write",
+            ScenarioKind::StructChurn => "struct-churn",
         }
     }
 
@@ -109,6 +135,9 @@ impl ScenarioSpec {
             ScenarioKind::ReadMostly => (48, 3, 300),
             ScenarioKind::LongScan => (64, 3, 120),
             ScenarioKind::HotWrite => (6, 3, 300),
+            // vars = presence variables: half for the list's keys, half for
+            // the tree's (must stay a multiple of 4 — see `initial_value`).
+            ScenarioKind::StructChurn => (24, 3, 200),
         };
         Self {
             kind,
@@ -127,6 +156,7 @@ impl ScenarioSpec {
             ScenarioKind::ReadMostly => (96, 4, 900),
             ScenarioKind::LongScan => (128, 4, 350),
             ScenarioKind::HotWrite => (8, 4, 900),
+            ScenarioKind::StructChurn => (40, 4, 600),
         };
         Self {
             kind,
@@ -162,12 +192,17 @@ pub fn bump(old: u64, new_payload: u64) -> u64 {
 }
 
 /// Initial value of variable `i`: sequence 0, scenario-defined payload.
-fn initial_value(kind: ScenarioKind, _i: usize) -> u64 {
+fn initial_value(kind: ScenarioKind, i: usize) -> u64 {
     match kind {
         ScenarioKind::Counter | ScenarioKind::ZipfMix | ScenarioKind::HotWrite => 0,
         // Bank balances / scan payloads start high enough that transfers
         // rarely bottom out.
         ScenarioKind::ReadMostly | ScenarioKind::LongScan => 1_000,
+        // Presence payload of the prefilled structures: every even key is
+        // inserted. The var count is a multiple of 4 (key counts per
+        // structure are even), so `i % 2` equals the key index's parity in
+        // both the list half and the tree half.
+        ScenarioKind::StructChurn => u64::from(i.is_multiple_of(2)),
     }
 }
 
@@ -192,6 +227,16 @@ struct ScenarioCtl {
     /// can bail out instead of spinning forever when a (deliberately broken)
     /// build kills a writer mid-run.
     updaters_alive: AtomicUsize,
+    /// Structure/audit contradictions observed in *committed* transactions
+    /// (`struct-churn` only) — reported as [`Violation::StructAudit`]. Off
+    /// the transaction path: pushed only after a mismatching commit.
+    audit: Mutex<Vec<String>>,
+}
+
+impl ScenarioCtl {
+    fn push_audit(&self, detail: String) {
+        self.audit.lock().unwrap().push(detail);
+    }
 }
 
 /// Decrements `updaters_alive` when an updater leaves `run_worker`, whether
@@ -227,13 +272,190 @@ const LONG_SCAN_UPDATER_CAP: usize = 40;
 /// not catch the reintroduced PR 1 bug.
 const LONG_SCAN_IN_TXN_SPIN: usize = 600;
 
+/// The data structures (and key mapping) driven by [`ScenarioKind::StructChurn`].
+///
+/// Keys `0..keys` map to structure keys `1..=keys` (avoiding the list
+/// sentinel's 0). Presence variable of list key `k` is `vars[k]`; of tree
+/// key `k` is `vars[keys + k]`.
+struct StructChurnCtx {
+    list: TxList,
+    tree: TxAbTree,
+    keys: usize,
+}
+
+impl StructChurnCtx {
+    fn new(vars: usize) -> Self {
+        assert!(
+            vars.is_multiple_of(4),
+            "struct-churn needs a multiple-of-4 var count (two even key halves)"
+        );
+        Self {
+            list: TxList::new(),
+            tree: TxAbTree::new(),
+            keys: vars / 2,
+        }
+    }
+
+    fn key_of(k: usize) -> u64 {
+        k as u64 + 1
+    }
+
+    /// Insert every even key into both structures (matching the presence
+    /// variables' initial payloads). Runs before the recording session.
+    fn prefill<H: TmHandle>(&self, h: &mut H) {
+        for k in (0..self.keys).step_by(2) {
+            let key = Self::key_of(k);
+            assert!(self.list.insert(h, key, key));
+            assert!(self.tree.insert(h, key, key));
+        }
+    }
+
+    /// Post-run sweep: both structures' memberships must match the presence
+    /// payloads (runs after the recording session, before shutdown).
+    fn final_audit<H: TmHandle>(&self, h: &mut H, vars: &[TVar<u64>], audit: &mut Vec<String>) {
+        for k in 0..self.keys {
+            let key = Self::key_of(k);
+            for (structure, base) in [("list", 0), ("tree", self.keys)] {
+                let present = if base == 0 {
+                    self.list.contains(h, key)
+                } else {
+                    self.tree.contains(h, key)
+                };
+                let tracked = payload(vars[base + k].load_direct()) == 1;
+                if present != tracked {
+                    audit.push(format!(
+                        "final state: {structure} key {key} present={present} but \
+                         presence var says {tracked}"
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// One `struct-churn` worker: seeded insert/remove/contains/range operations
+/// on the list and the tree, each paired in-transaction with its presence
+/// variables; committed results are cross-checked against the presence
+/// payloads observed in the same snapshot.
+fn run_struct_churn_worker<R: TmRuntime>(
+    rt: &Arc<R>,
+    vars: &[TVar<u64>],
+    spec: &ScenarioSpec,
+    ctl: &ScenarioCtl,
+    sc: &StructChurnCtx,
+    thread: usize,
+) {
+    let mut h = rt.register();
+    let mut rng = thread_rng_for(spec.seed, thread);
+    let kk = sc.keys;
+    for op in 0..spec.ops_per_thread {
+        let on_list = rng.gen_bool(0.5);
+        let (structure, base) = if on_list { ("list", 0) } else { ("tree", kk) };
+        let k = rng.gen_range(0..kk);
+        let key = StructChurnCtx::key_of(k);
+        match rng.gen_range(0..4u32) {
+            // Toggle: insert or remove, updating the presence var in the
+            // same transaction (RMW: the var is read before it is written).
+            0 | 1 => {
+                let insert = rng.gen_bool(0.5);
+                let var = &vars[base + k];
+                let (changed, before) = h.txn(TxKind::ReadWrite, |tx| {
+                    let changed = match (on_list, insert) {
+                        (true, true) => sc.list.insert_tx(tx, key, key)?,
+                        (true, false) => sc.list.remove_tx(tx, key)?,
+                        (false, true) => sc.tree.insert_tx(tx, key, key)?,
+                        (false, false) => sc.tree.remove_tx(tx, key)?,
+                    };
+                    let p = tx.read_var(var)?;
+                    if changed {
+                        tx.write_var(var, bump(p, u64::from(insert)))?;
+                    }
+                    Ok((changed, payload(p)))
+                });
+                // The key was present before the op iff a remove succeeded
+                // or an insert found it; the presence payload read in the
+                // same transaction must agree.
+                let present_before = if insert { !changed } else { changed };
+                if (before == 1) != present_before {
+                    ctl.push_audit(format!(
+                        "thread {thread} op {op}: {structure} {} of key {key} \
+                         (changed={changed}) saw presence payload {before}",
+                        if insert { "insert" } else { "remove" },
+                    ));
+                }
+            }
+            // Contains vs. the key's presence var, one snapshot.
+            2 => {
+                let var = &vars[base + k];
+                let (found, p) = h.txn(TxKind::ReadOnly, |tx| {
+                    let found = if on_list {
+                        sc.list.contains_tx(tx, key)?
+                    } else {
+                        sc.tree.contains_tx(tx, key)?
+                    };
+                    Ok((found, payload(tx.read_var(var)?)))
+                });
+                if found != (p == 1) {
+                    ctl.push_audit(format!(
+                        "thread {thread} op {op}: {structure} contains({key})={found} \
+                         but presence payload is {p}"
+                    ));
+                }
+            }
+            // Range query vs. the presence vars of the whole window, one
+            // snapshot — the structure-level analogue of `long-scan`.
+            _ => {
+                let lo = rng.gen_range(0..kk);
+                let hi = rng.gen_range(lo..kk);
+                let (got, expect) = h.txn(TxKind::ReadOnly, |tx| {
+                    let got = if on_list {
+                        sc.list.range_query_tx(
+                            tx,
+                            StructChurnCtx::key_of(lo),
+                            StructChurnCtx::key_of(hi),
+                        )?
+                    } else {
+                        sc.tree.range_query_tx(
+                            tx,
+                            StructChurnCtx::key_of(lo),
+                            StructChurnCtx::key_of(hi),
+                        )?
+                    };
+                    let mut expect = 0usize;
+                    for j in lo..=hi {
+                        if payload(tx.read_var(&vars[base + j])?) == 1 {
+                            expect += 1;
+                        }
+                    }
+                    Ok((got, expect))
+                });
+                if got != expect {
+                    ctl.push_audit(format!(
+                        "thread {thread} op {op}: {structure} range [{lo},{hi}] counted {got} \
+                         keys but the presence vars say {expect}"
+                    ));
+                }
+            }
+        }
+    }
+    tm_api::record::flush_thread();
+}
+
 fn run_worker<R: TmRuntime>(
     rt: &Arc<R>,
     vars: &[TVar<u64>],
     spec: &ScenarioSpec,
     ctl: &ScenarioCtl,
+    structs: &Option<StructChurnCtx>,
     thread: usize,
 ) {
+    if spec.kind == ScenarioKind::StructChurn {
+        let sc = structs
+            .as_ref()
+            .expect("struct-churn context built in visit");
+        run_struct_churn_worker(rt, vars, spec, ctl, sc, thread);
+        return;
+    }
     let mut h = rt.register();
     let mut rng = thread_rng_for(spec.seed, thread);
     let zipf = Zipf::new(vars.len() as u64, 0.9);
@@ -312,7 +534,7 @@ fn run_worker<R: TmRuntime>(
                     scan(&mut h, vars, start, 16.min(n));
                 }
             }
-            ScenarioKind::LongScan => unreachable!("handled above"),
+            ScenarioKind::LongScan | ScenarioKind::StructChurn => unreachable!("handled above"),
             ScenarioKind::HotWrite => {
                 let a = rng.gen_range(0..n);
                 let mut b = rng.gen_range(0..n);
@@ -415,11 +637,20 @@ impl BackendVisitor for ScenarioVisitor<'_> {
             .collect();
         let initial: Vec<u64> = vars.iter().map(|v| v.load_direct()).collect();
 
+        // `struct-churn` drives real data structures alongside the tracked
+        // vars; prefill them (unrecorded) to match the presence payloads.
+        let structs = (spec.kind == ScenarioKind::StructChurn).then(|| {
+            let sc = StructChurnCtx::new(spec.vars);
+            sc.prefill(&mut rt.register());
+            sc
+        });
+
         let ctl = ScenarioCtl {
             stop: AtomicBool::new(false),
             scanners_left: AtomicUsize::new(spec.threads.saturating_sub(LONG_SCAN_UPDATERS)),
             transfers_done: AtomicUsize::new(0),
             updaters_alive: AtomicUsize::new(LONG_SCAN_UPDATERS.min(spec.threads)),
+            audit: Mutex::new(Vec::new()),
         };
         let guard = tm_api::record::start();
         std::thread::scope(|s| {
@@ -427,12 +658,18 @@ impl BackendVisitor for ScenarioVisitor<'_> {
                 let rt = &rt;
                 let vars = &vars;
                 let ctl = &ctl;
-                s.spawn(move || run_worker(rt, vars, spec, ctl, t));
+                let structs = &structs;
+                s.spawn(move || run_worker(rt, vars, spec, ctl, structs, t));
             }
         });
         // Workers are joined (scope ended), so their thread-local buffers
         // have flushed; the history is complete.
         let logs = guard.finish();
+
+        let mut audit = ctl.audit.into_inner().unwrap();
+        if let Some(sc) = &structs {
+            sc.final_audit(&mut rt.register(), &vars, &mut audit);
+        }
         rt.shutdown();
 
         let final_mem: Vec<u64> = vars.iter().map(|v| v.load_direct()).collect();
@@ -445,7 +682,13 @@ impl BackendVisitor for ScenarioVisitor<'_> {
             initial,
             final_mem,
         );
-        checker::check_history(&history)
+        let mut report = checker::check_history(&history);
+        report.violations.extend(
+            audit
+                .into_iter()
+                .map(|detail| Violation::StructAudit { detail }),
+        );
+        report
     }
 }
 

@@ -10,6 +10,14 @@
 //! one line, so version/unversion churn recycles slots *between* the two
 //! types). Steady-state versioned transactions allocate nothing.
 //!
+//! The pool's free lists are **sharded per core group** (see `ebr::pool`;
+//! `MULTIVERSE_POOL_SHARDS` overrides the shard count). Each descriptor's
+//! `PoolHandle` is assigned a home shard at registration, and the EBR
+//! recycle destructors below route every slot to the *retiring thread's*
+//! home shard (the `push` thread-local hint), so the
+//! allocate → retire → grace → recycle round trip of one worker stays on
+//! one free list; cross-shard traffic only happens when a dry shard steals.
+//!
 //! ## Safety argument: why recycled nodes can never be confused with live ones
 //!
 //! 1. **Retire-before-recycle.** A slot only re-enters the pool through one
@@ -48,8 +56,17 @@
 //! 4. **No pointer CAS on node fields.** Recycling introduces an ABA hazard
 //!    only for lock-free CAS on pointers into recycled memory. All version
 //!    list and VLT mutation happens under stripe locks with plain stores;
-//!    readers only load. (The pool's own free list is CAS-push/swap-detach,
-//!    which is ABA-immune — see `ebr::pool`.)
+//!    readers only load. (The pool's own free lists are CAS-push/
+//!    swap-detach, which is ABA-immune — see `ebr::pool`.)
+//! 5. **Sharding changes none of the above.** Points 1–4 are entirely about
+//!    *when* a slot may re-enter a free list (after the grace period, or
+//!    never published) and *how* it is re-published (init under the stripe
+//!    lock, Release store). *Which* shard's free list holds a free slot is
+//!    invisible to readers — the grace period already severed every path to
+//!    it — and shard-to-shard movement (a refill stealing a sibling's
+//!    stack) only ever moves slots that are free. In particular the clock
+//!    gate of point 2 is untouched: `flush_superseded` gates the *retire*,
+//!    which precedes any shard choice by a full grace period.
 //!
 //! In debug builds, recycled nodes are **poisoned** (timestamp/address set to
 //! [`POISON_TS`]/`POISON_ADDR`) right before they re-enter the pool, and the
@@ -104,6 +121,12 @@ pub fn total_pool_bytes() -> usize {
 /// Nodes recycled into the pool after their grace period, process-wide.
 pub fn recycled_count() -> u64 {
     NODE_POOL.recycled_count()
+}
+
+/// Number of free-list shards the arena pool resolved to (from
+/// `MULTIVERSE_POOL_SHARDS` or the machine's core count).
+pub fn pool_shard_count() -> usize {
+    NODE_POOL.shard_count()
 }
 
 /// Initialise a pooled slot as a [`VersionNode`].

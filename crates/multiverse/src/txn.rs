@@ -9,7 +9,7 @@ use crate::registry::ThreadSlot;
 use crate::runtime::MultiverseRuntime;
 use crate::version::{VersionList, VersionNode};
 use crate::vlt::VltNode;
-use ebr::pool::PoolHandle;
+use ebr::pool::{PoolHandle, SlotSource};
 use ebr::{LocalHandle, TxMem};
 use std::sync::atomic::{fence, Ordering};
 use std::sync::Arc;
@@ -354,16 +354,20 @@ impl MultiverseTx {
     // ------------------------------------------------------------------
 
     /// Allocate an arena slot through the per-thread pool handle, tracking
-    /// hit/miss statistics.
+    /// hit/miss/steal statistics.
     #[inline]
     fn alloc_slot(&mut self) -> *mut u8 {
-        let (p, hit) = self.pool.alloc();
+        let (p, src) = self.pool.alloc();
         // `pool_allocs` is derived as hits + misses in the stats snapshot;
-        // no third counter bump on this hot path.
-        if hit {
-            self.stats.pool_hits.inc();
-        } else {
-            self.stats.pool_misses.inc();
+        // no third counter bump on this hot path. A steal is a hit (recycled
+        // memory) plus a cross-shard event.
+        match src {
+            SlotSource::Hit => self.stats.pool_hits.inc(),
+            SlotSource::Steal => {
+                self.stats.pool_hits.inc();
+                self.stats.pool_steals.inc();
+            }
+            SlotSource::Miss => self.stats.pool_misses.inc(),
         }
         p
     }

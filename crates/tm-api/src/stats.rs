@@ -118,6 +118,10 @@ stat_counters! {
     pool_misses,
     /// Nodes recycled into the pool after their EBR grace period.
     pool_recycled,
+    /// Pool refills served by detaching a *sibling* shard's free list
+    /// because the handle's home shard was empty (steal events, not slots;
+    /// the stolen slots themselves count as `pool_hits`).
+    pool_steals,
     /// Version/VLT node slots handed out by the arena. Derived (hits +
     /// misses) in the runtime's snapshot rather than counted on the hot
     /// path; pinned by `crates/multiverse/tests/pool_churn.rs`.

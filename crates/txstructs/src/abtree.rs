@@ -115,6 +115,13 @@ impl TxAbTree {
         };
         let right_word = alloc_in(tx, right);
         let right = unsafe { deref::<AbNode>(right_word) };
+        // Freshly allocated memory can reuse an address freed through the TM
+        // whose version lists are still live; route `is_leaf` (the one field
+        // read before any count-bounded access) through the TM so versioned
+        // readers see this node generation, not the previous one. The other
+        // fields below are TM-written already; slots past `count` are never
+        // read.
+        tx.write_var(&right.is_leaf, child_is_leaf)?;
 
         let separator;
         if child_is_leaf {
@@ -163,6 +170,186 @@ impl TxAbTree {
         tx.write_var(&parent.count, (pcount + 1) as u64)?;
         Ok(())
     }
+
+    // -- transaction-composable operations ---------------------------------
+    //
+    // The `*_tx` variants run inside a caller-supplied transaction, so a
+    // tree operation can be combined with other transactional reads and
+    // writes in one atomic step (the checker harness pairs them with audit
+    // variables). The `TxSet` methods below are one-op wrappers over these.
+
+    /// Insert `key -> val` within transaction `tx`; `Ok(false)` if present.
+    pub fn insert_tx<X: Transaction>(&self, tx: &mut X, key: u64, val: u64) -> TxResult<bool> {
+        let mut root_word = tx.read_var(&self.root)?;
+        if root_word == NULL {
+            let leaf_word = alloc_in(tx, AbNode::new_leaf());
+            let leaf = unsafe { deref::<AbNode>(leaf_word) };
+            // TM-write `is_leaf` too: the address may have carried a
+            // TM-freed internal node (see the note in `split_child`).
+            tx.write_var(&leaf.is_leaf, true)?;
+            tx.write_var(&leaf.keys[0], key)?;
+            tx.write_var(&leaf.vals[0], val)?;
+            tx.write_var(&leaf.count, 1)?;
+            tx.write_var(&self.root, leaf_word)?;
+            return Ok(true);
+        }
+        // Preemptive split of a full root.
+        {
+            let root = unsafe { deref::<AbNode>(root_word) };
+            if Self::is_full(tx, root)? {
+                let new_root_word = alloc_in(tx, AbNode::new_internal());
+                let new_root = unsafe { deref::<AbNode>(new_root_word) };
+                tx.write_var(&new_root.is_leaf, false)?;
+                tx.write_var(&new_root.children[0], root_word)?;
+                tx.write_var(&new_root.count, 0)?;
+                Self::split_child(tx, new_root, 0, root_word)?;
+                tx.write_var(&self.root, new_root_word)?;
+                root_word = new_root_word;
+            }
+        }
+        // Descend, splitting any full child before entering it.
+        let mut cur_word = root_word;
+        loop {
+            let cur = unsafe { deref::<AbNode>(cur_word) };
+            if tx.read_var(&cur.is_leaf)? {
+                break;
+            }
+            let mut idx = Self::child_index(tx, cur, key)?;
+            let mut child_word = tx.read_var(&cur.children[idx])?;
+            let child = unsafe { deref::<AbNode>(child_word) };
+            if Self::is_full(tx, child)? {
+                Self::split_child(tx, cur, idx, child_word)?;
+                idx = Self::child_index(tx, cur, key)?;
+                child_word = tx.read_var(&cur.children[idx])?;
+            }
+            cur_word = child_word;
+        }
+        // Insert into the (non-full) leaf.
+        let leaf = unsafe { deref::<AbNode>(cur_word) };
+        let count = tx.read_var(&leaf.count)? as usize;
+        let mut pos = count;
+        for i in 0..count {
+            let k = tx.read_var(&leaf.keys[i])?;
+            if k == key {
+                return Ok(false);
+            }
+            if k > key && pos == count {
+                pos = i;
+            }
+        }
+        let mut i = count;
+        while i > pos {
+            let k = tx.read_var(&leaf.keys[i - 1])?;
+            let v = tx.read_var(&leaf.vals[i - 1])?;
+            tx.write_var(&leaf.keys[i], k)?;
+            tx.write_var(&leaf.vals[i], v)?;
+            i -= 1;
+        }
+        tx.write_var(&leaf.keys[pos], key)?;
+        tx.write_var(&leaf.vals[pos], val)?;
+        tx.write_var(&leaf.count, (count + 1) as u64)?;
+        Ok(true)
+    }
+
+    /// Remove `key` within transaction `tx`; `Ok(false)` if absent.
+    pub fn remove_tx<X: Transaction>(&self, tx: &mut X, key: u64) -> TxResult<bool> {
+        let root_word = tx.read_var(&self.root)?;
+        if root_word == NULL {
+            return Ok(false);
+        }
+        // Descend to the leaf responsible for `key`.
+        let mut cur_word = root_word;
+        loop {
+            let cur = unsafe { deref::<AbNode>(cur_word) };
+            if tx.read_var(&cur.is_leaf)? {
+                break;
+            }
+            let idx = Self::child_index(tx, cur, key)?;
+            cur_word = tx.read_var(&cur.children[idx])?;
+        }
+        let leaf = unsafe { deref::<AbNode>(cur_word) };
+        let count = tx.read_var(&leaf.count)? as usize;
+        let mut pos = None;
+        for i in 0..count {
+            if tx.read_var(&leaf.keys[i])? == key {
+                pos = Some(i);
+                break;
+            }
+        }
+        let Some(pos) = pos else {
+            return Ok(false);
+        };
+        for i in pos..count - 1 {
+            let k = tx.read_var(&leaf.keys[i + 1])?;
+            let v = tx.read_var(&leaf.vals[i + 1])?;
+            tx.write_var(&leaf.keys[i], k)?;
+            tx.write_var(&leaf.vals[i], v)?;
+        }
+        tx.write_var(&leaf.count, (count - 1) as u64)?;
+        // Relaxed rebalancing: only collapse an empty leaf root.
+        if count == 1 && cur_word == root_word {
+            tx.write_var(&self.root, NULL)?;
+            retire_in::<AbNode, _>(tx, cur_word);
+        }
+        Ok(true)
+    }
+
+    /// Whether `key` is present, within transaction `tx`.
+    pub fn contains_tx<X: Transaction>(&self, tx: &mut X, key: u64) -> TxResult<bool> {
+        let mut cur_word = tx.read_var(&self.root)?;
+        if cur_word == NULL {
+            return Ok(false);
+        }
+        loop {
+            let cur = unsafe { deref::<AbNode>(cur_word) };
+            if tx.read_var(&cur.is_leaf)? {
+                let count = tx.read_var(&cur.count)? as usize;
+                for i in 0..count {
+                    if tx.read_var(&cur.keys[i])? == key {
+                        return Ok(true);
+                    }
+                }
+                return Ok(false);
+            }
+            let idx = Self::child_index(tx, cur, key)?;
+            cur_word = tx.read_var(&cur.children[idx])?;
+        }
+    }
+
+    /// Count the keys in `[lo, hi]`, within transaction `tx`.
+    pub fn range_query_tx<X: Transaction>(&self, tx: &mut X, lo: u64, hi: u64) -> TxResult<usize> {
+        let root = tx.read_var(&self.root)?;
+        if root == NULL {
+            return Ok(0);
+        }
+        let mut count = 0usize;
+        let mut stack = vec![root];
+        while let Some(word) = stack.pop() {
+            let node = unsafe { deref::<AbNode>(word) };
+            let n = tx.read_var(&node.count)? as usize;
+            if tx.read_var(&node.is_leaf)? {
+                for i in 0..n {
+                    let k = tx.read_var(&node.keys[i])?;
+                    if k >= lo && k <= hi {
+                        count += 1;
+                    }
+                }
+                continue;
+            }
+            // Child i covers [keys[i-1], keys[i]) (with open ends).
+            for i in 0..=n {
+                let lower_ok = i == 0 || tx.read_var(&node.keys[i - 1])? <= hi;
+                let upper_ok = i == n || tx.read_var(&node.keys[i])? > lo;
+                if lower_ok && upper_ok {
+                    let child = tx.read_var(&node.children[i])?;
+                    if child != NULL {
+                        stack.push(child);
+                    }
+                }
+            }
+        }
+        Ok(count)
+    }
 }
 
 impl TxSet for TxAbTree {
@@ -171,176 +358,19 @@ impl TxSet for TxAbTree {
     }
 
     fn insert<H: TmHandle>(&self, h: &mut H, key: u64, val: u64) -> bool {
-        h.txn(TxKind::ReadWrite, |tx| {
-            let mut root_word = tx.read_var(&self.root)?;
-            if root_word == NULL {
-                let leaf_word = alloc_in(tx, AbNode::new_leaf());
-                let leaf = unsafe { deref::<AbNode>(leaf_word) };
-                tx.write_var(&leaf.keys[0], key)?;
-                tx.write_var(&leaf.vals[0], val)?;
-                tx.write_var(&leaf.count, 1)?;
-                tx.write_var(&self.root, leaf_word)?;
-                return Ok(true);
-            }
-            // Preemptive split of a full root.
-            {
-                let root = unsafe { deref::<AbNode>(root_word) };
-                if Self::is_full(tx, root)? {
-                    let new_root_word = alloc_in(tx, AbNode::new_internal());
-                    let new_root = unsafe { deref::<AbNode>(new_root_word) };
-                    tx.write_var(&new_root.children[0], root_word)?;
-                    tx.write_var(&new_root.count, 0)?;
-                    Self::split_child(tx, new_root, 0, root_word)?;
-                    tx.write_var(&self.root, new_root_word)?;
-                    root_word = new_root_word;
-                }
-            }
-            // Descend, splitting any full child before entering it.
-            let mut cur_word = root_word;
-            loop {
-                let cur = unsafe { deref::<AbNode>(cur_word) };
-                if tx.read_var(&cur.is_leaf)? {
-                    break;
-                }
-                let mut idx = Self::child_index(tx, cur, key)?;
-                let mut child_word = tx.read_var(&cur.children[idx])?;
-                let child = unsafe { deref::<AbNode>(child_word) };
-                if Self::is_full(tx, child)? {
-                    Self::split_child(tx, cur, idx, child_word)?;
-                    idx = Self::child_index(tx, cur, key)?;
-                    child_word = tx.read_var(&cur.children[idx])?;
-                }
-                cur_word = child_word;
-            }
-            // Insert into the (non-full) leaf.
-            let leaf = unsafe { deref::<AbNode>(cur_word) };
-            let count = tx.read_var(&leaf.count)? as usize;
-            let mut pos = count;
-            for i in 0..count {
-                let k = tx.read_var(&leaf.keys[i])?;
-                if k == key {
-                    return Ok(false);
-                }
-                if k > key && pos == count {
-                    pos = i;
-                }
-            }
-            let mut i = count;
-            while i > pos {
-                let k = tx.read_var(&leaf.keys[i - 1])?;
-                let v = tx.read_var(&leaf.vals[i - 1])?;
-                tx.write_var(&leaf.keys[i], k)?;
-                tx.write_var(&leaf.vals[i], v)?;
-                i -= 1;
-            }
-            tx.write_var(&leaf.keys[pos], key)?;
-            tx.write_var(&leaf.vals[pos], val)?;
-            tx.write_var(&leaf.count, (count + 1) as u64)?;
-            Ok(true)
-        })
+        h.txn(TxKind::ReadWrite, |tx| self.insert_tx(tx, key, val))
     }
 
     fn remove<H: TmHandle>(&self, h: &mut H, key: u64) -> bool {
-        h.txn(TxKind::ReadWrite, |tx| {
-            let root_word = tx.read_var(&self.root)?;
-            if root_word == NULL {
-                return Ok(false);
-            }
-            // Descend to the leaf responsible for `key`.
-            let mut cur_word = root_word;
-            loop {
-                let cur = unsafe { deref::<AbNode>(cur_word) };
-                if tx.read_var(&cur.is_leaf)? {
-                    break;
-                }
-                let idx = Self::child_index(tx, cur, key)?;
-                cur_word = tx.read_var(&cur.children[idx])?;
-            }
-            let leaf = unsafe { deref::<AbNode>(cur_word) };
-            let count = tx.read_var(&leaf.count)? as usize;
-            let mut pos = None;
-            for i in 0..count {
-                if tx.read_var(&leaf.keys[i])? == key {
-                    pos = Some(i);
-                    break;
-                }
-            }
-            let Some(pos) = pos else {
-                return Ok(false);
-            };
-            for i in pos..count - 1 {
-                let k = tx.read_var(&leaf.keys[i + 1])?;
-                let v = tx.read_var(&leaf.vals[i + 1])?;
-                tx.write_var(&leaf.keys[i], k)?;
-                tx.write_var(&leaf.vals[i], v)?;
-            }
-            tx.write_var(&leaf.count, (count - 1) as u64)?;
-            // Relaxed rebalancing: only collapse an empty leaf root.
-            if count == 1 && cur_word == root_word {
-                tx.write_var(&self.root, NULL)?;
-                retire_in::<AbNode, _>(tx, cur_word);
-            }
-            Ok(true)
-        })
+        h.txn(TxKind::ReadWrite, |tx| self.remove_tx(tx, key))
     }
 
     fn contains<H: TmHandle>(&self, h: &mut H, key: u64) -> bool {
-        h.txn(TxKind::ReadOnly, |tx| {
-            let mut cur_word = tx.read_var(&self.root)?;
-            if cur_word == NULL {
-                return Ok(false);
-            }
-            loop {
-                let cur = unsafe { deref::<AbNode>(cur_word) };
-                if tx.read_var(&cur.is_leaf)? {
-                    let count = tx.read_var(&cur.count)? as usize;
-                    for i in 0..count {
-                        if tx.read_var(&cur.keys[i])? == key {
-                            return Ok(true);
-                        }
-                    }
-                    return Ok(false);
-                }
-                let idx = Self::child_index(tx, cur, key)?;
-                cur_word = tx.read_var(&cur.children[idx])?;
-            }
-        })
+        h.txn(TxKind::ReadOnly, |tx| self.contains_tx(tx, key))
     }
 
     fn range_query<H: TmHandle>(&self, h: &mut H, lo: u64, hi: u64) -> usize {
-        h.txn(TxKind::ReadOnly, |tx| {
-            let root = tx.read_var(&self.root)?;
-            if root == NULL {
-                return Ok(0);
-            }
-            let mut count = 0usize;
-            let mut stack = vec![root];
-            while let Some(word) = stack.pop() {
-                let node = unsafe { deref::<AbNode>(word) };
-                let n = tx.read_var(&node.count)? as usize;
-                if tx.read_var(&node.is_leaf)? {
-                    for i in 0..n {
-                        let k = tx.read_var(&node.keys[i])?;
-                        if k >= lo && k <= hi {
-                            count += 1;
-                        }
-                    }
-                    continue;
-                }
-                // Child i covers [keys[i-1], keys[i]) (with open ends).
-                for i in 0..=n {
-                    let lower_ok = i == 0 || tx.read_var(&node.keys[i - 1])? <= hi;
-                    let upper_ok = i == n || tx.read_var(&node.keys[i])? > lo;
-                    if lower_ok && upper_ok {
-                        let child = tx.read_var(&node.children[i])?;
-                        if child != NULL {
-                            stack.push(child);
-                        }
-                    }
-                }
-            }
-            Ok(count)
-        })
+        h.txn(TxKind::ReadOnly, |tx| self.range_query_tx(tx, lo, hi))
     }
 
     fn size_query<H: TmHandle>(&self, h: &mut H) -> usize {

@@ -84,6 +84,93 @@ impl TxList {
             }
         })
     }
+
+    // -- transaction-composable operations ---------------------------------
+    //
+    // The `*_tx` variants run inside a caller-supplied transaction, so a
+    // structure operation can be combined with other transactional reads and
+    // writes in one atomic step (the checker harness pairs them with audit
+    // variables). The `TxSet` methods below are one-op wrappers over these.
+
+    /// Insert `key -> val` within transaction `tx`; `Ok(false)` if present.
+    pub fn insert_tx<X: Transaction>(&self, tx: &mut X, key: u64, val: u64) -> TxResult<bool> {
+        let (prev, cur) = self.locate(tx, key)?;
+        if cur != NULL {
+            let node = unsafe { deref::<ListNode>(cur) };
+            if tx.read_var(&node.key)? == key {
+                return Ok(false);
+            }
+        }
+        let fresh = alloc_in(
+            tx,
+            ListNode {
+                key: TVar::new(0),
+                val: TVar::new(0),
+                next: TVar::new(NULL),
+            },
+        );
+        // Initialise every transactionally-read field *through the TM*, not
+        // just in the constructor: the allocator may hand back memory whose
+        // previous occupant was freed through the TM, and a multiversioned
+        // reader can reach that address with a read clock from the previous
+        // node's lifetime. TM writes stamp the stripes and supersede any
+        // version lists left at these addresses, so each generation's values
+        // are filed under this generation's commit timestamp; raw constructor
+        // stores would leak the *previous* generation's values to versioned
+        // readers (ghost keys).
+        let fresh_node = unsafe { deref::<ListNode>(fresh) };
+        tx.write_var(&fresh_node.key, key)?;
+        tx.write_var(&fresh_node.val, val)?;
+        tx.write_var(&fresh_node.next, cur)?;
+        let prev_node = unsafe { deref::<ListNode>(prev) };
+        tx.write_var(&prev_node.next, fresh)?;
+        Ok(true)
+    }
+
+    /// Remove `key` within transaction `tx`; `Ok(false)` if absent.
+    pub fn remove_tx<X: Transaction>(&self, tx: &mut X, key: u64) -> TxResult<bool> {
+        let (prev, cur) = self.locate(tx, key)?;
+        if cur == NULL {
+            return Ok(false);
+        }
+        let node = unsafe { deref::<ListNode>(cur) };
+        if tx.read_var(&node.key)? != key {
+            return Ok(false);
+        }
+        let next = tx.read_var(&node.next)?;
+        let prev_node = unsafe { deref::<ListNode>(prev) };
+        tx.write_var(&prev_node.next, next)?;
+        retire_in::<ListNode, _>(tx, cur);
+        Ok(true)
+    }
+
+    /// Whether `key` is present, within transaction `tx`.
+    pub fn contains_tx<X: Transaction>(&self, tx: &mut X, key: u64) -> TxResult<bool> {
+        let (_, cur) = self.locate(tx, key)?;
+        if cur == NULL {
+            return Ok(false);
+        }
+        let node = unsafe { deref::<ListNode>(cur) };
+        Ok(tx.read_var(&node.key)? == key)
+    }
+
+    /// Count the keys in `[lo, hi]`, within transaction `tx`.
+    pub fn range_query_tx<X: Transaction>(&self, tx: &mut X, lo: u64, hi: u64) -> TxResult<usize> {
+        let mut count = 0usize;
+        let mut cur = tx.read_var(&self.sentinel().next)?;
+        while cur != NULL {
+            let node = unsafe { deref::<ListNode>(cur) };
+            let k = tx.read_var(&node.key)?;
+            if k > hi {
+                break;
+            }
+            if k >= lo {
+                count += 1;
+            }
+            cur = tx.read_var(&node.next)?;
+        }
+        Ok(count)
+    }
 }
 
 impl TxSet for TxList {
@@ -92,74 +179,19 @@ impl TxSet for TxList {
     }
 
     fn insert<H: TmHandle>(&self, h: &mut H, key: u64, val: u64) -> bool {
-        h.txn(TxKind::ReadWrite, |tx| {
-            let (prev, cur) = self.locate(tx, key)?;
-            if cur != NULL {
-                let node = unsafe { deref::<ListNode>(cur) };
-                if tx.read_var(&node.key)? == key {
-                    return Ok(false);
-                }
-            }
-            let fresh = alloc_in(
-                tx,
-                ListNode {
-                    key: TVar::new(key),
-                    val: TVar::new(val),
-                    next: TVar::new(cur),
-                },
-            );
-            let prev_node = unsafe { deref::<ListNode>(prev) };
-            tx.write_var(&prev_node.next, fresh)?;
-            Ok(true)
-        })
+        h.txn(TxKind::ReadWrite, |tx| self.insert_tx(tx, key, val))
     }
 
     fn remove<H: TmHandle>(&self, h: &mut H, key: u64) -> bool {
-        h.txn(TxKind::ReadWrite, |tx| {
-            let (prev, cur) = self.locate(tx, key)?;
-            if cur == NULL {
-                return Ok(false);
-            }
-            let node = unsafe { deref::<ListNode>(cur) };
-            if tx.read_var(&node.key)? != key {
-                return Ok(false);
-            }
-            let next = tx.read_var(&node.next)?;
-            let prev_node = unsafe { deref::<ListNode>(prev) };
-            tx.write_var(&prev_node.next, next)?;
-            retire_in::<ListNode, _>(tx, cur);
-            Ok(true)
-        })
+        h.txn(TxKind::ReadWrite, |tx| self.remove_tx(tx, key))
     }
 
     fn contains<H: TmHandle>(&self, h: &mut H, key: u64) -> bool {
-        h.txn(TxKind::ReadOnly, |tx| {
-            let (_, cur) = self.locate(tx, key)?;
-            if cur == NULL {
-                return Ok(false);
-            }
-            let node = unsafe { deref::<ListNode>(cur) };
-            Ok(tx.read_var(&node.key)? == key)
-        })
+        h.txn(TxKind::ReadOnly, |tx| self.contains_tx(tx, key))
     }
 
     fn range_query<H: TmHandle>(&self, h: &mut H, lo: u64, hi: u64) -> usize {
-        h.txn(TxKind::ReadOnly, |tx| {
-            let mut count = 0usize;
-            let mut cur = tx.read_var(&self.sentinel().next)?;
-            while cur != NULL {
-                let node = unsafe { deref::<ListNode>(cur) };
-                let k = tx.read_var(&node.key)?;
-                if k > hi {
-                    break;
-                }
-                if k >= lo {
-                    count += 1;
-                }
-                cur = tx.read_var(&node.next)?;
-            }
-            Ok(count)
-        })
+        h.txn(TxKind::ReadOnly, |tx| self.range_query_tx(tx, lo, hi))
     }
 
     fn size_query<H: TmHandle>(&self, h: &mut H) -> usize {
