@@ -22,6 +22,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use tm_api::txset::{StripeReadSet, WriteMap, READ_SET_INLINE};
 use tm_api::{TVar, TmHandle, TmRuntime, Transaction, TxKind, TxWord};
+use txstructs::{TxAbTree, TxList, TxSet};
 
 /// Median ns/op across `threads` concurrent workers: per sample, every
 /// worker runs `iters_per_sample` iterations between two barriers and the
@@ -276,6 +277,79 @@ fn versioned_measurements(out: &mut Vec<(String, f64)>) {
     rt.shutdown();
 }
 
+/// Structure-node churn on the pooled structures: every insert allocates a
+/// node from the size-classed arena and every remove retires one through
+/// EBR, so these entries track the whole
+/// alloc → TM-init → publish → retire → recycle round trip on the TM the
+/// paper evaluates (plus its version-node arena).
+fn structure_measurements(out: &mut Vec<(String, f64)>) {
+    const KEYS: u64 = 64;
+    let rt = MultiverseRuntime::start(MultiverseConfig::small());
+    let mut h = rt.register();
+
+    // Sliding-window insert/remove on the sorted list: one node allocated
+    // and one retired per iteration, traversals a few nodes long.
+    let list = TxList::new();
+    for k in 0..KEYS / 2 {
+        list.insert(&mut h, k * 2 + 1, k);
+    }
+    let mut i = 0u64;
+    out.push((
+        "structs/multiverse/list_insert_remove".into(),
+        measure(11, 5_000, || {
+            i += 1;
+            let k = i % KEYS;
+            black_box(list.insert(&mut h, k + 1, k));
+            black_box(list.remove(&mut h, ((i + KEYS / 2) % KEYS) + 1));
+        }),
+    ));
+    drop(list);
+
+    // Mixed (a,b)-tree workload: point updates against occasional splits
+    // (fresh 512-byte-class nodes) plus read-only lookups and range scans.
+    let tree = TxAbTree::new();
+    for k in 0..KEYS {
+        tree.insert(&mut h, k + 1, k);
+    }
+    let mut j = 0u64;
+    out.push((
+        "structs/multiverse/abtree_mixed".into(),
+        measure(11, 5_000, || {
+            j += 1;
+            let k = j % KEYS;
+            match j % 4 {
+                0 => {
+                    black_box(tree.insert(&mut h, k + 1, k));
+                }
+                1 => {
+                    black_box(tree.remove(&mut h, ((j + KEYS / 2) % KEYS) + 1));
+                }
+                2 => {
+                    black_box(tree.contains(&mut h, k + 1));
+                }
+                _ => {
+                    black_box(tree.range_query(&mut h, k + 1, (k + 16).min(KEYS) + 1));
+                }
+            }
+        }),
+    ));
+    drop(tree);
+
+    let stats = rt.stats();
+    println!(
+        "structs pool_class: allocs={} hits={} misses={} steals={} retires={} recycled={} ({} bytes pooled)",
+        stats.pool_class_allocs,
+        stats.pool_class_hits,
+        stats.pool_class_misses,
+        stats.pool_class_steals,
+        stats.pool_class_retires,
+        stats.pool_class_recycled,
+        txstructs::node::pool_total_bytes(),
+    );
+    drop(h);
+    rt.shutdown();
+}
+
 /// Parse the committed baseline: lines of the form `"name": 123.45[,]`.
 fn parse_baseline(text: &str) -> Vec<(String, f64)> {
     let mut out = Vec::new();
@@ -376,6 +450,7 @@ fn main() {
         &mut results,
     );
     versioned_measurements(&mut results);
+    structure_measurements(&mut results);
     tm_measurements("dctl", Arc::new(DctlRuntime::with_defaults()), &mut results);
     tm_measurements("tl2", Arc::new(Tl2Runtime::with_defaults()), &mut results);
     tm_measurements("norec", Arc::new(NorecRuntime::new()), &mut results);

@@ -19,6 +19,15 @@
 //!   reusable exactly when it becomes unreachable, with the same safety
 //!   argument as freeing it (see the reclamation notes below).
 //!
+//! Two pool shapes are exported. [`NodePool`] is a single fixed-size arena
+//! (the Multiverse version-node arena is one, with 64-byte slots).
+//! [`ClassedPool`] generalises it into a small family of **size classes** —
+//! one `NodePool` per graduated slot size, sharing the shard/steal/spill
+//! machinery and the reclamation argument below unchanged — so callers with
+//! heterogeneous node types (the transactional data structures: 24-byte list
+//! nodes up to 408-byte (a,b)-tree nodes) get the same allocation-free
+//! steady state from one arena.
+//!
 //! ## Structure: sharded free lists
 //!
 //! A [`NodePool`] is a global (usually `static`) object holding an array of
@@ -605,6 +614,190 @@ impl Drop for PoolHandle {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Size classes
+// ---------------------------------------------------------------------------
+
+/// A family of [`NodePool`]s with graduated slot sizes ("size classes").
+///
+/// One arena serving heterogeneous fixed-size nodes: an allocation of `b`
+/// bytes is served from the smallest class whose slot size is `>= b`, and a
+/// free slot only ever re-enters the free lists of **its own class** (the
+/// class is part of every alloc/free call, so slots can never bleed between
+/// classes). Each class is a full [`NodePool`] — per-core-group-sharded free
+/// lists, batched refill/spill, sibling steals, slab growth — and the
+/// reclamation safety argument of the module docs applies per class,
+/// unchanged: which class's free list holds an unreachable slot is exactly
+/// as invisible to readers as which shard's.
+///
+/// Const-constructible so it can live in a `static`; the shard count of
+/// every class resolves from `MULTIVERSE_POOL_SHARDS` / the machine as for
+/// [`NodePool::new`].
+#[derive(Debug)]
+pub struct ClassedPool<const N: usize> {
+    pools: [NodePool; N],
+}
+
+impl<const N: usize> ClassedPool<N> {
+    /// Create a pool family with the given slot sizes.
+    ///
+    /// `sizes` must be strictly ascending non-zero multiples of
+    /// [`CACHE_LINE`]; violating this in a `static` initialiser fails at
+    /// compile time.
+    pub const fn new(sizes: [usize; N]) -> Self {
+        Self::with_forced(sizes, 0)
+    }
+
+    /// Create a pool family with a fixed per-class shard count
+    /// (`1..=MAX_SHARDS`), ignoring the environment (tests).
+    pub const fn with_shards(sizes: [usize; N], shards: usize) -> Self {
+        assert!(
+            shards >= 1 && shards <= MAX_SHARDS,
+            "shard count out of range"
+        );
+        Self::with_forced(sizes, shards)
+    }
+
+    const fn with_forced(sizes: [usize; N], forced_shards: usize) -> Self {
+        assert!(N > 0, "a ClassedPool needs at least one class");
+        let mut pools = [const { NodePool::with_forced(CACHE_LINE, 0) }; N];
+        let mut i = 0;
+        while i < N {
+            assert!(
+                i == 0 || sizes[i] > sizes[i - 1],
+                "size classes must be strictly ascending"
+            );
+            pools[i] = NodePool::with_forced(sizes[i], forced_shards);
+            i += 1;
+        }
+        Self { pools }
+    }
+
+    /// Number of size classes.
+    pub const fn class_count(&self) -> usize {
+        N
+    }
+
+    /// The smallest class whose slots hold `bytes` bytes.
+    ///
+    /// Callers with a compile-time size (a node type) should prefer
+    /// [`class_for_size`] so the lookup const-folds; panics if `bytes`
+    /// exceeds the largest class.
+    pub fn class_of(&self, bytes: usize) -> usize {
+        let mut i = 0;
+        while i < N {
+            if self.pools[i].slot_bytes() >= bytes {
+                return i;
+            }
+            i += 1;
+        }
+        panic!("allocation of {bytes} bytes exceeds the largest size class");
+    }
+
+    /// The underlying [`NodePool`] of one class (hot-path users wrap it in a
+    /// [`PoolHandle`]; see [`ClassedHandle`]).
+    pub fn pool(&self, class: usize) -> &NodePool {
+        &self.pools[class]
+    }
+
+    /// Total bytes ever obtained from the system allocator, all classes.
+    pub fn total_bytes(&self) -> usize {
+        let mut sum = 0;
+        let mut i = 0;
+        while i < N {
+            sum += self.pools[i].total_bytes();
+            i += 1;
+        }
+        sum
+    }
+
+    /// Nodes recycled into any class via EBR destructors.
+    pub fn recycled_count(&self) -> u64 {
+        let mut sum = 0;
+        let mut i = 0;
+        while i < N {
+            sum += self.pools[i].recycled_count();
+            i += 1;
+        }
+        sum
+    }
+
+    /// Push one free slot of class `class` onto the calling thread's home
+    /// shard (the context-free entry point for EBR recycle destructors).
+    ///
+    /// # Safety
+    /// As for [`NodePool::push`]; additionally `node` must have been
+    /// allocated from class `class` of **this** pool family — returning a
+    /// slot to a different class would corrupt both classes' slot sizing.
+    pub unsafe fn push(&self, class: usize, node: *mut u8) {
+        // Safety: forwarded contract.
+        unsafe { self.pools[class].push(node) };
+    }
+}
+
+/// Select the smallest class in `sizes` (ascending) holding `bytes` bytes.
+///
+/// `const` so a monomorphised caller's per-type class is computed at compile
+/// time; panics (at compile time, in const contexts) when `bytes` exceeds
+/// the largest class.
+pub const fn class_for_size<const N: usize>(sizes: [usize; N], bytes: usize) -> usize {
+    let mut i = 0;
+    while i < N {
+        if sizes[i] >= bytes {
+            return i;
+        }
+        i += 1;
+    }
+    panic!("allocation exceeds the largest size class");
+}
+
+/// A per-thread allocation handle onto a [`ClassedPool`]: one lazily created
+/// [`PoolHandle`] per size class.
+///
+/// Classes a thread never allocates from cost nothing (no home-shard
+/// registration, no local cache). Not `Send`, like [`PoolHandle`].
+#[derive(Debug)]
+pub struct ClassedHandle<const N: usize> {
+    pool: &'static ClassedPool<N>,
+    handles: [Option<PoolHandle>; N],
+}
+
+impl<const N: usize> ClassedHandle<N> {
+    /// Create a handle with no per-class state yet.
+    pub fn new(pool: &'static ClassedPool<N>) -> Self {
+        Self {
+            pool,
+            handles: [const { None }; N],
+        }
+    }
+
+    /// The pool family this handle allocates from.
+    pub fn pool(&self) -> &'static ClassedPool<N> {
+        self.pool
+    }
+
+    #[inline]
+    fn handle(&mut self, class: usize) -> &mut PoolHandle {
+        self.handles[class].get_or_insert_with(|| PoolHandle::new(self.pool.pool(class)))
+    }
+
+    /// Allocate one slot of class `class`, reporting where it came from.
+    #[inline]
+    pub fn alloc(&mut self, class: usize) -> (*mut u8, SlotSource) {
+        self.handle(class).alloc()
+    }
+
+    /// Return one slot to its class.
+    ///
+    /// # Safety
+    /// As for [`ClassedPool::push`].
+    #[inline]
+    pub unsafe fn free(&mut self, class: usize, node: *mut u8) {
+        // Safety: forwarded contract.
+        unsafe { self.handle(class).free(node) };
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -792,6 +985,70 @@ mod tests {
         for th in threads {
             th.join().unwrap();
         }
+    }
+
+    #[test]
+    fn classed_pool_selects_the_smallest_fitting_class() {
+        static P: ClassedPool<3> = ClassedPool::new([64, 128, 256]);
+        assert_eq!(P.class_count(), 3);
+        assert_eq!(P.class_of(1), 0);
+        assert_eq!(P.class_of(64), 0);
+        assert_eq!(P.class_of(65), 1);
+        assert_eq!(P.class_of(128), 1);
+        assert_eq!(P.class_of(200), 2);
+        assert_eq!(class_for_size([64, 128, 256], 24), 0);
+        assert_eq!(class_for_size([64, 128, 256], 256), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the largest size class")]
+    fn classed_pool_rejects_oversized_allocations() {
+        static P: ClassedPool<2> = ClassedPool::new([64, 128]);
+        P.class_of(129);
+    }
+
+    #[test]
+    fn classed_handle_round_trips_slots_per_class() {
+        static P: ClassedPool<3> = ClassedPool::with_shards([64, 128, 256], 1);
+        let mut h = ClassedHandle::new(&P);
+        let mut per_class: Vec<Vec<*mut u8>> = vec![Vec::new(); 3];
+        for (class, slots) in per_class.iter_mut().enumerate() {
+            for _ in 0..4 {
+                let (p, _) = h.alloc(class);
+                assert_eq!(p as usize % CACHE_LINE, 0);
+                slots.push(p);
+            }
+        }
+        // No slot is ever shared between classes.
+        let all: HashSet<*mut u8> = per_class.iter().flatten().copied().collect();
+        assert_eq!(all.len(), 12);
+        for (class, slots) in per_class.iter_mut().enumerate() {
+            for p in slots.drain(..) {
+                unsafe { h.free(class, p) };
+            }
+        }
+        // Freed slots come back from the same class they entered.
+        for class in 0..3 {
+            let (p, src) = h.alloc(class);
+            assert_eq!(src, SlotSource::Hit);
+            let bytes_before = P.pool(class).total_bytes();
+            unsafe { h.free(class, p) };
+            assert_eq!(P.pool(class).total_bytes(), bytes_before);
+        }
+    }
+
+    #[test]
+    fn classed_pool_total_bytes_sums_the_classes() {
+        static P: ClassedPool<2> = ClassedPool::with_shards([64, 192], 1);
+        let a = P.pool(0).alloc_cold();
+        let b = P.pool(1).alloc_cold();
+        assert_eq!(P.total_bytes(), 64 + 192);
+        unsafe {
+            P.push(0, a);
+            P.push(1, b);
+        }
+        P.pool(1).note_recycled(2);
+        assert_eq!(P.recycled_count(), 2);
     }
 
     #[test]

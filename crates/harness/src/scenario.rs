@@ -29,8 +29,9 @@
 //! | `long-scan`   | bank transfers + full-array read-only scans (the paper's |
 //! |               | long-range-query shape; exercises the versioned path)    |
 //! | `hot-write`   | every transaction RMWs 2–3 vars of a tiny hot set        |
-//! | `struct-churn`| `TxList` + `TxAbTree` insert/remove/contains/range under |
-//! |               | audit (see below) — the paper's data structures          |
+//! | `struct-churn`| all five paper structures (`TxList`, `TxAbTree`,         |
+//! |               | `TxAvlTree`, `TxExtBst`, `TxHashMap`) under audit        |
+//! |               | (see below): insert/remove/contains/range churn          |
 //!
 //! ## `struct-churn`: checking structure-level histories
 //!
@@ -57,8 +58,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use tm_api::abort::TxResult;
 use tm_api::{TVar, TmHandle, TmRuntime, Transaction, TxKind};
-use txstructs::{TxAbTree, TxList, TxSet};
+use txstructs::{TxAbTree, TxAvlTree, TxExtBst, TxHashMap, TxList};
 
 /// The scenario families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,8 +75,9 @@ pub enum ScenarioKind {
     LongScan,
     /// Write-heavy contention on a tiny hot set.
     HotWrite,
-    /// `TxList` + `TxAbTree` insert/remove/contains/range churn with
-    /// in-transaction presence auditing (see the module docs).
+    /// All five paper structures (`TxList`, `TxAbTree`, `TxAvlTree`,
+    /// `TxExtBst`, `TxHashMap`) under insert/remove/contains/range churn
+    /// with in-transaction presence auditing (see the module docs).
     StructChurn,
 }
 
@@ -135,9 +138,9 @@ impl ScenarioSpec {
             ScenarioKind::ReadMostly => (48, 3, 300),
             ScenarioKind::LongScan => (64, 3, 120),
             ScenarioKind::HotWrite => (6, 3, 300),
-            // vars = presence variables: half for the list's keys, half for
-            // the tree's (must stay a multiple of 4 — see `initial_value`).
-            ScenarioKind::StructChurn => (24, 3, 200),
+            // vars = presence variables: one fifth per structure (must stay
+            // a multiple of 10 — even key counts; see `initial_value`).
+            ScenarioKind::StructChurn => (40, 3, 250),
         };
         Self {
             kind,
@@ -156,7 +159,7 @@ impl ScenarioSpec {
             ScenarioKind::ReadMostly => (96, 4, 900),
             ScenarioKind::LongScan => (128, 4, 350),
             ScenarioKind::HotWrite => (8, 4, 900),
-            ScenarioKind::StructChurn => (40, 4, 600),
+            ScenarioKind::StructChurn => (80, 4, 600),
         };
         Self {
             kind,
@@ -199,9 +202,9 @@ fn initial_value(kind: ScenarioKind, i: usize) -> u64 {
         // rarely bottom out.
         ScenarioKind::ReadMostly | ScenarioKind::LongScan => 1_000,
         // Presence payload of the prefilled structures: every even key is
-        // inserted. The var count is a multiple of 4 (key counts per
-        // structure are even), so `i % 2` equals the key index's parity in
-        // both the list half and the tree half.
+        // inserted. The var count is a multiple of 10 (five structures with
+        // even per-structure key counts), so `i % 2` equals the key index's
+        // parity in every structure's region.
         ScenarioKind::StructChurn => u64::from(i.is_multiple_of(2)),
     }
 }
@@ -272,27 +275,45 @@ const LONG_SCAN_UPDATER_CAP: usize = 40;
 /// not catch the reintroduced PR 1 bug.
 const LONG_SCAN_IN_TXN_SPIN: usize = 600;
 
-/// The data structures (and key mapping) driven by [`ScenarioKind::StructChurn`].
+/// Number of structures [`ScenarioKind::StructChurn`] drives (one region of
+/// presence variables each).
+const STRUCT_COUNT: usize = 5;
+
+/// Display names of the driven structures, in region order.
+const STRUCT_NAMES: [&str; STRUCT_COUNT] = ["list", "abtree", "avl", "extbst", "hashmap"];
+
+/// Bucket count of the scenario hashmap: small enough that bucket lists
+/// collide and churn like the other structures' node chains.
+const STRUCT_CHURN_BUCKETS: usize = 8;
+
+/// The data structures (and key mapping) driven by [`ScenarioKind::StructChurn`]:
+/// all five of the paper's transactional structures.
 ///
 /// Keys `0..keys` map to structure keys `1..=keys` (avoiding the list
-/// sentinel's 0). Presence variable of list key `k` is `vars[k]`; of tree
-/// key `k` is `vars[keys + k]`.
+/// sentinel's 0). The presence variable of structure `s`'s key `k` is
+/// `vars[s * keys + k]`, with regions ordered as [`STRUCT_NAMES`].
 struct StructChurnCtx {
     list: TxList,
     tree: TxAbTree,
+    avl: TxAvlTree,
+    bst: TxExtBst,
+    map: TxHashMap,
     keys: usize,
 }
 
 impl StructChurnCtx {
     fn new(vars: usize) -> Self {
         assert!(
-            vars.is_multiple_of(4),
-            "struct-churn needs a multiple-of-4 var count (two even key halves)"
+            vars.is_multiple_of(2 * STRUCT_COUNT),
+            "struct-churn needs a multiple-of-10 var count (five even key regions)"
         );
         Self {
             list: TxList::new(),
             tree: TxAbTree::new(),
-            keys: vars / 2,
+            avl: TxAvlTree::new(),
+            bst: TxExtBst::new(),
+            map: TxHashMap::new(STRUCT_CHURN_BUCKETS),
+            keys: vars / STRUCT_COUNT,
         }
     }
 
@@ -300,32 +321,80 @@ impl StructChurnCtx {
         k as u64 + 1
     }
 
-    /// Insert every even key into both structures (matching the presence
-    /// variables' initial payloads). Runs before the recording session.
-    fn prefill<H: TmHandle>(&self, h: &mut H) {
-        for k in (0..self.keys).step_by(2) {
-            let key = Self::key_of(k);
-            assert!(self.list.insert(h, key, key));
-            assert!(self.tree.insert(h, key, key));
+    /// Insert `key` into structure `s` within transaction `tx`.
+    fn insert_tx<X: Transaction>(&self, s: usize, tx: &mut X, key: u64) -> TxResult<bool> {
+        match s {
+            0 => self.list.insert_tx(tx, key, key),
+            1 => self.tree.insert_tx(tx, key, key),
+            2 => self.avl.insert_tx(tx, key, key),
+            3 => self.bst.insert_tx(tx, key, key),
+            _ => self.map.insert_tx(tx, key, key),
         }
     }
 
-    /// Post-run sweep: both structures' memberships must match the presence
+    /// Remove `key` from structure `s` within transaction `tx`.
+    fn remove_tx<X: Transaction>(&self, s: usize, tx: &mut X, key: u64) -> TxResult<bool> {
+        match s {
+            0 => self.list.remove_tx(tx, key),
+            1 => self.tree.remove_tx(tx, key),
+            2 => self.avl.remove_tx(tx, key),
+            3 => self.bst.remove_tx(tx, key),
+            _ => self.map.remove_tx(tx, key),
+        }
+    }
+
+    /// Whether `key` is in structure `s`, within transaction `tx`.
+    fn contains_tx<X: Transaction>(&self, s: usize, tx: &mut X, key: u64) -> TxResult<bool> {
+        match s {
+            0 => self.list.contains_tx(tx, key),
+            1 => self.tree.contains_tx(tx, key),
+            2 => self.avl.contains_tx(tx, key),
+            3 => self.bst.contains_tx(tx, key),
+            _ => self.map.contains_tx(tx, key),
+        }
+    }
+
+    /// Count structure `s`'s keys in `[lo, hi]`, within transaction `tx`.
+    fn range_query_tx<X: Transaction>(
+        &self,
+        s: usize,
+        tx: &mut X,
+        lo: u64,
+        hi: u64,
+    ) -> TxResult<usize> {
+        match s {
+            0 => self.list.range_query_tx(tx, lo, hi),
+            1 => self.tree.range_query_tx(tx, lo, hi),
+            2 => self.avl.range_query_tx(tx, lo, hi),
+            3 => self.bst.range_query_tx(tx, lo, hi),
+            _ => self.map.range_query_tx(tx, lo, hi),
+        }
+    }
+
+    /// Insert every even key into every structure (matching the presence
+    /// variables' initial payloads). Runs before the recording session.
+    fn prefill<H: TmHandle>(&self, h: &mut H) {
+        for s in 0..STRUCT_COUNT {
+            for k in (0..self.keys).step_by(2) {
+                let key = Self::key_of(k);
+                assert!(h.txn(TxKind::ReadWrite, |tx| self.insert_tx(s, tx, key)));
+            }
+        }
+    }
+
+    /// Post-run sweep: every structure's membership must match the presence
     /// payloads (runs after the recording session, before shutdown).
     fn final_audit<H: TmHandle>(&self, h: &mut H, vars: &[TVar<u64>], audit: &mut Vec<String>) {
-        for k in 0..self.keys {
-            let key = Self::key_of(k);
-            for (structure, base) in [("list", 0), ("tree", self.keys)] {
-                let present = if base == 0 {
-                    self.list.contains(h, key)
-                } else {
-                    self.tree.contains(h, key)
-                };
-                let tracked = payload(vars[base + k].load_direct()) == 1;
+        for s in 0..STRUCT_COUNT {
+            for k in 0..self.keys {
+                let key = Self::key_of(k);
+                let present = h.txn(TxKind::ReadOnly, |tx| self.contains_tx(s, tx, key));
+                let tracked = payload(vars[s * self.keys + k].load_direct()) == 1;
                 if present != tracked {
                     audit.push(format!(
-                        "final state: {structure} key {key} present={present} but \
-                         presence var says {tracked}"
+                        "final state: {} key {key} present={present} but \
+                         presence var says {tracked}",
+                        STRUCT_NAMES[s]
                     ));
                 }
             }
@@ -334,7 +403,7 @@ impl StructChurnCtx {
 }
 
 /// One `struct-churn` worker: seeded insert/remove/contains/range operations
-/// on the list and the tree, each paired in-transaction with its presence
+/// across all five structures, each paired in-transaction with its presence
 /// variables; committed results are cross-checked against the presence
 /// payloads observed in the same snapshot.
 fn run_struct_churn_worker<R: TmRuntime>(
@@ -349,8 +418,9 @@ fn run_struct_churn_worker<R: TmRuntime>(
     let mut rng = thread_rng_for(spec.seed, thread);
     let kk = sc.keys;
     for op in 0..spec.ops_per_thread {
-        let on_list = rng.gen_bool(0.5);
-        let (structure, base) = if on_list { ("list", 0) } else { ("tree", kk) };
+        let s = rng.gen_range(0..STRUCT_COUNT);
+        let structure = STRUCT_NAMES[s];
+        let base = s * kk;
         let k = rng.gen_range(0..kk);
         let key = StructChurnCtx::key_of(k);
         match rng.gen_range(0..4u32) {
@@ -360,11 +430,10 @@ fn run_struct_churn_worker<R: TmRuntime>(
                 let insert = rng.gen_bool(0.5);
                 let var = &vars[base + k];
                 let (changed, before) = h.txn(TxKind::ReadWrite, |tx| {
-                    let changed = match (on_list, insert) {
-                        (true, true) => sc.list.insert_tx(tx, key, key)?,
-                        (true, false) => sc.list.remove_tx(tx, key)?,
-                        (false, true) => sc.tree.insert_tx(tx, key, key)?,
-                        (false, false) => sc.tree.remove_tx(tx, key)?,
+                    let changed = if insert {
+                        sc.insert_tx(s, tx, key)?
+                    } else {
+                        sc.remove_tx(s, tx, key)?
                     };
                     let p = tx.read_var(var)?;
                     if changed {
@@ -388,11 +457,7 @@ fn run_struct_churn_worker<R: TmRuntime>(
             2 => {
                 let var = &vars[base + k];
                 let (found, p) = h.txn(TxKind::ReadOnly, |tx| {
-                    let found = if on_list {
-                        sc.list.contains_tx(tx, key)?
-                    } else {
-                        sc.tree.contains_tx(tx, key)?
-                    };
+                    let found = sc.contains_tx(s, tx, key)?;
                     Ok((found, payload(tx.read_var(var)?)))
                 });
                 if found != (p == 1) {
@@ -408,19 +473,12 @@ fn run_struct_churn_worker<R: TmRuntime>(
                 let lo = rng.gen_range(0..kk);
                 let hi = rng.gen_range(lo..kk);
                 let (got, expect) = h.txn(TxKind::ReadOnly, |tx| {
-                    let got = if on_list {
-                        sc.list.range_query_tx(
-                            tx,
-                            StructChurnCtx::key_of(lo),
-                            StructChurnCtx::key_of(hi),
-                        )?
-                    } else {
-                        sc.tree.range_query_tx(
-                            tx,
-                            StructChurnCtx::key_of(lo),
-                            StructChurnCtx::key_of(hi),
-                        )?
-                    };
+                    let got = sc.range_query_tx(
+                        s,
+                        tx,
+                        StructChurnCtx::key_of(lo),
+                        StructChurnCtx::key_of(hi),
+                    )?;
                     let mut expect = 0usize;
                     for j in lo..=hi {
                         if payload(tx.read_var(&vars[base + j])?) == 1 {

@@ -79,8 +79,9 @@ fn hot_write_scenario_is_clean_on_all_backends() {
 
 #[test]
 fn struct_churn_scenario_is_clean_on_all_backends() {
-    // Drives TxList + TxAbTree (insert/remove/contains/range) through the
-    // recorder with in-transaction presence auditing: both the ordinary
+    // Drives all five structures (TxList, TxAbTree, TxAvlTree, TxExtBst,
+    // TxHashMap; insert/remove/contains/range) through the recorder with
+    // in-transaction presence auditing: both the ordinary
     // opacity/serializability checks over the presence history and the
     // structure-vs-audit cross-checks (Violation::StructAudit) must be
     // clean on every backend.

@@ -76,7 +76,7 @@
 
 use crate::version::VersionNode;
 use crate::vlt::VltNode;
-use ebr::pool::{NodePool, PoolHandle};
+use ebr::pool::{ClassedPool, NodePool, PoolHandle};
 use std::sync::atomic::Ordering;
 
 /// Size of one pooled slot. Both node types fit in a single cache line; the
@@ -92,14 +92,23 @@ pub const POISON_TS: u64 = 0xF5F5_F5F5_F5F5_F5F5;
 /// Address written into a VLT node when it is recycled (debug builds).
 pub const POISON_ADDR: usize = 0xF5F5_F5F5_F5F5_F5F5_u64 as usize;
 
-/// The process-wide node pool backing every Multiverse runtime.
+/// The process-wide node pool backing every Multiverse runtime: the
+/// single-class instance of the generalized size-classed arena (both
+/// version-node types fit one 64-byte class; the transactional structures'
+/// multi-class arena lives in `txstructs::node` on the same machinery).
 ///
 /// Being a `static` keeps the EBR destructors context-free (`unsafe
 /// fn(*mut u8)`) and makes the pool outlive any orphaned garbage a dropped
 /// collector may still hold. The trade-off is that pool-level metrics
 /// ([`total_pool_bytes`], [`recycled_count`]) are process-wide; the figure
 /// runners execute one TM at a time, so the numbers stay attributable.
-static NODE_POOL: NodePool = NodePool::new(NODE_SLOT_BYTES);
+static NODE_ARENA: ClassedPool<1> = ClassedPool::new([NODE_SLOT_BYTES]);
+
+/// The version-node class of [`NODE_ARENA`].
+#[inline]
+fn node_pool() -> &'static NodePool {
+    NODE_ARENA.pool(0)
+}
 
 const _: () = {
     assert!(std::mem::size_of::<VersionNode>() <= NODE_SLOT_BYTES);
@@ -110,23 +119,23 @@ const _: () = {
 
 /// A per-descriptor allocation handle onto the shared pool.
 pub(crate) fn pool_handle() -> PoolHandle {
-    PoolHandle::new(&NODE_POOL)
+    PoolHandle::new(node_pool())
 }
 
 /// Total bytes the pool holds (live + EBR-pending + free), process-wide.
 pub fn total_pool_bytes() -> usize {
-    NODE_POOL.total_bytes()
+    node_pool().total_bytes()
 }
 
 /// Nodes recycled into the pool after their grace period, process-wide.
 pub fn recycled_count() -> u64 {
-    NODE_POOL.recycled_count()
+    node_pool().recycled_count()
 }
 
 /// Number of free-list shards the arena pool resolved to (from
 /// `MULTIVERSE_POOL_SHARDS` or the machine's core count).
 pub fn pool_shard_count() -> usize {
-    NODE_POOL.shard_count()
+    node_pool().shard_count()
 }
 
 /// Initialise a pooled slot as a [`VersionNode`].
@@ -166,7 +175,7 @@ pub(crate) fn acquire_version_node(
     data: u64,
     tbd: bool,
 ) -> *mut VersionNode {
-    let p = NODE_POOL.alloc_cold() as *mut VersionNode;
+    let p = node_pool().alloc_cold() as *mut VersionNode;
     // Safety: fresh exclusive slot of sufficient size/alignment.
     unsafe { init_version_node(p, older, timestamp, data, tbd) };
     p
@@ -177,7 +186,7 @@ pub(crate) fn acquire_version_node(
 #[cfg(test)]
 pub(crate) fn acquire_vlt_node(addr: usize, timestamp: u64, data: u64) -> *mut VltNode {
     let initial = acquire_version_node(std::ptr::null_mut(), timestamp, data, false);
-    let p = NODE_POOL.alloc_cold() as *mut VltNode;
+    let p = node_pool().alloc_cold() as *mut VltNode;
     // Safety: fresh exclusive slot.
     unsafe { init_vlt_node(p, addr, initial) };
     p
@@ -215,7 +224,7 @@ fn poison_vlt(p: *mut VltNode) {
 pub(crate) unsafe fn release_version_node(p: *mut VersionNode) {
     poison_version(p);
     // Safety: forwarded contract.
-    unsafe { NODE_POOL.push(p as *mut u8) };
+    unsafe { node_pool().push(p as *mut u8) };
 }
 
 /// Release a VLT node and (if present) its version-list head into the pool
@@ -233,7 +242,7 @@ pub(crate) unsafe fn release_vlt_node(p: *mut VltNode) {
     }
     poison_vlt(p);
     // Safety: forwarded contract.
-    unsafe { NODE_POOL.push(p as *mut u8) };
+    unsafe { node_pool().push(p as *mut u8) };
 }
 
 /// EBR destructor recycling a single retired [`VersionNode`] into the pool.
@@ -243,9 +252,9 @@ pub(crate) unsafe fn release_vlt_node(p: *mut VltNode) {
 /// on a pointer originally produced by this arena.
 pub(crate) unsafe fn recycle_version_node(p: *mut u8) {
     poison_version(p as *mut VersionNode);
-    NODE_POOL.note_recycled(1);
+    node_pool().note_recycled(1);
     // Safety: grace period elapsed (destructor contract).
-    unsafe { NODE_POOL.push(p) };
+    unsafe { node_pool().push(p) };
 }
 
 /// EBR destructor recycling a whole detached VLT bucket chain — the nodes
@@ -267,16 +276,16 @@ pub(crate) unsafe fn recycle_vlt_chain(p: *mut u8) {
         if !head.is_null() {
             poison_version(head);
             // Safety: the head was owned by this (detached) list.
-            unsafe { NODE_POOL.push(head as *mut u8) };
+            unsafe { node_pool().push(head as *mut u8) };
             n += 1;
         }
         poison_vlt(cur);
         // Safety: as above.
-        unsafe { NODE_POOL.push(cur as *mut u8) };
+        unsafe { node_pool().push(cur as *mut u8) };
         n += 1;
         cur = next;
     }
-    NODE_POOL.note_recycled(n);
+    node_pool().note_recycled(n);
 }
 
 #[cfg(test)]

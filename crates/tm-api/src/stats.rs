@@ -11,24 +11,34 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 macro_rules! stat_counters {
-    ($($(#[$doc:meta])* $name:ident),* $(,)?) => {
+    (
+        $($(#[$doc:meta])* $name:ident),* $(,)? ;
+        process_wide: $($(#[$pdoc:meta])* $pname:ident),* $(,)?
+    ) => {
         /// Per-thread statistic counters (single writer, many readers).
+        /// Process-wide counters have no per-thread storage — they exist
+        /// only in [`TmStatsSnapshot`], filled at snapshot time.
         #[derive(Debug, Default)]
         pub struct ThreadStats {
             $( $(#[$doc])* pub $name: CachePaddedCounter, )*
         }
 
-        /// A plain snapshot of the counters, aggregated across threads.
+        /// A plain snapshot of the counters, aggregated across threads
+        /// (plus the process-wide counters, folded in by
+        /// [`StatsRegistry::snapshot`]).
         #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
         pub struct TmStatsSnapshot {
             $( $(#[$doc])* pub $name: u64, )*
+            $( $(#[$pdoc])* pub $pname: u64, )*
         }
 
         impl ThreadStats {
-            /// Read a consistent-enough snapshot of this thread's counters.
+            /// Read a consistent-enough snapshot of this thread's counters
+            /// (process-wide fields are zero here; the registry fills them).
             pub fn snapshot(&self) -> TmStatsSnapshot {
                 TmStatsSnapshot {
                     $( $name: self.$name.get(), )*
+                    $( $pname: 0, )*
                 }
             }
         }
@@ -37,12 +47,14 @@ macro_rules! stat_counters {
             /// Accumulate another snapshot into this one.
             pub fn merge(&mut self, other: &TmStatsSnapshot) {
                 $( self.$name += other.$name; )*
+                $( self.$pname += other.$pname; )*
             }
         }
 
         impl std::fmt::Display for TmStatsSnapshot {
             fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
                 $( write!(f, "{}={} ", stringify!($name), self.$name)?; )*
+                $( write!(f, "{}={} ", stringify!($pname), self.$pname)?; )*
                 Ok(())
             }
         }
@@ -128,6 +140,74 @@ stat_counters! {
     pool_allocs,
     /// Version/VLT node slots handed to EBR for eventual recycling.
     pool_retires,
+    ;
+    // Process-wide counters: snapshot-only fields, no per-thread storage
+    // (filled by `StatsRegistry::snapshot` from `struct_pool_counters`).
+    process_wide:
+    /// Structure-node allocations served by the size-classed arena
+    /// (`txstructs::node`), all classes. Derived as hits + misses at
+    /// snapshot time — see the doc on [`StructPoolCounters`].
+    pool_class_allocs,
+    /// Structure-node allocations served from recycled size-class slots.
+    pool_class_hits,
+    /// Structure-node allocations that grew a size-class slab.
+    pool_class_misses,
+    /// Size-class refills served by stealing a sibling shard's free list.
+    pool_class_steals,
+    /// Structure-node retires *deferred* by transaction attempts. Counted at
+    /// defer time, so an aborted attempt's revoked retires are included —
+    /// this can exceed the slots actually handed to EBR under abort-heavy
+    /// workloads (unlike the version pool's `pool_retires`, which counts at
+    /// EBR handoff); `pool_class_recycled <= pool_class_retires` still holds.
+    pool_class_retires,
+    /// Structure-node slots recycled into their size class after the EBR
+    /// grace period.
+    pool_class_recycled,
+}
+
+/// Process-wide counters of the size-classed structure-node arena.
+///
+/// The arena (`txstructs::node`) is a `static` shared by every runtime in
+/// the process — exactly like the Multiverse version-node arena — so its
+/// counters cannot live in any one runtime's per-thread [`ThreadStats`].
+/// They live here, below every TM crate, and [`StatsRegistry::snapshot`]
+/// folds them into each snapshot's `pool_class_*` fields. The figure
+/// runners execute one TM at a time, so the numbers stay attributable.
+///
+/// The allocation counters (hits/misses/steals) are batched: the allocator
+/// accumulates them in its thread-local cache and flushes in batches (plus
+/// once on thread exit), keeping locked RMWs off the per-operation path.
+/// Retires and recycles are published immediately — a retire's defer always
+/// precedes its recycle in real time, so immediate publication keeps
+/// `recycled <= retires` true in every snapshot.
+#[derive(Debug, Default)]
+pub struct StructPoolCounters {
+    /// Allocations served from recycled slots (includes steals).
+    pub hits: AtomicU64,
+    /// Allocations served from fresh slab memory.
+    pub misses: AtomicU64,
+    /// Refills that adopted a sibling shard's free list.
+    pub steals: AtomicU64,
+    /// Retires deferred by transaction attempts (counted at defer time;
+    /// includes retires later revoked by an abort — see the
+    /// `pool_class_retires` counter doc).
+    pub retires: AtomicU64,
+    /// Slots recycled into their class after the grace period.
+    pub recycled: AtomicU64,
+}
+
+static STRUCT_POOL_COUNTERS: StructPoolCounters = StructPoolCounters {
+    hits: AtomicU64::new(0),
+    misses: AtomicU64::new(0),
+    steals: AtomicU64::new(0),
+    retires: AtomicU64::new(0),
+    recycled: AtomicU64::new(0),
+};
+
+/// The process-wide structure-node arena counters (written by
+/// `txstructs::node`, folded into every [`StatsRegistry::snapshot`]).
+pub fn struct_pool_counters() -> &'static StructPoolCounters {
+    &STRUCT_POOL_COUNTERS
 }
 
 /// Registry of all per-thread statistics for one TM runtime instance.
@@ -149,12 +229,21 @@ impl StatsRegistry {
         stats
     }
 
-    /// Aggregate a snapshot across every thread ever registered.
+    /// Aggregate a snapshot across every thread ever registered, folding in
+    /// the process-wide structure-node arena counters (see
+    /// [`StructPoolCounters`]).
     pub fn snapshot(&self) -> TmStatsSnapshot {
         let mut total = TmStatsSnapshot::default();
         for t in self.threads.lock().unwrap().iter() {
             total.merge(&t.snapshot());
         }
+        let sp = struct_pool_counters();
+        total.pool_class_hits += sp.hits.load(Ordering::Relaxed);
+        total.pool_class_misses += sp.misses.load(Ordering::Relaxed);
+        total.pool_class_steals += sp.steals.load(Ordering::Relaxed);
+        total.pool_class_retires += sp.retires.load(Ordering::Relaxed);
+        total.pool_class_recycled += sp.recycled.load(Ordering::Relaxed);
+        total.pool_class_allocs = total.pool_class_hits + total.pool_class_misses;
         total
     }
 
@@ -236,6 +325,27 @@ mod tests {
         let rendered = s.to_string();
         assert!(rendered.contains("commits=7"));
         assert!(rendered.contains("aborts=0"));
+    }
+
+    #[test]
+    fn struct_pool_counters_fold_into_every_snapshot() {
+        let reg = StatsRegistry::new();
+        let before = reg.snapshot();
+        let sp = struct_pool_counters();
+        sp.hits.fetch_add(5, Ordering::Relaxed);
+        sp.misses.fetch_add(2, Ordering::Relaxed);
+        sp.retires.fetch_add(3, Ordering::Relaxed);
+        sp.recycled.fetch_add(1, Ordering::Relaxed);
+        let after = reg.snapshot();
+        assert_eq!(after.pool_class_hits - before.pool_class_hits, 5);
+        assert_eq!(after.pool_class_misses - before.pool_class_misses, 2);
+        assert_eq!(after.pool_class_retires - before.pool_class_retires, 3);
+        assert_eq!(after.pool_class_recycled - before.pool_class_recycled, 1);
+        assert_eq!(
+            after.pool_class_allocs,
+            after.pool_class_hits + after.pool_class_misses,
+            "allocs is derived as hits + misses"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! This relaxation affects only the constant factors of tree height, not
 //! correctness, and is documented in DESIGN.md.
 
-use crate::node::{alloc_in, deref, free_eager, retire_in, NULL};
+use crate::node::{alloc_node, deref, free_node_eager, retire_node, TxNodeInit, NULL};
 use crate::TxSet;
 use std::array;
 use tm_api::{TVar, TmHandle, Transaction, TxKind, TxResult};
@@ -36,18 +36,30 @@ pub struct AbNode {
     pub children: [TVar<u64>; MAX_KEYS + 1],
 }
 
-impl AbNode {
-    fn new_leaf() -> Self {
-        Self {
-            is_leaf: TVar::new(true),
-            count: TVar::new(0),
-            keys: array::from_fn(|_| TVar::new(0)),
-            vals: array::from_fn(|_| TVar::new(0)),
-            children: array::from_fn(|_| TVar::new(NULL)),
-        }
-    }
+/// Initial values of a fresh [`AbNode`]: only its kind. A fresh node starts
+/// with `count` 0; keys/values/children are populated by the allocating
+/// transaction's subsequent TM writes (leaf fill, split move loops).
+pub struct AbNodeInit {
+    /// Whether the fresh node is a leaf.
+    pub is_leaf: bool,
+}
 
-    fn new_internal() -> Self {
+// Safety: no drop glue. The fields reachable before being TM-written are
+// `is_leaf` (read first by every traversal), `count`, and — because an
+// internal node with `count` separators has `count + 1` children —
+// `children[0]` of an internal node even at count 0; all three are
+// TM-written here. Every other key/value/child slot access of this node
+// generation is bounded by a transactionally read `count`, and a slot is
+// always TM-written before the `count` write that exposes it (leaf inserts
+// write keys/vals[pos] before count; splits write the moved key/child slots
+// before the right sibling's count; the parent's shift loop writes
+// keys[i]/children[i + 1] before its count grows) — so slots at key indices
+// `>= count` / child indices `> count` are unreachable until TM-written,
+// satisfying the [`TxNodeInit`] contract without 50 writes per fresh node.
+unsafe impl TxNodeInit for AbNode {
+    type Init = AbNodeInit;
+
+    fn vacant() -> Self {
         Self {
             is_leaf: TVar::new(false),
             count: TVar::new(0),
@@ -55,6 +67,15 @@ impl AbNode {
             vals: array::from_fn(|_| TVar::new(0)),
             children: array::from_fn(|_| TVar::new(NULL)),
         }
+    }
+
+    fn write_fields<X: Transaction>(&self, tx: &mut X, init: &Self::Init) -> TxResult<()> {
+        tx.write_var(&self.is_leaf, init.is_leaf)?;
+        tx.write_var(&self.count, 0)?;
+        if !init.is_leaf {
+            tx.write_var(&self.children[0], NULL)?;
+        }
+        Ok(())
     }
 }
 
@@ -107,21 +128,17 @@ impl TxAbTree {
         debug_assert_eq!(child_count, MAX_KEYS);
         let mid = child_count / 2;
 
-        // Build the right sibling.
-        let right = if child_is_leaf {
-            AbNode::new_leaf()
-        } else {
-            AbNode::new_internal()
-        };
-        let right_word = alloc_in(tx, right);
+        // Build the right sibling. `alloc_node` TM-writes is_leaf and
+        // count=0 inside this transaction (node-layer invariant); the moved
+        // slots below are TM-written before the count write that exposes
+        // them.
+        let right_word = alloc_node::<AbNode, _>(
+            tx,
+            AbNodeInit {
+                is_leaf: child_is_leaf,
+            },
+        )?;
         let right = unsafe { deref::<AbNode>(right_word) };
-        // Freshly allocated memory can reuse an address freed through the TM
-        // whose version lists are still live; route `is_leaf` (the one field
-        // read before any count-bounded access) through the TM so versioned
-        // readers see this node generation, not the previous one. The other
-        // fields below are TM-written already; slots past `count` are never
-        // read.
-        tx.write_var(&right.is_leaf, child_is_leaf)?;
 
         let separator;
         if child_is_leaf {
@@ -182,11 +199,8 @@ impl TxAbTree {
     pub fn insert_tx<X: Transaction>(&self, tx: &mut X, key: u64, val: u64) -> TxResult<bool> {
         let mut root_word = tx.read_var(&self.root)?;
         if root_word == NULL {
-            let leaf_word = alloc_in(tx, AbNode::new_leaf());
+            let leaf_word = alloc_node::<AbNode, _>(tx, AbNodeInit { is_leaf: true })?;
             let leaf = unsafe { deref::<AbNode>(leaf_word) };
-            // TM-write `is_leaf` too: the address may have carried a
-            // TM-freed internal node (see the note in `split_child`).
-            tx.write_var(&leaf.is_leaf, true)?;
             tx.write_var(&leaf.keys[0], key)?;
             tx.write_var(&leaf.vals[0], val)?;
             tx.write_var(&leaf.count, 1)?;
@@ -197,11 +211,9 @@ impl TxAbTree {
         {
             let root = unsafe { deref::<AbNode>(root_word) };
             if Self::is_full(tx, root)? {
-                let new_root_word = alloc_in(tx, AbNode::new_internal());
+                let new_root_word = alloc_node::<AbNode, _>(tx, AbNodeInit { is_leaf: false })?;
                 let new_root = unsafe { deref::<AbNode>(new_root_word) };
-                tx.write_var(&new_root.is_leaf, false)?;
                 tx.write_var(&new_root.children[0], root_word)?;
-                tx.write_var(&new_root.count, 0)?;
                 Self::split_child(tx, new_root, 0, root_word)?;
                 tx.write_var(&self.root, new_root_word)?;
                 root_word = new_root_word;
@@ -289,7 +301,7 @@ impl TxAbTree {
         // Relaxed rebalancing: only collapse an empty leaf root.
         if count == 1 && cur_word == root_word {
             tx.write_var(&self.root, NULL)?;
-            retire_in::<AbNode, _>(tx, cur_word);
+            retire_node::<AbNode, _>(tx, cur_word);
         }
         Ok(true)
     }
@@ -396,7 +408,7 @@ impl Drop for TxAbTree {
                     }
                 }
             }
-            unsafe { free_eager::<AbNode>(word) };
+            unsafe { free_node_eager::<AbNode>(word) };
         }
     }
 }

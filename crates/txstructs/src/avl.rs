@@ -5,7 +5,7 @@
 //! updates are transactional, so the rebalancing writes are exactly the
 //! conflict footprint an STM-backed AVL tree has in the paper's evaluation.
 
-use crate::node::{alloc_in, deref, free_eager, retire_in, NULL};
+use crate::node::{alloc_node, deref, free_node_eager, retire_node, TxNodeInit, NULL};
 use crate::TxSet;
 use tm_api::{TVar, TmHandle, Transaction, TxKind, TxResult};
 
@@ -24,15 +24,37 @@ pub struct AvlNode {
     pub height: TVar<u64>,
 }
 
-impl AvlNode {
-    fn new(key: u64, val: u64) -> Self {
+/// Initial values of a fresh [`AvlNode`]. Fresh AVL nodes are always leaves
+/// (children [`NULL`], height 1), so only key/value vary.
+pub struct AvlNodeInit {
+    /// The key.
+    pub key: u64,
+    /// The value.
+    pub val: u64,
+}
+
+// Safety: no drop glue; contains/range/rebalance transactionally read all
+// five fields, and all five are TM-written here (children to NULL, height
+// to 1 — a fresh node is a leaf).
+unsafe impl TxNodeInit for AvlNode {
+    type Init = AvlNodeInit;
+
+    fn vacant() -> Self {
         Self {
-            key: TVar::new(key),
-            val: TVar::new(val),
+            key: TVar::new(0),
+            val: TVar::new(0),
             left: TVar::new(NULL),
             right: TVar::new(NULL),
-            height: TVar::new(1),
+            height: TVar::new(0),
         }
+    }
+
+    fn write_fields<X: Transaction>(&self, tx: &mut X, init: &Self::Init) -> TxResult<()> {
+        tx.write_var(&self.key, init.key)?;
+        tx.write_var(&self.val, init.val)?;
+        tx.write_var(&self.left, NULL)?;
+        tx.write_var(&self.right, NULL)?;
+        tx.write_var(&self.height, 1)
     }
 }
 
@@ -130,7 +152,13 @@ fn rebalance<X: Transaction>(tx: &mut X, word: u64) -> TxResult<u64> {
 
 fn insert_rec<X: Transaction>(tx: &mut X, word: u64, key: u64, val: u64) -> TxResult<(u64, bool)> {
     if word == NULL {
-        return Ok((alloc_in(tx, AvlNode::new(key, val)), true));
+        // `alloc_node` TM-writes every field inside this transaction; the
+        // pre-port raw-store init here was the ghost-key / dangling-pointer
+        // bug `struct-churn` flags (see the node module docs).
+        return Ok((
+            alloc_node::<AvlNode, _>(tx, AvlNodeInit { key, val })?,
+            true,
+        ));
     }
     let node = unsafe { deref::<AvlNode>(word) };
     let k = tx.read_var(&node.key)?;
@@ -208,7 +236,7 @@ fn remove_rec<X: Transaction>(tx: &mut X, word: u64, key: u64) -> TxResult<(u64,
     let l = tx.read_var(&node.left)?;
     let r = tx.read_var(&node.right)?;
     if l == NULL || r == NULL {
-        retire_in::<AvlNode, _>(tx, word);
+        retire_node::<AvlNode, _>(tx, word);
         let replacement = if l == NULL { r } else { l };
         return Ok((replacement, true));
     }
@@ -220,7 +248,7 @@ fn remove_rec<X: Transaction>(tx: &mut X, word: u64, key: u64) -> TxResult<(u64,
     if new_r != r {
         tx.write_var(&node.right, new_r)?;
     }
-    retire_in::<AvlNode, _>(tx, succ_node);
+    retire_node::<AvlNode, _>(tx, succ_node);
     Ok((rebalance(tx, word)?, true))
 }
 
@@ -239,6 +267,77 @@ impl TxAvlTree {
             height_of(tx, root)
         })
     }
+
+    // -- transaction-composable operations ---------------------------------
+    //
+    // The `*_tx` variants run inside a caller-supplied transaction, so a
+    // tree operation can be combined with other transactional reads and
+    // writes in one atomic step (the checker harness pairs them with audit
+    // variables). The `TxSet` methods below are one-op wrappers over these.
+
+    /// Insert `key -> val` within transaction `tx`; `Ok(false)` if present.
+    pub fn insert_tx<X: Transaction>(&self, tx: &mut X, key: u64, val: u64) -> TxResult<bool> {
+        let root = tx.read_var(&self.root)?;
+        let (new_root, inserted) = insert_rec(tx, root, key, val)?;
+        if inserted && new_root != root {
+            tx.write_var(&self.root, new_root)?;
+        }
+        Ok(inserted)
+    }
+
+    /// Remove `key` within transaction `tx`; `Ok(false)` if absent.
+    pub fn remove_tx<X: Transaction>(&self, tx: &mut X, key: u64) -> TxResult<bool> {
+        let root = tx.read_var(&self.root)?;
+        let (new_root, removed) = remove_rec(tx, root, key)?;
+        if removed && new_root != root {
+            tx.write_var(&self.root, new_root)?;
+        }
+        Ok(removed)
+    }
+
+    /// Whether `key` is present, within transaction `tx`.
+    pub fn contains_tx<X: Transaction>(&self, tx: &mut X, key: u64) -> TxResult<bool> {
+        let mut cur = tx.read_var(&self.root)?;
+        while cur != NULL {
+            let node = unsafe { deref::<AvlNode>(cur) };
+            let k = tx.read_var(&node.key)?;
+            if k == key {
+                return Ok(true);
+            }
+            cur = if key < k {
+                tx.read_var(&node.left)?
+            } else {
+                tx.read_var(&node.right)?
+            };
+        }
+        Ok(false)
+    }
+
+    /// Count the keys in `[lo, hi]`, within transaction `tx`.
+    pub fn range_query_tx<X: Transaction>(&self, tx: &mut X, lo: u64, hi: u64) -> TxResult<usize> {
+        let mut count = 0usize;
+        let root = tx.read_var(&self.root)?;
+        if root == NULL {
+            return Ok(0);
+        }
+        let mut stack = vec![root];
+        while let Some(word) = stack.pop() {
+            let node = unsafe { deref::<AvlNode>(word) };
+            let k = tx.read_var(&node.key)?;
+            if k >= lo && k <= hi {
+                count += 1;
+            }
+            let l = tx.read_var(&node.left)?;
+            let r = tx.read_var(&node.right)?;
+            if l != NULL && lo < k {
+                stack.push(l);
+            }
+            if r != NULL && hi > k {
+                stack.push(r);
+            }
+        }
+        Ok(count)
+    }
 }
 
 impl TxSet for TxAvlTree {
@@ -247,71 +346,19 @@ impl TxSet for TxAvlTree {
     }
 
     fn insert<H: TmHandle>(&self, h: &mut H, key: u64, val: u64) -> bool {
-        h.txn(TxKind::ReadWrite, |tx| {
-            let root = tx.read_var(&self.root)?;
-            let (new_root, inserted) = insert_rec(tx, root, key, val)?;
-            if inserted && new_root != root {
-                tx.write_var(&self.root, new_root)?;
-            }
-            Ok(inserted)
-        })
+        h.txn(TxKind::ReadWrite, |tx| self.insert_tx(tx, key, val))
     }
 
     fn remove<H: TmHandle>(&self, h: &mut H, key: u64) -> bool {
-        h.txn(TxKind::ReadWrite, |tx| {
-            let root = tx.read_var(&self.root)?;
-            let (new_root, removed) = remove_rec(tx, root, key)?;
-            if removed && new_root != root {
-                tx.write_var(&self.root, new_root)?;
-            }
-            Ok(removed)
-        })
+        h.txn(TxKind::ReadWrite, |tx| self.remove_tx(tx, key))
     }
 
     fn contains<H: TmHandle>(&self, h: &mut H, key: u64) -> bool {
-        h.txn(TxKind::ReadOnly, |tx| {
-            let mut cur = tx.read_var(&self.root)?;
-            while cur != NULL {
-                let node = unsafe { deref::<AvlNode>(cur) };
-                let k = tx.read_var(&node.key)?;
-                if k == key {
-                    return Ok(true);
-                }
-                cur = if key < k {
-                    tx.read_var(&node.left)?
-                } else {
-                    tx.read_var(&node.right)?
-                };
-            }
-            Ok(false)
-        })
+        h.txn(TxKind::ReadOnly, |tx| self.contains_tx(tx, key))
     }
 
     fn range_query<H: TmHandle>(&self, h: &mut H, lo: u64, hi: u64) -> usize {
-        h.txn(TxKind::ReadOnly, |tx| {
-            let mut count = 0usize;
-            let root = tx.read_var(&self.root)?;
-            if root == NULL {
-                return Ok(0);
-            }
-            let mut stack = vec![root];
-            while let Some(word) = stack.pop() {
-                let node = unsafe { deref::<AvlNode>(word) };
-                let k = tx.read_var(&node.key)?;
-                if k >= lo && k <= hi {
-                    count += 1;
-                }
-                let l = tx.read_var(&node.left)?;
-                let r = tx.read_var(&node.right)?;
-                if l != NULL && lo < k {
-                    stack.push(l);
-                }
-                if r != NULL && hi > k {
-                    stack.push(r);
-                }
-            }
-            Ok(count)
-        })
+        h.txn(TxKind::ReadOnly, |tx| self.range_query_tx(tx, lo, hi))
     }
 
     fn size_query<H: TmHandle>(&self, h: &mut H) -> usize {
@@ -356,7 +403,7 @@ impl Drop for TxAvlTree {
             if r != NULL {
                 stack.push(r);
             }
-            unsafe { free_eager::<AvlNode>(word) };
+            unsafe { free_node_eager::<AvlNode>(word) };
         }
     }
 }

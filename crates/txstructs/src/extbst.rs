@@ -6,7 +6,7 @@
 //! the concurrent-data-structure literature, here synchronized entirely by
 //! the TM.
 
-use crate::node::{alloc_in, deref, free_eager, retire_in, NULL};
+use crate::node::{alloc_node, deref, free_node_eager, retire_node, TxNodeInit, NULL};
 use crate::TxSet;
 use tm_api::{TVar, TmHandle, Transaction, TxKind, TxResult};
 
@@ -24,23 +24,57 @@ pub struct BstNode {
     pub right: TVar<u64>,
 }
 
-impl BstNode {
+/// Initial values of a fresh [`BstNode`].
+pub struct BstNodeInit {
+    /// The element key (leaf) or routing key (router).
+    pub key: u64,
+    /// The element value (0 for routers, whose value is never read).
+    pub val: u64,
+    /// Left child word ([`NULL`] for a leaf).
+    pub left: u64,
+    /// Right child word ([`NULL`] for a leaf).
+    pub right: u64,
+}
+
+impl BstNodeInit {
     fn leaf(key: u64, val: u64) -> Self {
         Self {
-            key: TVar::new(key),
-            val: TVar::new(val),
-            left: TVar::new(NULL),
-            right: TVar::new(NULL),
+            key,
+            val,
+            left: NULL,
+            right: NULL,
         }
     }
 
     fn router(key: u64, left: u64, right: u64) -> Self {
         Self {
-            key: TVar::new(key),
-            val: TVar::new(0),
-            left: TVar::new(left),
-            right: TVar::new(right),
+            key,
+            val: 0,
+            left,
+            right,
         }
+    }
+}
+
+// Safety: no drop glue; traversals transactionally read key/left/right and
+// point lookups read a leaf's val — all four fields are TM-written here.
+unsafe impl TxNodeInit for BstNode {
+    type Init = BstNodeInit;
+
+    fn vacant() -> Self {
+        Self {
+            key: TVar::new(0),
+            val: TVar::new(0),
+            left: TVar::new(NULL),
+            right: TVar::new(NULL),
+        }
+    }
+
+    fn write_fields<X: Transaction>(&self, tx: &mut X, init: &Self::Init) -> TxResult<()> {
+        tx.write_var(&self.key, init.key)?;
+        tx.write_var(&self.val, init.val)?;
+        tx.write_var(&self.left, init.left)?;
+        tx.write_var(&self.right, init.right)
     }
 }
 
@@ -68,6 +102,144 @@ impl TxExtBst {
         let node = unsafe { deref::<BstNode>(word) };
         Ok(tx.read_var(&node.left)? == NULL)
     }
+
+    // -- transaction-composable operations ---------------------------------
+    //
+    // The `*_tx` variants run inside a caller-supplied transaction, so a
+    // tree operation can be combined with other transactional reads and
+    // writes in one atomic step (the checker harness pairs them with audit
+    // variables). The `TxSet` methods below are one-op wrappers over these.
+
+    /// Insert `key -> val` within transaction `tx`; `Ok(false)` if present.
+    pub fn insert_tx<X: Transaction>(&self, tx: &mut X, key: u64, val: u64) -> TxResult<bool> {
+        let root = tx.read_var(&self.root)?;
+        if root == NULL {
+            let leaf = alloc_node::<BstNode, _>(tx, BstNodeInit::leaf(key, val))?;
+            tx.write_var(&self.root, leaf)?;
+            return Ok(true);
+        }
+        // Descend to the leaf, remembering the field that points at it.
+        let mut parent_field: &TVar<u64> = &self.root;
+        let mut cur = root;
+        while !Self::is_leaf(tx, cur)? {
+            let node = unsafe { deref::<BstNode>(cur) };
+            let k = tx.read_var(&node.key)?;
+            parent_field = if key < k { &node.left } else { &node.right };
+            cur = tx.read_var(parent_field)?;
+        }
+        let leaf = unsafe { deref::<BstNode>(cur) };
+        let leaf_key = tx.read_var(&leaf.key)?;
+        if leaf_key == key {
+            return Ok(false);
+        }
+        // Both fresh nodes are TM-initialised by `alloc_node` inside this
+        // transaction; the pre-port raw-store init here was the ghost-key /
+        // dangling-pointer bug `struct-churn` flags (node module docs).
+        let fresh = alloc_node::<BstNode, _>(tx, BstNodeInit::leaf(key, val))?;
+        // The router key is the larger of the two leaf keys; smaller keys
+        // route left.
+        let router = if key < leaf_key {
+            BstNodeInit::router(leaf_key, fresh, cur)
+        } else {
+            BstNodeInit::router(key, cur, fresh)
+        };
+        let router = alloc_node::<BstNode, _>(tx, router)?;
+        tx.write_var(parent_field, router)?;
+        Ok(true)
+    }
+
+    /// Remove `key` within transaction `tx`; `Ok(false)` if absent.
+    pub fn remove_tx<X: Transaction>(&self, tx: &mut X, key: u64) -> TxResult<bool> {
+        let root = tx.read_var(&self.root)?;
+        if root == NULL {
+            return Ok(false);
+        }
+        if Self::is_leaf(tx, root)? {
+            let leaf = unsafe { deref::<BstNode>(root) };
+            if tx.read_var(&leaf.key)? != key {
+                return Ok(false);
+            }
+            tx.write_var(&self.root, NULL)?;
+            retire_node::<BstNode, _>(tx, root);
+            return Ok(true);
+        }
+        // Descend tracking the grandparent field (which points at the
+        // parent router) so the sibling can be spliced in its place.
+        let mut gparent_field: &TVar<u64> = &self.root;
+        let mut parent = root;
+        loop {
+            let parent_node = unsafe { deref::<BstNode>(parent) };
+            let pk = tx.read_var(&parent_node.key)?;
+            let (child_field, sibling_field) = if key < pk {
+                (&parent_node.left, &parent_node.right)
+            } else {
+                (&parent_node.right, &parent_node.left)
+            };
+            let child = tx.read_var(child_field)?;
+            if Self::is_leaf(tx, child)? {
+                let leaf = unsafe { deref::<BstNode>(child) };
+                if tx.read_var(&leaf.key)? != key {
+                    return Ok(false);
+                }
+                let sibling = tx.read_var(sibling_field)?;
+                tx.write_var(gparent_field, sibling)?;
+                retire_node::<BstNode, _>(tx, parent);
+                retire_node::<BstNode, _>(tx, child);
+                return Ok(true);
+            }
+            gparent_field = child_field;
+            parent = child;
+        }
+    }
+
+    /// Whether `key` is present, within transaction `tx`.
+    pub fn contains_tx<X: Transaction>(&self, tx: &mut X, key: u64) -> TxResult<bool> {
+        let mut cur = tx.read_var(&self.root)?;
+        if cur == NULL {
+            return Ok(false);
+        }
+        while !Self::is_leaf(tx, cur)? {
+            let node = unsafe { deref::<BstNode>(cur) };
+            let k = tx.read_var(&node.key)?;
+            cur = if key < k {
+                tx.read_var(&node.left)?
+            } else {
+                tx.read_var(&node.right)?
+            };
+        }
+        let leaf = unsafe { deref::<BstNode>(cur) };
+        Ok(tx.read_var(&leaf.key)? == key)
+    }
+
+    /// Count the keys in `[lo, hi]`, within transaction `tx`.
+    pub fn range_query_tx<X: Transaction>(&self, tx: &mut X, lo: u64, hi: u64) -> TxResult<usize> {
+        let mut count = 0usize;
+        let root = tx.read_var(&self.root)?;
+        if root == NULL {
+            return Ok(0);
+        }
+        let mut stack = vec![root];
+        while let Some(word) = stack.pop() {
+            let node = unsafe { deref::<BstNode>(word) };
+            let left = tx.read_var(&node.left)?;
+            let k = tx.read_var(&node.key)?;
+            if left == NULL {
+                if k >= lo && k <= hi {
+                    count += 1;
+                }
+                continue;
+            }
+            let right = tx.read_var(&node.right)?;
+            // Left subtree holds keys < k, right subtree keys >= k.
+            if lo < k {
+                stack.push(left);
+            }
+            if hi >= k {
+                stack.push(right);
+            }
+        }
+        Ok(count)
+    }
 }
 
 impl TxSet for TxExtBst {
@@ -76,135 +248,19 @@ impl TxSet for TxExtBst {
     }
 
     fn insert<H: TmHandle>(&self, h: &mut H, key: u64, val: u64) -> bool {
-        h.txn(TxKind::ReadWrite, |tx| {
-            let root = tx.read_var(&self.root)?;
-            if root == NULL {
-                let leaf = alloc_in(tx, BstNode::leaf(key, val));
-                tx.write_var(&self.root, leaf)?;
-                return Ok(true);
-            }
-            // Descend to the leaf, remembering the field that points at it.
-            let mut parent_field: &TVar<u64> = &self.root;
-            let mut cur = root;
-            while !Self::is_leaf(tx, cur)? {
-                let node = unsafe { deref::<BstNode>(cur) };
-                let k = tx.read_var(&node.key)?;
-                parent_field = if key < k { &node.left } else { &node.right };
-                cur = tx.read_var(parent_field)?;
-            }
-            let leaf = unsafe { deref::<BstNode>(cur) };
-            let leaf_key = tx.read_var(&leaf.key)?;
-            if leaf_key == key {
-                return Ok(false);
-            }
-            let fresh = alloc_in(tx, BstNode::leaf(key, val));
-            // The router key is the larger of the two leaf keys; smaller keys
-            // route left.
-            let router = if key < leaf_key {
-                BstNode::router(leaf_key, fresh, cur)
-            } else {
-                BstNode::router(key, cur, fresh)
-            };
-            let router = alloc_in(tx, router);
-            tx.write_var(parent_field, router)?;
-            Ok(true)
-        })
+        h.txn(TxKind::ReadWrite, |tx| self.insert_tx(tx, key, val))
     }
 
     fn remove<H: TmHandle>(&self, h: &mut H, key: u64) -> bool {
-        h.txn(TxKind::ReadWrite, |tx| {
-            let root = tx.read_var(&self.root)?;
-            if root == NULL {
-                return Ok(false);
-            }
-            if Self::is_leaf(tx, root)? {
-                let leaf = unsafe { deref::<BstNode>(root) };
-                if tx.read_var(&leaf.key)? != key {
-                    return Ok(false);
-                }
-                tx.write_var(&self.root, NULL)?;
-                retire_in::<BstNode, _>(tx, root);
-                return Ok(true);
-            }
-            // Descend tracking the grandparent field (which points at the
-            // parent router) so the sibling can be spliced in its place.
-            let mut gparent_field: &TVar<u64> = &self.root;
-            let mut parent = root;
-            loop {
-                let parent_node = unsafe { deref::<BstNode>(parent) };
-                let pk = tx.read_var(&parent_node.key)?;
-                let (child_field, sibling_field) = if key < pk {
-                    (&parent_node.left, &parent_node.right)
-                } else {
-                    (&parent_node.right, &parent_node.left)
-                };
-                let child = tx.read_var(child_field)?;
-                if Self::is_leaf(tx, child)? {
-                    let leaf = unsafe { deref::<BstNode>(child) };
-                    if tx.read_var(&leaf.key)? != key {
-                        return Ok(false);
-                    }
-                    let sibling = tx.read_var(sibling_field)?;
-                    tx.write_var(gparent_field, sibling)?;
-                    retire_in::<BstNode, _>(tx, parent);
-                    retire_in::<BstNode, _>(tx, child);
-                    return Ok(true);
-                }
-                gparent_field = child_field;
-                parent = child;
-            }
-        })
+        h.txn(TxKind::ReadWrite, |tx| self.remove_tx(tx, key))
     }
 
     fn contains<H: TmHandle>(&self, h: &mut H, key: u64) -> bool {
-        h.txn(TxKind::ReadOnly, |tx| {
-            let mut cur = tx.read_var(&self.root)?;
-            if cur == NULL {
-                return Ok(false);
-            }
-            while !Self::is_leaf(tx, cur)? {
-                let node = unsafe { deref::<BstNode>(cur) };
-                let k = tx.read_var(&node.key)?;
-                cur = if key < k {
-                    tx.read_var(&node.left)?
-                } else {
-                    tx.read_var(&node.right)?
-                };
-            }
-            let leaf = unsafe { deref::<BstNode>(cur) };
-            Ok(tx.read_var(&leaf.key)? == key)
-        })
+        h.txn(TxKind::ReadOnly, |tx| self.contains_tx(tx, key))
     }
 
     fn range_query<H: TmHandle>(&self, h: &mut H, lo: u64, hi: u64) -> usize {
-        h.txn(TxKind::ReadOnly, |tx| {
-            let mut count = 0usize;
-            let root = tx.read_var(&self.root)?;
-            if root == NULL {
-                return Ok(0);
-            }
-            let mut stack = vec![root];
-            while let Some(word) = stack.pop() {
-                let node = unsafe { deref::<BstNode>(word) };
-                let left = tx.read_var(&node.left)?;
-                let k = tx.read_var(&node.key)?;
-                if left == NULL {
-                    if k >= lo && k <= hi {
-                        count += 1;
-                    }
-                    continue;
-                }
-                let right = tx.read_var(&node.right)?;
-                // Left subtree holds keys < k, right subtree keys >= k.
-                if lo < k {
-                    stack.push(left);
-                }
-                if hi >= k {
-                    stack.push(right);
-                }
-            }
-            Ok(count)
-        })
+        h.txn(TxKind::ReadOnly, |tx| self.range_query_tx(tx, lo, hi))
     }
 
     fn size_query<H: TmHandle>(&self, h: &mut H) -> usize {
@@ -231,7 +287,7 @@ impl Drop for TxExtBst {
             if right != NULL {
                 stack.push(right);
             }
-            unsafe { free_eager::<BstNode>(word) };
+            unsafe { free_node_eager::<BstNode>(word) };
         }
     }
 }

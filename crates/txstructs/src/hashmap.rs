@@ -5,7 +5,7 @@
 //! the long-running operation is an atomic **size query** (SQ) that counts
 //! every key, instead of a range query.
 
-use crate::node::{alloc_in, deref, free_eager, retire_in, NULL};
+use crate::node::{alloc_node, deref, free_node_eager, retire_node, TxNodeInit, NULL};
 use crate::TxSet;
 use tm_api::{TVar, TmHandle, Transaction, TxKind, TxResult};
 
@@ -17,6 +17,36 @@ pub struct MapNode {
     pub val: TVar<u64>,
     /// Pointer (as a word) to the next node in the bucket, or [`NULL`].
     pub next: TVar<u64>,
+}
+
+/// Initial values of a fresh [`MapNode`].
+pub struct MapNodeInit {
+    /// The key.
+    pub key: u64,
+    /// The value.
+    pub val: u64,
+    /// The successor pointer word (the previous bucket head).
+    pub next: u64,
+}
+
+// Safety: no drop glue; every bucket traversal transactionally reads all
+// three fields, and all three are TM-written here.
+unsafe impl TxNodeInit for MapNode {
+    type Init = MapNodeInit;
+
+    fn vacant() -> Self {
+        Self {
+            key: TVar::new(0),
+            val: TVar::new(0),
+            next: TVar::new(NULL),
+        }
+    }
+
+    fn write_fields<X: Transaction>(&self, tx: &mut X, init: &Self::Init) -> TxResult<()> {
+        tx.write_var(&self.key, init.key)?;
+        tx.write_var(&self.val, init.val)?;
+        tx.write_var(&self.next, init.next)
+    }
 }
 
 /// A transactional hashmap with a fixed number of buckets.
@@ -87,6 +117,80 @@ impl TxHashMap {
             Ok(Some(tx.read_var(&node.val)?))
         })
     }
+
+    // -- transaction-composable operations ---------------------------------
+    //
+    // The `*_tx` variants run inside a caller-supplied transaction, so a
+    // map operation can be combined with other transactional reads and
+    // writes in one atomic step (the checker harness pairs them with audit
+    // variables). The `TxSet` methods below are one-op wrappers over these.
+
+    /// Insert `key -> val` within transaction `tx`; `Ok(false)` if present.
+    pub fn insert_tx<X: Transaction>(&self, tx: &mut X, key: u64, val: u64) -> TxResult<bool> {
+        let bucket = self.bucket_of(key);
+        let (_, found) = self.locate(tx, bucket, key)?;
+        if found != NULL {
+            return Ok(false);
+        }
+        let head = tx.read_var(bucket)?;
+        // `alloc_node` TM-writes key/val/next inside this transaction (the
+        // node-layer invariant — a reused address must never leak the
+        // previous node generation to versioned readers).
+        let fresh = alloc_node::<MapNode, _>(
+            tx,
+            MapNodeInit {
+                key,
+                val,
+                next: head,
+            },
+        )?;
+        tx.write_var(bucket, fresh)?;
+        Ok(true)
+    }
+
+    /// Remove `key` within transaction `tx`; `Ok(false)` if absent.
+    pub fn remove_tx<X: Transaction>(&self, tx: &mut X, key: u64) -> TxResult<bool> {
+        let bucket = self.bucket_of(key);
+        let (prev, cur) = self.locate(tx, bucket, key)?;
+        if cur == NULL {
+            return Ok(false);
+        }
+        let node = unsafe { deref::<MapNode>(cur) };
+        let next = tx.read_var(&node.next)?;
+        if prev == NULL {
+            tx.write_var(bucket, next)?;
+        } else {
+            let prev_node = unsafe { deref::<MapNode>(prev) };
+            tx.write_var(&prev_node.next, next)?;
+        }
+        retire_node::<MapNode, _>(tx, cur);
+        Ok(true)
+    }
+
+    /// Whether `key` is present, within transaction `tx`.
+    pub fn contains_tx<X: Transaction>(&self, tx: &mut X, key: u64) -> TxResult<bool> {
+        let bucket = self.bucket_of(key);
+        let (_, cur) = self.locate(tx, bucket, key)?;
+        Ok(cur != NULL)
+    }
+
+    /// Count the keys in `[lo, hi]` with a full scan, within transaction
+    /// `tx` (see [`TxSet::range_query`] on this type for why a scan).
+    pub fn range_query_tx<X: Transaction>(&self, tx: &mut X, lo: u64, hi: u64) -> TxResult<usize> {
+        let mut count = 0usize;
+        for bucket in self.buckets.iter() {
+            let mut cur = tx.read_var(bucket)?;
+            while cur != NULL {
+                let node = unsafe { deref::<MapNode>(cur) };
+                let k = tx.read_var(&node.key)?;
+                if k >= lo && k <= hi {
+                    count += 1;
+                }
+                cur = tx.read_var(&node.next)?;
+            }
+        }
+        Ok(count)
+    }
 }
 
 impl TxSet for TxHashMap {
@@ -95,52 +199,15 @@ impl TxSet for TxHashMap {
     }
 
     fn insert<H: TmHandle>(&self, h: &mut H, key: u64, val: u64) -> bool {
-        h.txn(TxKind::ReadWrite, |tx| {
-            let bucket = self.bucket_of(key);
-            let (_, found) = self.locate(tx, bucket, key)?;
-            if found != NULL {
-                return Ok(false);
-            }
-            let head = tx.read_var(bucket)?;
-            let fresh = alloc_in(
-                tx,
-                MapNode {
-                    key: TVar::new(key),
-                    val: TVar::new(val),
-                    next: TVar::new(head),
-                },
-            );
-            tx.write_var(bucket, fresh)?;
-            Ok(true)
-        })
+        h.txn(TxKind::ReadWrite, |tx| self.insert_tx(tx, key, val))
     }
 
     fn remove<H: TmHandle>(&self, h: &mut H, key: u64) -> bool {
-        h.txn(TxKind::ReadWrite, |tx| {
-            let bucket = self.bucket_of(key);
-            let (prev, cur) = self.locate(tx, bucket, key)?;
-            if cur == NULL {
-                return Ok(false);
-            }
-            let node = unsafe { deref::<MapNode>(cur) };
-            let next = tx.read_var(&node.next)?;
-            if prev == NULL {
-                tx.write_var(bucket, next)?;
-            } else {
-                let prev_node = unsafe { deref::<MapNode>(prev) };
-                tx.write_var(&prev_node.next, next)?;
-            }
-            retire_in::<MapNode, _>(tx, cur);
-            Ok(true)
-        })
+        h.txn(TxKind::ReadWrite, |tx| self.remove_tx(tx, key))
     }
 
     fn contains<H: TmHandle>(&self, h: &mut H, key: u64) -> bool {
-        h.txn(TxKind::ReadOnly, |tx| {
-            let bucket = self.bucket_of(key);
-            let (_, cur) = self.locate(tx, bucket, key)?;
-            Ok(cur != NULL)
-        })
+        h.txn(TxKind::ReadOnly, |tx| self.contains_tx(tx, key))
     }
 
     /// Range queries are not meaningful without an order-preserving hash
@@ -148,21 +215,7 @@ impl TxSet for TxHashMap {
     /// scan, which has the same "one huge read-only transaction" footprint as
     /// the size query the paper substitutes.
     fn range_query<H: TmHandle>(&self, h: &mut H, lo: u64, hi: u64) -> usize {
-        h.txn(TxKind::ReadOnly, |tx| {
-            let mut count = 0usize;
-            for bucket in self.buckets.iter() {
-                let mut cur = tx.read_var(bucket)?;
-                while cur != NULL {
-                    let node = unsafe { deref::<MapNode>(cur) };
-                    let k = tx.read_var(&node.key)?;
-                    if k >= lo && k <= hi {
-                        count += 1;
-                    }
-                    cur = tx.read_var(&node.next)?;
-                }
-            }
-            Ok(count)
-        })
+        h.txn(TxKind::ReadOnly, |tx| self.range_query_tx(tx, lo, hi))
     }
 
     fn size_query<H: TmHandle>(&self, h: &mut H) -> usize {
@@ -188,7 +241,7 @@ impl Drop for TxHashMap {
             while cur != NULL {
                 // Safety: quiescent teardown.
                 let next = unsafe { deref::<MapNode>(cur) }.next.load_direct();
-                unsafe { free_eager::<MapNode>(cur) };
+                unsafe { free_node_eager::<MapNode>(cur) };
                 cur = next;
             }
         }

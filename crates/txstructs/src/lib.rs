@@ -20,10 +20,14 @@
 //! and a size query (the long read-only operations).
 //!
 //! Nodes store every mutable field in a [`tm_api::TVar`], keep the memory
-//! layout of the equivalent non-transactional node, and route allocation and
-//! unlinking through the transaction's deferred alloc/retire hooks so aborts
-//! roll allocations back and commits retire unlinked nodes through
-//! epoch-based reclamation.
+//! layout of the equivalent non-transactional node, and live in the
+//! [`node`] layer's size-classed, epoch-recycled arena: allocation and
+//! unlinking route through the transaction's deferred alloc/retire hooks
+//! (aborts roll allocations back, commits retire unlinked nodes through
+//! epoch-based reclamation into the pool), and the only way to construct a
+//! fresh node ([`node::alloc_node`] + [`node::TxNodeInit`]) TM-writes every
+//! transactionally-read field inside the allocating transaction — the
+//! ROADMAP node-reinitialisation invariant, by construction.
 
 pub mod abtree;
 pub mod avl;

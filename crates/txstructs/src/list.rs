@@ -5,7 +5,9 @@
 //! with a transaction that unlinks — and would otherwise free — the second
 //! half of the list) and doubles as the bucket list of the hashmap.
 
-use crate::node::{alloc_eager, alloc_in, deref, free_eager, retire_in, NULL};
+use crate::node::{
+    alloc_node, alloc_node_eager, deref, free_node_eager, retire_node, TxNodeInit, NULL,
+};
 use crate::TxSet;
 use tm_api::{TVar, TmHandle, Transaction, TxKind, TxResult};
 
@@ -18,6 +20,36 @@ pub struct ListNode {
     pub val: TVar<u64>,
     /// Pointer (as a word) to the next node, or [`NULL`].
     pub next: TVar<u64>,
+}
+
+/// Initial values of a fresh [`ListNode`].
+pub struct ListNodeInit {
+    /// The key.
+    pub key: u64,
+    /// The value.
+    pub val: u64,
+    /// The successor pointer word.
+    pub next: u64,
+}
+
+// Safety: no drop glue; all three fields are transactionally read by every
+// traversal, and all three are TM-written here.
+unsafe impl TxNodeInit for ListNode {
+    type Init = ListNodeInit;
+
+    fn vacant() -> Self {
+        Self {
+            key: TVar::new(0),
+            val: TVar::new(0),
+            next: TVar::new(NULL),
+        }
+    }
+
+    fn write_fields<X: Transaction>(&self, tx: &mut X, init: &Self::Init) -> TxResult<()> {
+        tx.write_var(&self.key, init.key)?;
+        tx.write_var(&self.val, init.val)?;
+        tx.write_var(&self.next, init.next)
+    }
 }
 
 /// A sorted singly linked list with a sentinel head.
@@ -33,15 +65,12 @@ impl Default for TxList {
 }
 
 impl TxList {
-    /// Create an empty list.
+    /// Create an empty list. The sentinel is the one eagerly (vacantly)
+    /// allocated node: its key/value are never interpreted and its `next`
+    /// starts at the vacant [`NULL`].
     pub fn new() -> Self {
-        let sentinel = ListNode {
-            key: TVar::new(0),
-            val: TVar::new(0),
-            next: TVar::new(NULL),
-        };
         Self {
-            head: alloc_eager(sentinel),
+            head: alloc_node_eager::<ListNode>(),
         }
     }
 
@@ -101,27 +130,17 @@ impl TxList {
                 return Ok(false);
             }
         }
-        let fresh = alloc_in(
+        // `alloc_node` TM-writes key/val/next inside this transaction (the
+        // node-layer invariant: a reused address's stripes and version lists
+        // are superseded before the node becomes reachable).
+        let fresh = alloc_node::<ListNode, _>(
             tx,
-            ListNode {
-                key: TVar::new(0),
-                val: TVar::new(0),
-                next: TVar::new(NULL),
+            ListNodeInit {
+                key,
+                val,
+                next: cur,
             },
-        );
-        // Initialise every transactionally-read field *through the TM*, not
-        // just in the constructor: the allocator may hand back memory whose
-        // previous occupant was freed through the TM, and a multiversioned
-        // reader can reach that address with a read clock from the previous
-        // node's lifetime. TM writes stamp the stripes and supersede any
-        // version lists left at these addresses, so each generation's values
-        // are filed under this generation's commit timestamp; raw constructor
-        // stores would leak the *previous* generation's values to versioned
-        // readers (ghost keys).
-        let fresh_node = unsafe { deref::<ListNode>(fresh) };
-        tx.write_var(&fresh_node.key, key)?;
-        tx.write_var(&fresh_node.val, val)?;
-        tx.write_var(&fresh_node.next, cur)?;
+        )?;
         let prev_node = unsafe { deref::<ListNode>(prev) };
         tx.write_var(&prev_node.next, fresh)?;
         Ok(true)
@@ -140,7 +159,7 @@ impl TxList {
         let next = tx.read_var(&node.next)?;
         let prev_node = unsafe { deref::<ListNode>(prev) };
         tx.write_var(&prev_node.next, next)?;
-        retire_in::<ListNode, _>(tx, cur);
+        retire_node::<ListNode, _>(tx, cur);
         Ok(true)
     }
 
@@ -210,12 +229,13 @@ impl TxSet for TxList {
 
 impl Drop for TxList {
     fn drop(&mut self) {
-        // Quiescent teardown: free every node including the sentinel.
+        // Quiescent teardown: return every node including the sentinel to
+        // the pool.
         let mut cur = self.head;
         while cur != NULL {
             // Safety: teardown is single-threaded; nodes were allocated by us.
             let next = unsafe { deref::<ListNode>(cur) }.next.load_direct();
-            unsafe { free_eager::<ListNode>(cur) };
+            unsafe { free_node_eager::<ListNode>(cur) };
             cur = next;
         }
     }
