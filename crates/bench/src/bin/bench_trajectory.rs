@@ -277,6 +277,60 @@ fn versioned_measurements(out: &mut Vec<(String, f64)>) {
     rt.shutdown();
 }
 
+/// The durability tax, priced as a back-to-back pair on the same workload
+/// shape: `wal_off` runs with the commit tap compiled in but no active
+/// session (the tap is one relaxed load), `wal_group_commit` runs against a
+/// live WAL session so every commit appends its write set to the thread
+/// buffer while the group-commit thread drains and fsyncs in the background.
+/// The hot path never waits on IO, so the on/off gap is the append cost —
+/// not disk latency. Each entry is its own baseline in BENCH_txset.json.
+fn wal_measurements(out: &mut Vec<(String, f64)>) {
+    const WORDS: usize = 64;
+
+    let rt = MultiverseRuntime::start(MultiverseConfig::small());
+    let vars: Vec<TVar<u64>> = (0..WORDS).map(|i| TVar::new(i as u64)).collect();
+    let mut h = rt.register();
+    let mut i = 0u64;
+    out.push((
+        "stm/multiverse/wal_off_update_2_words".into(),
+        measure(11, 20_000, || {
+            i += 1;
+            h.txn(TxKind::ReadWrite, |tx| {
+                tx.write_var(&vars[(i as usize) % WORDS], i)?;
+                tx.write_var(&vars[(i as usize + 7) % WORDS], i)
+            });
+        }),
+    ));
+    drop(h);
+    rt.shutdown();
+
+    let dir = std::env::temp_dir().join(format!("mv-bench-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let rt = MultiverseRuntime::start(MultiverseConfig::small());
+    let vars: Vec<TVar<u64>> = (0..WORDS).map(|i| TVar::new(i as u64)).collect();
+    let handle = wal::start(wal::WalConfig::new(&dir)).expect("start wal session");
+    let mut h = rt.register();
+    let mut i = 0u64;
+    out.push((
+        "stm/multiverse/wal_group_commit_update_2_words".into(),
+        measure(11, 20_000, || {
+            i += 1;
+            h.txn(TxKind::ReadWrite, |tx| {
+                tx.write_var(&vars[(i as usize) % WORDS], i)?;
+                tx.write_var(&vars[(i as usize + 7) % WORDS], i)
+            });
+        }),
+    ));
+    drop(h);
+    let finish = handle.finish();
+    assert!(
+        !finish.crashed && !finish.failed,
+        "bench WAL session ended dirty"
+    );
+    rt.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Structure-node churn on the pooled structures: every insert allocates a
 /// node from the size-classed arena and every remove retires one through
 /// EBR, so these entries track the whole
@@ -450,6 +504,7 @@ fn main() {
         &mut results,
     );
     versioned_measurements(&mut results);
+    wal_measurements(&mut results);
     structure_measurements(&mut results);
     tm_measurements("dctl", Arc::new(DctlRuntime::with_defaults()), &mut results);
     tm_measurements("tl2", Arc::new(Tl2Runtime::with_defaults()), &mut results);

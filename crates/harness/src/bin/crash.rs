@@ -1,0 +1,240 @@
+//! `harness crash` — sweep the WAL's crash-injection sites and verify that
+//! recovery always equals a committed prefix of the recorded history.
+//!
+//! ```text
+//! cargo run --release -p harness --features crashpoint --bin crash -- \
+//!     [--seed N] [--seeds N] [--site all|append,fsync,...] [--skips 0,3,11] \
+//!     [--broken-no-validate | --broken-replay-gap]
+//! ```
+//!
+//! * Default (sound) mode: for every seed x site x skip cell — plus a
+//!   baseline run with no fault armed per seed — run the workload, crash,
+//!   recover, and require both checkers clean. Exit 1 on any violation.
+//! * `--broken-no-validate`: corrupt a value byte of an fsynced record, then
+//!   recover **without checksum validation**. The run only *passes* if the
+//!   checker flags the resurrected ghost (and sound recovery of the same
+//!   directory stays clean) — proving the tail-checksum truncation is
+//!   load-bearing.
+//! * `--broken-replay-gap`: fabricate a valid frame past a sequence gap
+//!   (a resurrected never-fsynced suffix), then recover **without the
+//!   contiguity stop**. Passes only if the checker flags it.
+//!
+//! See TESTING.md for the recovery model and reproduction recipes.
+
+use harness::crash::{
+    append_gap_frame, corrupt_last_record_value, execute, recover_and_check, run_sound,
+    temp_wal_dir, CrashSpec, Plan, RecoverOpts, Site,
+};
+use harness::Report;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Broken {
+    None,
+    NoValidate,
+    ReplayGap,
+}
+
+struct Args {
+    seed: u64,
+    seeds: u64,
+    sites: Vec<Site>,
+    skips: Vec<u32>,
+    broken: Broken,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: crash [--seed N] [--seeds N] [--site all|append,fsync,checkpoint-write,rotate] \
+         [--skips 0,3,11] [--broken-no-validate|--broken-replay-gap]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 1,
+        seeds: 1,
+        sites: Site::ALL.to_vec(),
+        skips: vec![0, 3, 11],
+        broken: Broken::None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seeds" => {
+                args.seeds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--site" | "--sites" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                if v != "all" {
+                    args.sites = v
+                        .split(',')
+                        .map(|s| {
+                            Site::parse(s.trim()).unwrap_or_else(|| {
+                                eprintln!("unknown site '{s}'");
+                                usage()
+                            })
+                        })
+                        .collect();
+                }
+            }
+            "--skips" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                args.skips = v
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if args.skips.is_empty() {
+                    usage();
+                }
+            }
+            "--broken-no-validate" => args.broken = Broken::NoValidate,
+            "--broken-replay-gap" => args.broken = Broken::ReplayGap,
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn print_violations(report: &Report) {
+    for v in report.violations.iter().take(8) {
+        println!("    {v}");
+    }
+    if report.violations.len() > 8 {
+        println!("    ... {} more", report.violations.len() - 8);
+    }
+}
+
+/// The positive sweep: every cell must recover a committed prefix.
+fn sound_sweep(args: &Args) -> ! {
+    let mut total = 0usize;
+    let mut dirty = 0usize;
+    for seed in args.seed..args.seed + args.seeds.max(1) {
+        // (site, skip) cells, plus one baseline with no fault armed.
+        let mut cells: Vec<Option<(Site, u32)>> = vec![None];
+        for &site in &args.sites {
+            for &skip in &args.skips {
+                cells.push(Some((site, skip)));
+            }
+        }
+        for cell in cells {
+            let tag = match cell {
+                Some((site, skip)) => format!("{seed}-{}-{skip}", site.name()),
+                None => format!("{seed}-baseline"),
+            };
+            let dir = temp_wal_dir(&tag);
+            let mut spec = CrashSpec::smoke(seed);
+            if let Some((site, skip)) = cell {
+                spec = spec.with_plan(Plan::CrashAt {
+                    site,
+                    skip,
+                    torn_seed: seed ^ ((skip as u64) << 8),
+                });
+            }
+            let (run, verdict) = run_sound(&spec, &dir);
+            total += 1;
+            let ok = verdict.is_clean();
+            println!(
+                "crash {:<44} crashed={:<5} durable_seq={:<6} recovered_seq={:<6} \
+                 ckpt_rv={:<8} truncated={:<3} {}",
+                run.label,
+                run.finish.crashed,
+                run.finish.durable_seq,
+                verdict.recovered.durable_seq,
+                verdict.recovered.checkpoint_rv,
+                verdict.recovered.truncated_records,
+                if ok { "ok" } else { "VIOLATION" }
+            );
+            if !ok {
+                dirty += 1;
+                print_violations(&verdict.recovery);
+                print_violations(&verdict.live);
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    if dirty > 0 {
+        eprintln!("{dirty}/{total} crash-recovery runs violated the committed-prefix contract");
+        std::process::exit(1);
+    }
+    println!("{total} crash-recovery runs clean: recovery always equals a committed prefix");
+    std::process::exit(0);
+}
+
+/// A broken-mode demo passes iff sound recovery is clean AND the broken
+/// recovery is flagged — the checker must be able to see this bug class.
+fn broken_demo(args: &Args) -> ! {
+    let mode = args.broken;
+    let dir = temp_wal_dir(&format!("{}-broken", args.seed));
+    let spec = CrashSpec::smoke(args.seed);
+    let run = execute(&spec, &dir);
+
+    let (what, sound, broken) = match mode {
+        Broken::NoValidate => {
+            assert!(corrupt_last_record_value(&dir), "a record to corrupt");
+            // Externally corrupted fsynced bytes legitimately trip the
+            // durability floor even in sound mode; drop the floor so the
+            // verdicts isolate the checksum question.
+            let sound = recover_and_check(&run, &dir, &RecoverOpts::default(), &[]);
+            let opts = RecoverOpts {
+                validate_checksums: false,
+                ..RecoverOpts::default()
+            };
+            let broken = recover_and_check(&run, &dir, &opts, &[]);
+            ("checksum validation skipped", sound, broken)
+        }
+        Broken::ReplayGap => {
+            append_gap_frame(&dir, run.addrs[0] as u64, 3);
+            let floor = run.durable_floor();
+            let sound = recover_and_check(&run, &dir, &RecoverOpts::default(), &floor);
+            let opts = RecoverOpts {
+                stop_at_gap: false,
+                ..RecoverOpts::default()
+            };
+            let broken = recover_and_check(&run, &dir, &opts, &floor);
+            ("sequence-gap stop skipped", sound, broken)
+        }
+        Broken::None => unreachable!("dispatched by main"),
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "crash {} [{what}]: sound={}, broken={} ({} violations)",
+        run.label,
+        if sound.is_clean() {
+            "clean"
+        } else {
+            "VIOLATION"
+        },
+        if broken.is_clean() {
+            "clean (BUG: checker missed it)"
+        } else {
+            "flagged"
+        },
+        broken.recovery.violations.len()
+    );
+    print_violations(&broken.recovery);
+    if sound.is_clean() && !broken.is_clean() {
+        println!("checker correctly rejects the unsound recovery mode");
+        std::process::exit(0);
+    }
+    eprintln!("broken-mode demo failed: the checker must flag exactly the unsound recovery");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args = parse_args();
+    match args.broken {
+        Broken::None => sound_sweep(&args),
+        _ => broken_demo(&args),
+    }
+}

@@ -196,6 +196,48 @@ pub enum Violation {
         /// Human-readable description of the contradiction.
         detail: String,
     },
+    /// (Recovery) The recovered image holds a value for `var` that neither
+    /// the initial state nor any committed transaction ever produced — an
+    /// uncommitted or corrupt write resurrected by recovery.
+    GhostValue {
+        /// Variable with the unexplainable value.
+        var: usize,
+        /// The recovered value.
+        value: u64,
+    },
+    /// (Recovery) A committed transaction straddles the recovery cut: its
+    /// write to `var_included` survived while its write to `var_lost` did
+    /// not — recovery tore an atomic commit apart.
+    TornRecovery {
+        /// The straddling committed attempt.
+        attempt: usize,
+        /// A variable whose write from this attempt was recovered.
+        var_included: usize,
+        /// A variable whose write from this attempt was lost.
+        var_lost: usize,
+    },
+    /// (Recovery) A committed transaction inside the recovered cut read
+    /// `(var, value)` from a transaction *outside* it: the recovered state
+    /// is not closed under reads-from and therefore equals no committed
+    /// prefix.
+    NonPrefixRecovery {
+        /// The included attempt with the dangling read.
+        attempt: usize,
+        /// The variable it read.
+        var: usize,
+        /// The value it read, produced by an excluded transaction.
+        value: u64,
+    },
+    /// (Recovery) A write the WAL reported fsynced is missing from the
+    /// recovered image: a committed transaction was lost past its fsync.
+    DurabilityLoss {
+        /// The variable whose durable write is missing.
+        var: usize,
+        /// The fsynced value.
+        value: u64,
+        /// What recovery produced for the variable instead.
+        recovered: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -241,6 +283,22 @@ impl fmt::Display for Violation {
             Violation::StructAudit { detail } => {
                 write!(f, "structure/audit mismatch in a committed transaction: {detail}")
             }
+            Violation::GhostValue { var, value } => write!(
+                f,
+                "recovery: var {var} holds {value:#x}, which neither the initial state nor any committed transaction produced"
+            ),
+            Violation::TornRecovery { attempt, var_included, var_lost } => write!(
+                f,
+                "recovery: committed attempt {attempt} was torn — its write to var {var_included} was recovered, its write to var {var_lost} was lost"
+            ),
+            Violation::NonPrefixRecovery { attempt, var, value } => write!(
+                f,
+                "recovery: included attempt {attempt} read var {var}={value:#x} from a transaction outside the recovered cut"
+            ),
+            Violation::DurabilityLoss { var, value, recovered } => write!(
+                f,
+                "recovery: fsynced write of {value:#x} to var {var} was lost (recovered {recovered:#x})"
+            ),
         }
     }
 }
@@ -579,6 +637,159 @@ pub fn check_history(history: &History) -> Report {
             if violations.len() >= MAX_VIOLATIONS {
                 break;
             }
+        }
+        if violations.len() >= MAX_VIOLATIONS {
+            break;
+        }
+    }
+
+    violations.truncate(MAX_VIOLATIONS);
+    Report {
+        backend: history.backend.clone(),
+        scenario: history.scenario.clone(),
+        stats: CheckStats {
+            attempts: history.attempts.len(),
+            committed: committed.len(),
+            aborted: history.attempts.len() - committed.len(),
+            reads_checked,
+            vars_written: committed_writes_per_var.iter().filter(|&&c| c > 0).count(),
+        },
+        violations,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery checking (durability)
+// ---------------------------------------------------------------------------
+
+/// Upper 32 bits of a scenario value: the per-variable chain position. The
+/// scenario generator embeds a per-address sequence number in the upper bits
+/// (rule 2 of the module docs) — each RMW write bumps it by one — so the
+/// position of a value on its variable's version chain can be read straight
+/// off the value, and "the recovered cut on `var`" is simply the position of
+/// the recovered value.
+fn pos_of(value: u64) -> u64 {
+    value >> 32
+}
+
+/// Check that a recovered memory image equals a **committed prefix** of a
+/// recorded history.
+///
+/// `history.final_mem` holds the *recovered* image (the scenario overlays
+/// recovered addresses onto the initial state); `durable_writes` is the WAL's
+/// post-fsync ground truth, `(var, value)` per fsynced write. The image is a
+/// committed prefix iff, per committed transaction, the recovered cut
+/// includes all of its writes or none ([`Violation::TornRecovery`]); every
+/// included transaction's reads come from inside the cut
+/// ([`Violation::NonPrefixRecovery`] — reads-from closure; write-order
+/// closure is automatic because per-variable positions are totally ordered);
+/// nothing outside the initial state and the committed writes appears
+/// ([`Violation::GhostValue`]); and the cut is at or above every fsynced
+/// write ([`Violation::DurabilityLoss`]).
+///
+/// Anti-dependency (read-write) closure is deliberately **not** required: a
+/// transaction excluded from the cut whose only ordering against an included
+/// one is an anti-dependency is observationally identical to a transaction
+/// that never committed, so the recovered state still equals a legal
+/// committed prefix of *some* equivalent execution.
+pub fn check_recovery(history: &History, durable_writes: &[(usize, u64)]) -> Report {
+    let mut violations: Vec<Violation> = Vec::new();
+    let nvars = history.initial.len();
+    assert_eq!(
+        history.final_mem.len(),
+        nvars,
+        "recovered image and initial must cover the same variables"
+    );
+
+    // Digests, with a scratch sink: scenario-contract breaches (blind
+    // writes etc.) are check_history's job; this checker only judges the
+    // recovered image against the committed footprints.
+    let mut scratch = Vec::new();
+    let digests: Vec<Digest> = history
+        .attempts
+        .iter()
+        .enumerate()
+        .map(|(i, a)| digest_attempt(i, a, &mut scratch))
+        .collect();
+    let committed: Vec<usize> = (0..history.attempts.len())
+        .filter(|&i| history.attempts[i].outcome == Outcome::Committed)
+        .collect();
+
+    // Ghost-freedom: every recovered value must be explainable.
+    let mut produced: std::collections::HashSet<(usize, u64)> = std::collections::HashSet::new();
+    let mut committed_writes_per_var: Vec<usize> = vec![0; nvars];
+    for &a in &committed {
+        for &(var, _consumed, written) in &digests[a].writes {
+            produced.insert((var, written));
+            committed_writes_per_var[var] += 1;
+        }
+    }
+    for var in 0..nvars {
+        let value = history.final_mem[var];
+        if value != history.initial[var] && !produced.contains(&(var, value)) {
+            violations.push(Violation::GhostValue { var, value });
+        }
+    }
+
+    // The recovered cut per variable.
+    let cut = |var: usize| pos_of(history.final_mem[var]);
+
+    let mut reads_checked = 0usize;
+    for &a in &committed {
+        let digest = &digests[a];
+        if digest.writes.is_empty() {
+            // Read-only committed transactions have no recovered footprint;
+            // including or excluding them is unobservable.
+            continue;
+        }
+        let included: Vec<bool> = digest
+            .writes
+            .iter()
+            .map(|&(var, _, written)| pos_of(written) <= cut(var))
+            .collect();
+        let any_in = included.iter().any(|&b| b);
+        if any_in && !included.iter().all(|&b| b) {
+            let var_of = |want: bool| {
+                let at = included.iter().position(|&b| b == want).expect("mixed");
+                digest.writes[at].0
+            };
+            violations.push(Violation::TornRecovery {
+                attempt: a,
+                var_included: var_of(true),
+                var_lost: var_of(false),
+            });
+        }
+        if any_in {
+            // Reads-from closure: an included transaction's external reads
+            // must come from inside the cut (reads of the initial state
+            // impose nothing).
+            for &(var, value) in &digest.ext_reads {
+                if value == history.initial[var] {
+                    continue;
+                }
+                reads_checked += 1;
+                if pos_of(value) > cut(var) {
+                    violations.push(Violation::NonPrefixRecovery {
+                        attempt: a,
+                        var,
+                        value,
+                    });
+                }
+            }
+        }
+        if violations.len() >= MAX_VIOLATIONS {
+            break;
+        }
+    }
+
+    // Durability floor: the cut may not sit below any fsynced write.
+    for &(var, value) in durable_writes {
+        if pos_of(value) > cut(var) {
+            violations.push(Violation::DurabilityLoss {
+                var,
+                value,
+                recovered: history.final_mem[var],
+            });
         }
         if violations.len() >= MAX_VIOLATIONS {
             break;
@@ -1071,6 +1282,142 @@ mod tests {
             )],
         );
         let report = check_history(&h);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+    }
+
+    /// Scenario value encoding: chain position in the upper 32 bits.
+    fn at(pos: u64, payload: u64) -> u64 {
+        (pos << 32) | payload
+    }
+
+    /// T0 bumps var 0, T1 bumps var 1, T2 reads T1's var-1 value and bumps
+    /// var 0 again — a cross-variable reads-from edge for the closure check.
+    fn recovery_history(recovered: Vec<u64>) -> History {
+        history(
+            vec![1, 2],
+            recovered,
+            vec![
+                committed(0, vec![r(0, 1), w(0, at(1, 1))]),
+                committed(1, vec![r(1, 2), w(1, at(1, 2))]),
+                committed(0, vec![r(1, at(1, 2)), r(0, at(1, 1)), w(0, at(2, 1))]),
+                aborted(1, vec![r(0, at(1, 1)), w(0, at(2, 99))]),
+            ],
+        )
+    }
+
+    #[test]
+    fn full_recovery_is_a_committed_prefix() {
+        let h = recovery_history(vec![at(2, 1), at(1, 2)]);
+        let report = check_recovery(&h, &[(0, at(2, 1)), (1, at(1, 2))]);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn partial_recovery_that_is_a_prefix_is_clean() {
+        // Only T0 recovered; T1 and T2 lost entirely. Still a prefix, as
+        // long as nothing past the floor claims durability.
+        let h = recovery_history(vec![at(1, 1), 2]);
+        let report = check_recovery(&h, &[(0, at(1, 1))]);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn empty_recovery_with_empty_floor_is_clean() {
+        let h = recovery_history(vec![1, 2]);
+        let report = check_recovery(&h, &[]);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn ghost_value_is_caught() {
+        // Var 0 resurrects the *aborted* attempt's write.
+        let h = recovery_history(vec![at(2, 99), at(1, 2)]);
+        let report = check_recovery(&h, &[]);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::GhostValue { var: 0, .. })),
+            "expected a ghost value, got {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn torn_commit_across_variables_is_caught() {
+        // One transaction writes both vars; recovery keeps only var 0.
+        let h = history(
+            vec![1, 2],
+            vec![at(1, 1), 2],
+            vec![committed(
+                0,
+                vec![r(0, 1), r(1, 2), w(0, at(1, 1)), w(1, at(1, 2))],
+            )],
+        );
+        let report = check_recovery(&h, &[]);
+        assert!(
+            report.violations.iter().any(|v| matches!(
+                v,
+                Violation::TornRecovery {
+                    attempt: 0,
+                    var_included: 0,
+                    var_lost: 1
+                }
+            )),
+            "expected a torn recovery, got {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn non_prefix_recovery_is_caught() {
+        // T2 (which read T1's var-1 write) is recovered on var 0, but T1's
+        // var-1 write is not: the cut is not closed under reads-from.
+        let h = recovery_history(vec![at(2, 1), 2]);
+        let report = check_recovery(&h, &[]);
+        assert!(
+            report.violations.iter().any(|v| matches!(
+                v,
+                Violation::NonPrefixRecovery {
+                    attempt: 2,
+                    var: 1,
+                    ..
+                }
+            )),
+            "expected a non-prefix recovery, got {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn durability_loss_is_caught() {
+        // Recovery lost T2's fsynced var-0 write.
+        let h = recovery_history(vec![at(1, 1), at(1, 2)]);
+        let report = check_recovery(&h, &[(0, at(2, 1))]);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::DurabilityLoss { var: 0, .. })),
+            "expected a durability loss, got {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn anti_dependency_exclusion_is_not_flagged() {
+        // W2 read var 0's initial value and wrote var 1 (an anti-dependency
+        // against W1's var-0 write). Recovering W1 without W2 is fine: W2 is
+        // observationally a transaction that never committed.
+        let h = history(
+            vec![1, 2],
+            vec![at(1, 1), 2],
+            vec![
+                committed(0, vec![r(0, 1), w(0, at(1, 1))]),
+                committed(1, vec![r(0, 1), r(1, 2), w(1, at(1, 2))]),
+            ],
+        );
+        let report = check_recovery(&h, &[(0, at(1, 1))]);
         assert!(report.is_clean(), "violations: {:?}", report.violations);
     }
 

@@ -19,6 +19,8 @@
 
 pub mod checker;
 pub mod cli;
+#[cfg(feature = "crashpoint")]
+pub mod crash;
 pub mod driver;
 pub mod figures;
 pub mod measure;

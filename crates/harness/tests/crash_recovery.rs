@@ -1,0 +1,150 @@
+//! End-to-end crash-injection tests (feature `crashpoint`): run the recorded
+//! workload with the commit-path WAL, crash at every named site, recover,
+//! and require the recovered image to be a committed prefix of the recorded
+//! history — then deliberately break recovery and require the checker to
+//! catch each failure class. See TESTING.md for the reproduction recipe.
+
+use harness::crash::{
+    append_gap_frame, corrupt_last_record_value, execute, recover_and_check, run_sound,
+    temp_wal_dir, CrashSpec, Plan, RecoverOpts, Site,
+};
+use harness::Violation;
+
+/// Let a couple of flush rounds through before crashing at the pipeline
+/// sites that fire on every round; the one-shot sites fire on first hit.
+fn skip_for(site: Site) -> u32 {
+    match site {
+        Site::Append | Site::Fsync => 3,
+        Site::CheckpointWrite | Site::Rotate => 0,
+    }
+}
+
+#[test]
+fn clean_shutdown_recovers_everything() {
+    let dir = temp_wal_dir("clean");
+    let spec = CrashSpec::smoke(1);
+    let (run, verdict) = run_sound(&spec, &dir);
+    assert!(!run.finish.crashed && !run.finish.failed);
+    // Every committed update transaction was logged, flushed, and replayed.
+    let total = (spec.threads * spec.ops_per_thread) as u64;
+    assert_eq!(run.finish.durable_seq, total);
+    assert_eq!(verdict.recovered.durable_seq, total);
+    assert_eq!(verdict.recovered_mem, run.final_mem);
+    assert!(
+        verdict.recovered.checkpoint_rv > 0,
+        "mid-run checkpoint used"
+    );
+    assert!(verdict.is_clean(), "{:?}", verdict.recovery.violations);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_at_every_site_recovers_a_committed_prefix() {
+    for site in Site::ALL {
+        for seed in [1u64, 2] {
+            let dir = temp_wal_dir(&format!("site-{}-{seed}", site.name()));
+            let spec = CrashSpec::smoke(seed).with_plan(Plan::CrashAt {
+                site,
+                skip: skip_for(site),
+                torn_seed: seed.wrapping_mul(0x9E37_79B9) ^ site as u64,
+            });
+            let (run, verdict) = run_sound(&spec, &dir);
+            assert!(
+                verdict.is_clean(),
+                "site={} seed={seed}: {:?}",
+                site.name(),
+                verdict.recovery.violations
+            );
+            // The floor held: nothing fsynced fell out of the recovered cut.
+            assert!(
+                verdict.recovered.durable_seq >= run.finish.durable_seq,
+                "site={} seed={seed}: recovered {} < fsynced {}",
+                site.name(),
+                verdict.recovered.durable_seq,
+                run.finish.durable_seq
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+#[test]
+fn checksum_blind_recovery_resurrects_a_ghost() {
+    let dir = temp_wal_dir("no-validate");
+    let run = execute(&CrashSpec::smoke(3), &dir);
+    assert!(corrupt_last_record_value(&dir));
+
+    // Sound recovery truncates at the corrupt frame and stays a committed
+    // prefix. The floor is dropped: external damage to fsynced bytes
+    // legitimately violates durability, which is not the failure under test.
+    let sound = recover_and_check(&run, &dir, &RecoverOpts::default(), &[]);
+    assert!(sound.recovery.is_clean(), "{:?}", sound.recovery.violations);
+    assert!(sound.recovered.truncated_records > 0);
+
+    let opts = RecoverOpts {
+        validate_checksums: false,
+        ..RecoverOpts::default()
+    };
+    let broken = recover_and_check(&run, &dir, &opts, &[]);
+    assert!(
+        broken
+            .recovery
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::GhostValue { .. })),
+        "checker missed the resurrected corrupt value: {:?}",
+        broken.recovery.violations
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn gap_blind_replay_resurrects_an_unfsynced_suffix() {
+    let dir = temp_wal_dir("replay-gap");
+    let run = execute(&CrashSpec::smoke(4), &dir);
+    append_gap_frame(&dir, run.addrs[0] as u64, 3);
+    let floor = run.durable_floor();
+
+    // Sound recovery's contiguity walk stops at the gap; the fabricated
+    // frame is unreachable and the image stays a committed prefix.
+    let sound = recover_and_check(&run, &dir, &RecoverOpts::default(), &floor);
+    assert!(sound.is_clean(), "{:?}", sound.recovery.violations);
+
+    let opts = RecoverOpts {
+        stop_at_gap: false,
+        ..RecoverOpts::default()
+    };
+    let broken = recover_and_check(&run, &dir, &opts, &floor);
+    assert!(
+        broken
+            .recovery
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::GhostValue { .. })),
+        "checker missed the replayed gap frame: {:?}",
+        broken.recovery.violations
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn losing_a_synced_record_trips_the_durability_floor() {
+    let dir = temp_wal_dir("floor");
+    let run = execute(&CrashSpec::smoke(5), &dir);
+    assert!(corrupt_last_record_value(&dir));
+
+    // Sound recovery truncates the corrupted (but fsynced) record; holding
+    // recovery to the full post-fsync floor must now report the loss.
+    let floor = run.durable_floor();
+    let verdict = recover_and_check(&run, &dir, &RecoverOpts::default(), &floor);
+    assert!(
+        verdict
+            .recovery
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DurabilityLoss { .. })),
+        "checker missed the dropped fsynced record: {:?}",
+        verdict.recovery.violations
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -205,6 +205,14 @@ impl MultiverseTx {
         self.local_mode
     }
 
+    /// The read clock of the current attempt. A versioned read-only attempt
+    /// observes exactly the committed writes with `commit_ts <` this value
+    /// (TBD versions below it are spun out before acceptance), which is what
+    /// makes it the checkpoint cut for the WAL's snapshot writer.
+    pub fn snapshot_clock(&self) -> u64 {
+        self.rv
+    }
+
     // ------------------------------------------------------------------
     // Read paths
     // ------------------------------------------------------------------
@@ -527,6 +535,12 @@ impl MultiverseTx {
             }
         }
         let commit_clock = self.rt.clock.read();
+        // Log the write set while the stripe locks are still held: the WAL
+        // sequence number fetched inside is then ordered exactly as the lock
+        // hand-off serializes conflicting commits, so log replay order is a
+        // valid serialization even when deferred-clock commit timestamps tie.
+        #[cfg(feature = "wal")]
+        self.wal_log_commit(commit_clock);
         // Resolve the TBD versions before releasing any lock so versioned
         // readers can never observe a committed write without its version,
         // and queue each superseded head for clock-gated retirement
@@ -545,6 +559,34 @@ impl MultiverseTx {
         self.locked.release_all(&self.rt.locks, commit_clock);
         self.note_commit_heuristics();
         Ok(())
+    }
+
+    /// Hand this commit's write set to the WAL session, if one is active.
+    /// Must run between the commit-clock read and `release_all` (see the
+    /// call site in `try_commit`). With no active session this is a single
+    /// relaxed load.
+    #[cfg(feature = "wal")]
+    fn wal_log_commit(&self, commit_clock: u64) {
+        if !wal::is_active() || self.undo.is_empty() {
+            return;
+        }
+        // The undo log records every write call; collapse it to the write
+        // *set*. The first occurrence of each word wins the slot, and the
+        // logged value is the word's current (final, still-locked) value,
+        // so later writes to the same word are captured regardless.
+        let entries = self.undo.entries();
+        let mut writes: Vec<(u64, u64)> = Vec::with_capacity(entries.len());
+        for e in entries {
+            // Safety: the word stays alive under this attempt's EBR pin and
+            // is exclusively locked by this transaction until release_all.
+            let addr = unsafe { (*e.word).addr() } as u64;
+            if writes.iter().any(|&(a, _)| a == addr) {
+                continue;
+            }
+            let value = unsafe { (*e.word).tm_load() };
+            writes.push((addr, value));
+        }
+        wal::log_commit(&writes, commit_clock);
     }
 
     fn on_read_only_commit(&mut self) {

@@ -73,6 +73,11 @@ macro_rules! stat_counters {
 pub struct CachePaddedCounter(CachePadded<AtomicU64>);
 
 impl CachePaddedCounter {
+    /// A zeroed counter, usable in `static` initializers.
+    pub const fn new() -> Self {
+        Self(CachePadded::new(AtomicU64::new(0)))
+    }
+
     /// Increment by one (single writer; see the type docs).
     #[inline(always)]
     pub fn inc(&self) {
@@ -163,6 +168,16 @@ stat_counters! {
     /// Structure-node slots recycled into their size class after the EBR
     /// grace period.
     pool_class_recycled,
+    /// WAL records written to segment files by the group-commit thread.
+    wal_appends,
+    /// Successful batched fsyncs of WAL segment files.
+    wal_fsyncs,
+    /// Encoded WAL bytes written to segment files.
+    wal_bytes,
+    /// Snapshot checkpoints successfully written.
+    checkpoint_count,
+    /// Invalid WAL frames truncated or skipped during recovery.
+    recovery_truncated_records,
 }
 
 /// Process-wide counters of the size-classed structure-node arena.
@@ -210,6 +225,43 @@ pub fn struct_pool_counters() -> &'static StructPoolCounters {
     &STRUCT_POOL_COUNTERS
 }
 
+/// Process-wide counters of the WAL durability pipeline.
+///
+/// Like [`StructPoolCounters`], these live below every TM crate because the
+/// WAL session is process-wide state, not per-runtime. Each counter keeps
+/// the single-writer load+store discipline of [`CachePaddedCounter`]:
+/// `appends`/`fsyncs`/`bytes` are written only by the group-commit thread,
+/// `checkpoints` only by the checkpoint caller (sessions are serialized, so
+/// there is exactly one at a time), and `recovery_truncated` only by the
+/// recovery caller (which runs after the crashed session is torn down).
+#[derive(Debug, Default)]
+pub struct WalCounters {
+    /// Records written to segment files (group-commit thread).
+    pub appends: CachePaddedCounter,
+    /// Successful batched fsyncs of segment files (group-commit thread).
+    pub fsyncs: CachePaddedCounter,
+    /// Encoded bytes written to segment files (group-commit thread).
+    pub bytes: CachePaddedCounter,
+    /// Checkpoints successfully written (checkpoint caller).
+    pub checkpoints: CachePaddedCounter,
+    /// Invalid frames truncated or skipped during recovery (recovery caller).
+    pub recovery_truncated: CachePaddedCounter,
+}
+
+static WAL_COUNTERS: WalCounters = WalCounters {
+    appends: CachePaddedCounter::new(),
+    fsyncs: CachePaddedCounter::new(),
+    bytes: CachePaddedCounter::new(),
+    checkpoints: CachePaddedCounter::new(),
+    recovery_truncated: CachePaddedCounter::new(),
+};
+
+/// The process-wide WAL counters (written by the `wal` crate, folded into
+/// every [`StatsRegistry::snapshot`]).
+pub fn wal_counters() -> &'static WalCounters {
+    &WAL_COUNTERS
+}
+
 /// Registry of all per-thread statistics for one TM runtime instance.
 #[derive(Debug, Default)]
 pub struct StatsRegistry {
@@ -244,6 +296,12 @@ impl StatsRegistry {
         total.pool_class_retires += sp.retires.load(Ordering::Relaxed);
         total.pool_class_recycled += sp.recycled.load(Ordering::Relaxed);
         total.pool_class_allocs = total.pool_class_hits + total.pool_class_misses;
+        let wal = wal_counters();
+        total.wal_appends += wal.appends.get();
+        total.wal_fsyncs += wal.fsyncs.get();
+        total.wal_bytes += wal.bytes.get();
+        total.checkpoint_count += wal.checkpoints.get();
+        total.recovery_truncated_records += wal.recovery_truncated.get();
         total
     }
 
@@ -345,6 +403,27 @@ mod tests {
             after.pool_class_allocs,
             after.pool_class_hits + after.pool_class_misses,
             "allocs is derived as hits + misses"
+        );
+    }
+
+    #[test]
+    fn wal_counters_fold_into_every_snapshot() {
+        let reg = StatsRegistry::new();
+        let before = reg.snapshot();
+        let wal = wal_counters();
+        wal.appends.add(4);
+        wal.fsyncs.inc();
+        wal.bytes.add(256);
+        wal.checkpoints.inc();
+        wal.recovery_truncated.add(2);
+        let after = reg.snapshot();
+        assert_eq!(after.wal_appends - before.wal_appends, 4);
+        assert_eq!(after.wal_fsyncs - before.wal_fsyncs, 1);
+        assert_eq!(after.wal_bytes - before.wal_bytes, 256);
+        assert_eq!(after.checkpoint_count - before.checkpoint_count, 1);
+        assert_eq!(
+            after.recovery_truncated_records - before.recovery_truncated_records,
+            2
         );
     }
 

@@ -512,6 +512,14 @@ impl UndoLog {
     pub fn clear(&mut self) {
         self.entries.clear();
     }
+
+    /// The recorded writes, oldest first. A word written more than once
+    /// appears once per write; consumers wanting the write *set* must
+    /// deduplicate by address (the WAL commit tap does).
+    #[inline]
+    pub fn entries(&self) -> &[UndoEntry] {
+        self.entries.as_slice()
+    }
 }
 
 /// Value-based read set used by NOrec.

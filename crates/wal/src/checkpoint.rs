@@ -1,0 +1,93 @@
+//! Checkpoint image format.
+//!
+//! A checkpoint is the flat `(addr, value)` image a Mode-V snapshot reader
+//! observed at read clock `rv` — exactly the committed writes with
+//! `commit_ts < rv`, because the versioned read path spins out TBD versions
+//! below the read clock before accepting (see `multiverse::version`).
+//! Recovery loads the newest structurally valid checkpoint and replays the
+//! WAL suffix with `commit_ts >= rv` over it.
+//!
+//! ```text
+//! [magic: u64 LE] [rv: u64 LE] [count: u32 LE] [count x (addr: u64, value: u64)] [crc: u64 LE]
+//! ```
+//!
+//! `crc` is FNV-1a-64 over every preceding byte. An invalid or torn
+//! checkpoint is skipped in favor of the next older one; checkpoints are
+//! written to a `.tmp` path, fsynced, then renamed, so a crash mid-write
+//! leaves only a tmp file recovery ignores.
+
+use crate::frame::fnv1a;
+
+/// Identifies (and versions) the checkpoint format.
+pub const CKPT_MAGIC: u64 = 0x4d56_5f43_4b50_5431; // "MV_CKPT1"
+
+/// Serialize the image `entries` captured at read clock `rv`.
+pub fn encode_checkpoint(rv: u64, entries: &[(u64, u64)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 8 + 4 + 16 * entries.len() + 8);
+    out.extend_from_slice(&CKPT_MAGIC.to_le_bytes());
+    out.extend_from_slice(&rv.to_le_bytes());
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for &(addr, value) in entries {
+        out.extend_from_slice(&addr.to_le_bytes());
+        out.extend_from_slice(&value.to_le_bytes());
+    }
+    let crc = fnv1a(&[&out]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> Option<u64> {
+    Some(u64::from_le_bytes(bytes.get(at..at + 8)?.try_into().ok()?))
+}
+
+/// Decode a checkpoint file. `None` on any structural or checksum mismatch
+/// (total: never panics on arbitrary bytes).
+pub fn decode_checkpoint(bytes: &[u8]) -> Option<(u64, Vec<(u64, u64)>)> {
+    if read_u64(bytes, 0)? != CKPT_MAGIC {
+        return None;
+    }
+    let rv = read_u64(bytes, 8)?;
+    let count = u32::from_le_bytes(bytes.get(16..20)?.try_into().ok()?) as usize;
+    let body_end = 20usize.checked_add(count.checked_mul(16)?)?;
+    if bytes.len() != body_end + 8 {
+        return None;
+    }
+    if fnv1a(&[&bytes[..body_end]]) != read_u64(bytes, body_end)? {
+        return None;
+    }
+    let mut entries = Vec::with_capacity(count);
+    for i in 0..count {
+        let at = 20 + 16 * i;
+        entries.push((read_u64(bytes, at)?, read_u64(bytes, at + 8)?));
+    }
+    Some((rv, entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let entries = vec![(0x10u64, 7u64), (0x20, 8), (0x30, 9)];
+        let bytes = encode_checkpoint(42, &entries);
+        assert_eq!(decode_checkpoint(&bytes), Some((42, entries)));
+    }
+
+    #[test]
+    fn empty_image_roundtrips() {
+        let bytes = encode_checkpoint(1, &[]);
+        assert_eq!(decode_checkpoint(&bytes), Some((1, vec![])));
+    }
+
+    #[test]
+    fn any_flip_or_truncation_is_rejected() {
+        let bytes = encode_checkpoint(9, &[(8, 1), (16, 2)]);
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x08;
+            assert!(decode_checkpoint(&bad).is_none(), "flip at {i}");
+            assert!(decode_checkpoint(&bytes[..i]).is_none(), "cut at {i}");
+        }
+    }
+}

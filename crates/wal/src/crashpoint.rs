@@ -1,0 +1,153 @@
+//! Named fault-injection sites on the durability path.
+//!
+//! Mirrors the `record` feature's shape in `tm_api`: with the `crashpoint`
+//! feature off (the default), [`check`] is a constant `Continue` that the
+//! optimizer deletes, so production and benchmark builds carry no injection
+//! branches on the group-commit path. With the feature on, the crash harness
+//! arms a [`Plan`] naming one [`Site`]; the next matching [`check`] either
+//! simulates a crash (the log file is truncated to its synced length plus a
+//! deterministic torn prefix of the unsynced bytes) or surfaces a transient
+//! IO error into the retry loop.
+
+/// A named fault-injection site on the durability path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Site {
+    /// The group-commit thread writing an encoded batch to the segment file.
+    Append,
+    /// The group-commit thread syncing the segment file.
+    Fsync,
+    /// The checkpoint writer creating and syncing the checkpoint temp file.
+    CheckpointWrite,
+    /// The group-commit thread opening the next segment after a checkpoint.
+    Rotate,
+}
+
+impl Site {
+    /// Every site, in pipeline order — the sweep matrix iterates this.
+    pub const ALL: [Site; 4] = [
+        Site::Append,
+        Site::Fsync,
+        Site::CheckpointWrite,
+        Site::Rotate,
+    ];
+
+    /// Stable CLI / log name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Site::Append => "append",
+            Site::Fsync => "fsync",
+            Site::CheckpointWrite => "checkpoint-write",
+            Site::Rotate => "rotate",
+        }
+    }
+
+    /// Inverse of [`Site::name`].
+    pub fn parse(s: &str) -> Option<Site> {
+        Site::ALL.into_iter().find(|site| site.name() == s)
+    }
+}
+
+/// What an injection check tells the caller to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// No fault here — run the real operation.
+    Continue,
+    /// Fail this attempt with a transient IO error (feeds the retry loop).
+    IoError,
+    /// Simulate a crash: stop the durability pipeline and tear the unsynced
+    /// log tail with `torn_seed` choosing the surviving prefix length.
+    Crash {
+        /// Seed for the deterministic torn-prefix length.
+        torn_seed: u64,
+    },
+}
+
+/// One armed fault plan. Plans are one-shot per session: a `CrashAt` fires
+/// once and disarms; `IoErrors` decrements to zero and disarms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Plan {
+    /// Crash at the `skip`-th subsequent hit of `site` (0 = the next hit).
+    CrashAt {
+        /// Which site to crash at.
+        site: Site,
+        /// Hits of `site` to let through before crashing.
+        skip: u32,
+        /// Seed for the torn-tail prefix length.
+        torn_seed: u64,
+    },
+    /// Fail the next `count` hits of `site` with a transient IO error.
+    IoErrors {
+        /// Which site to fail at.
+        site: Site,
+        /// Number of consecutive injected failures.
+        count: u32,
+    },
+}
+
+/// Whether injection sites are compiled in.
+pub const ENABLED: bool = cfg!(feature = "crashpoint");
+
+#[cfg(feature = "crashpoint")]
+mod enabled {
+    use super::{Action, Plan, Site};
+    use std::sync::Mutex;
+
+    static PLAN: Mutex<Option<Plan>> = Mutex::new(None);
+
+    fn lock() -> std::sync::MutexGuard<'static, Option<Plan>> {
+        PLAN.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Arm `plan`, replacing any previous plan.
+    pub fn arm(plan: Plan) {
+        *lock() = Some(plan);
+    }
+
+    /// Disarm whatever plan is active.
+    pub fn disarm() {
+        *lock() = None;
+    }
+
+    /// Consult the armed plan at `site`.
+    pub fn check(site: Site) -> Action {
+        let mut slot = lock();
+        match *slot {
+            Some(Plan::CrashAt {
+                site: s,
+                ref mut skip,
+                torn_seed,
+            }) if s == site => {
+                if *skip > 0 {
+                    *skip -= 1;
+                    Action::Continue
+                } else {
+                    *slot = None;
+                    Action::Crash { torn_seed }
+                }
+            }
+            Some(Plan::IoErrors {
+                site: s,
+                ref mut count,
+            }) if s == site => {
+                if *count > 0 {
+                    *count -= 1;
+                    Action::IoError
+                } else {
+                    *slot = None;
+                    Action::Continue
+                }
+            }
+            _ => Action::Continue,
+        }
+    }
+}
+
+#[cfg(feature = "crashpoint")]
+pub use enabled::{arm, check, disarm};
+
+/// Feature off: every site is a constant fall-through.
+#[cfg(not(feature = "crashpoint"))]
+#[inline(always)]
+pub fn check(_site: Site) -> Action {
+    Action::Continue
+}

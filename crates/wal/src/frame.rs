@@ -1,0 +1,332 @@
+//! The WAL record codec: length-prefixed checksum frames.
+//!
+//! A log segment is a flat byte stream of frames:
+//!
+//! ```text
+//! [len: u32 LE] [check: u64 LE] [payload: len bytes]
+//! ```
+//!
+//! `check` is an FNV-1a-64 hash over the length prefix followed by the
+//! payload, so a flip in either the length field or any payload byte breaks
+//! the frame. FNV-1a's per-byte step `h' = (h ^ b) * PRIME` is a bijection of
+//! the state for a fixed byte *and* a bijection of the byte for a fixed
+//! state (the prime is odd), so **any single-byte change is guaranteed** —
+//! not merely probable — to change the final hash.
+//!
+//! Decoding is total: arbitrary bytes never panic. A frame that does not
+//! parse (short header, implausible length, short payload, or checksum
+//! mismatch) ends the stream by default — the torn-tail case, where the tail
+//! is *truncated at the last valid record* — and the decoder reports how it
+//! stopped so recovery can count truncation events. Two deliberately broken
+//! modes exist for the crash harness to prove the checker can see this bug
+//! class: accepting frames without checksum validation, and skipping a
+//! structurally complete but invalid frame to continue behind it.
+//!
+//! The payload of the only frame kind so far (a committed transaction's redo
+//! record) is:
+//!
+//! ```text
+//! [kind: u8 = 1] [seq: u64] [commit_ts: u64] [n: u32] [n x (addr: u64, value: u64)]
+//! ```
+//!
+//! `seq` is the global commit sequence number fetched while the committing
+//! transaction still holds its stripe locks (see `crate::session`), `addr`
+//! the raw `TxWord` address, `value` the committed value.
+
+/// Frame kind tag of a committed-transaction redo record.
+pub const KIND_TXN: u8 = 1;
+
+/// Bytes of the frame header (`len` + `check`).
+pub const FRAME_HEADER_BYTES: usize = 4 + 8;
+
+/// Upper bound on a frame payload. Anything larger in a length field is
+/// treated as corruption rather than attempted as an allocation.
+pub const MAX_PAYLOAD_BYTES: usize = 1 << 22;
+
+/// One committed transaction's redo record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Global commit sequence number (1-based, gap-free on disk).
+    pub seq: u64,
+    /// The commit timestamp (deferred-clock read) of the transaction.
+    pub commit_ts: u64,
+    /// `(addr, committed value)` per written word, first-write order,
+    /// deduplicated by address.
+    pub writes: Vec<(u64, u64)>,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// FNV-1a-64 over `parts`, in order. See the module docs for why this
+/// detects every single-byte change deterministically.
+pub(crate) fn fnv1a(parts: &[&[u8]]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for part in parts {
+        for &b in *part {
+            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+/// Append one frame holding `payload` to `out`.
+pub fn encode_frame(payload: &[u8], out: &mut Vec<u8>) {
+    assert!(payload.len() <= MAX_PAYLOAD_BYTES, "oversized WAL payload");
+    let len = (payload.len() as u32).to_le_bytes();
+    let check = fnv1a(&[&len, payload]);
+    out.extend_from_slice(&len);
+    out.extend_from_slice(&check.to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Append `record`, framed, to `out`. Returns the encoded byte count.
+pub fn encode_record(record: &Record, out: &mut Vec<u8>) -> usize {
+    let before = out.len();
+    let mut payload = Vec::with_capacity(1 + 8 + 8 + 4 + 16 * record.writes.len());
+    payload.push(KIND_TXN);
+    payload.extend_from_slice(&record.seq.to_le_bytes());
+    payload.extend_from_slice(&record.commit_ts.to_le_bytes());
+    payload.extend_from_slice(&(record.writes.len() as u32).to_le_bytes());
+    for &(addr, value) in &record.writes {
+        payload.extend_from_slice(&addr.to_le_bytes());
+        payload.extend_from_slice(&value.to_le_bytes());
+    }
+    encode_frame(&payload, out);
+    out.len() - before
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    Some(u32::from_le_bytes(bytes.get(at..at + 4)?.try_into().ok()?))
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> Option<u64> {
+    Some(u64::from_le_bytes(bytes.get(at..at + 8)?.try_into().ok()?))
+}
+
+/// Decode one record payload. `None` on any structural mismatch.
+pub fn decode_payload(payload: &[u8]) -> Option<Record> {
+    if *payload.first()? != KIND_TXN {
+        return None;
+    }
+    let seq = read_u64(payload, 1)?;
+    let commit_ts = read_u64(payload, 9)?;
+    let n = read_u32(payload, 17)? as usize;
+    if payload.len() != 21 + 16 * n {
+        return None;
+    }
+    let mut writes = Vec::with_capacity(n);
+    for i in 0..n {
+        let at = 21 + 16 * i;
+        writes.push((read_u64(payload, at)?, read_u64(payload, at + 8)?));
+    }
+    Some(Record {
+        seq,
+        commit_ts,
+        writes,
+    })
+}
+
+/// How [`decode_stream`] treats invalid frames.
+#[derive(Debug, Clone, Copy)]
+pub struct DecodeOpts {
+    /// Verify the checksum of every frame (the sound default). `false` is a
+    /// deliberately broken mode for the crash harness: structurally complete
+    /// frames are accepted even when their checksum mismatches.
+    pub validate_checksums: bool,
+    /// On a structurally complete frame that fails validation, skip it and
+    /// continue at the next frame boundary instead of stopping (deliberately
+    /// broken: resurrects data behind corruption). A structurally *torn*
+    /// frame (bytes missing) always ends the stream.
+    pub skip_invalid_frames: bool,
+}
+
+impl Default for DecodeOpts {
+    fn default() -> Self {
+        Self {
+            validate_checksums: true,
+            skip_invalid_frames: false,
+        }
+    }
+}
+
+/// Result of decoding a segment's byte stream.
+#[derive(Debug, Default)]
+pub struct StreamDecode {
+    /// The records of every accepted frame, in stream order.
+    pub records: Vec<Record>,
+    /// Bytes consumed by accepted frames up to the first stop/skip point.
+    pub valid_len: usize,
+    /// Frames rejected (checksum/structure) — 0 or 1 in the default
+    /// stop-at-first mode, possibly more with `skip_invalid_frames`.
+    pub invalid_frames: u64,
+    /// Trailing bytes were dropped (torn tail or stop-at-invalid).
+    pub truncated_tail: bool,
+}
+
+/// Decode a segment byte stream. Total: never panics on arbitrary input.
+pub fn decode_stream(bytes: &[u8], opts: &DecodeOpts) -> StreamDecode {
+    let mut out = StreamDecode::default();
+    let mut at = 0usize;
+    while at < bytes.len() {
+        // Header.
+        let Some(len) = read_u32(bytes, at) else {
+            out.truncated_tail = true;
+            out.invalid_frames += 1;
+            return out;
+        };
+        let len = len as usize;
+        let Some(check) = read_u64(bytes, at + 4) else {
+            out.truncated_tail = true;
+            out.invalid_frames += 1;
+            return out;
+        };
+        if len > MAX_PAYLOAD_BYTES {
+            // Implausible length: indistinguishable from garbage, and the
+            // "complete frame" it claims may extend past every real byte —
+            // always a stream-ending event.
+            out.truncated_tail = true;
+            out.invalid_frames += 1;
+            return out;
+        }
+        let body = at + FRAME_HEADER_BYTES;
+        let Some(payload) = bytes.get(body..body + len) else {
+            // Torn mid-frame: the bytes simply end.
+            out.truncated_tail = true;
+            out.invalid_frames += 1;
+            return out;
+        };
+        let next = body + len;
+        let checksum_ok =
+            !opts.validate_checksums || fnv1a(&[&(len as u32).to_le_bytes(), payload]) == check;
+        let record = if checksum_ok {
+            decode_payload(payload)
+        } else {
+            None
+        };
+        match record {
+            Some(r) => {
+                out.records.push(r);
+                at = next;
+                out.valid_len = at;
+            }
+            None => {
+                out.invalid_frames += 1;
+                if opts.skip_invalid_frames {
+                    at = next;
+                } else {
+                    out.truncated_tail = true;
+                    return out;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, ts: u64, writes: &[(u64, u64)]) -> Record {
+        Record {
+            seq,
+            commit_ts: ts,
+            writes: writes.to_vec(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_stream() {
+        let records = [
+            rec(1, 10, &[(0x1000, 7), (0x2000, 8)]),
+            rec(2, 10, &[]),
+            rec(3, 12, &[(0x3000, 9)]),
+        ];
+        let mut bytes = Vec::new();
+        for r in &records {
+            encode_record(r, &mut bytes);
+        }
+        let out = decode_stream(&bytes, &DecodeOpts::default());
+        assert_eq!(out.records, records);
+        assert_eq!(out.valid_len, bytes.len());
+        assert!(!out.truncated_tail);
+        assert_eq!(out.invalid_frames, 0);
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_last_valid_record() {
+        let mut bytes = Vec::new();
+        encode_record(&rec(1, 5, &[(8, 1)]), &mut bytes);
+        let first = bytes.len();
+        encode_record(&rec(2, 6, &[(16, 2)]), &mut bytes);
+        // A cut exactly on the frame boundary is a clean end-of-log.
+        let clean = decode_stream(&bytes[..first], &DecodeOpts::default());
+        assert_eq!(clean.records.len(), 1);
+        assert!(!clean.truncated_tail);
+        for cut in first + 1..bytes.len() {
+            let out = decode_stream(&bytes[..cut], &DecodeOpts::default());
+            assert_eq!(out.records.len(), 1, "cut at {cut}");
+            assert_eq!(out.valid_len, first);
+            assert!(out.truncated_tail);
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let mut bytes = Vec::new();
+        encode_record(&rec(3, 9, &[(0xabcd, 0x1234_5678)]), &mut bytes);
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            let out = decode_stream(&bad, &DecodeOpts::default());
+            assert!(
+                out.records.is_empty() && out.invalid_frames == 1,
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn skip_invalid_frames_resurrects_the_suffix() {
+        let mut bytes = Vec::new();
+        encode_record(&rec(1, 5, &[(8, 1)]), &mut bytes);
+        let first = bytes.len();
+        encode_record(&rec(2, 6, &[(16, 2)]), &mut bytes);
+        bytes[first + FRAME_HEADER_BYTES + 2] ^= 1; // corrupt record 2's payload
+        encode_record(&rec(3, 7, &[(24, 3)]), &mut bytes);
+
+        let strict = decode_stream(&bytes, &DecodeOpts::default());
+        assert_eq!(strict.records.len(), 1);
+        assert!(strict.truncated_tail);
+
+        let skipping = decode_stream(
+            &bytes,
+            &DecodeOpts {
+                validate_checksums: true,
+                skip_invalid_frames: true,
+            },
+        );
+        assert_eq!(
+            skipping.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+        assert_eq!(skipping.invalid_frames, 1);
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics() {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        };
+        for len in [0usize, 1, 7, 12, 13, 64, 500] {
+            let junk: Vec<u8> = (0..len).map(|_| next()).collect();
+            let out = decode_stream(&junk, &DecodeOpts::default());
+            assert!(out.records.is_empty() || out.valid_len <= len);
+        }
+    }
+}

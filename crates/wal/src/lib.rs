@@ -1,0 +1,30 @@
+//! Durability for the Multiverse commit path: a write-ahead log with
+//! group commit, Mode-V snapshot checkpoints, and deterministic recovery.
+//!
+//! The multiverse already pays for everything durability needs: commits are
+//! totally ordered (a per-commit sequence number fetched under the stripe
+//! locks refines the deferred-clock order into a serialization order), the
+//! undo log at commit time *is* a redo record, and a Mode-V snapshot reader
+//! observes an exact committed cut at its read clock while updaters run at
+//! full speed. This crate packages those into:
+//!
+//! - [`frame`] — the length-prefixed checksum record codec; a torn tail
+//!   degrades to truncation-at-last-valid-record, never a panic.
+//! - [`session`] — per-thread commit buffers ([`log_commit`]) and the
+//!   group-commit thread: contiguous-sequence hold-back, batched fsync,
+//!   bounded retry/backoff. The hot path never waits on IO.
+//! - [`checkpoint`] — the snapshot image format (write-tmp-fsync-rename).
+//! - [`recovery`] — newest valid checkpoint + WAL-suffix replay; the result
+//!   equals a committed prefix of the crashed run.
+//! - [`crashpoint`] — feature-gated named crash/IO-error injection sites,
+//!   driven by the harness's crash scenarios.
+
+pub mod checkpoint;
+pub mod crashpoint;
+pub mod frame;
+pub mod recovery;
+pub mod session;
+
+pub use frame::{DecodeOpts, Record};
+pub use recovery::{recover, RecoverOpts, Recovered};
+pub use session::{is_active, log_commit, start, WalConfig, WalFinish, WalHandle};
