@@ -2,8 +2,8 @@
 //! participant registry and the orphan garbage list.
 
 use crate::retired::Retired;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+use tm_api::sync::{AtomicU64, AtomicUsize, Mutex, Ordering};
 use tm_api::CachePadded;
 
 /// A participant slot: the pinned/unpinned state of one thread.

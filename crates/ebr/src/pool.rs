@@ -92,7 +92,7 @@
 use std::alloc::{alloc, handle_alloc_error, Layout};
 use std::cell::Cell;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use tm_api::sync::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use tm_api::CachePadded;
 
 /// Slot alignment: one slot per cache line.
@@ -301,6 +301,20 @@ impl NodePool {
         Layout::from_size_align(self.slot_bytes * slots, CACHE_LINE).expect("valid pool layout")
     }
 
+    /// One fresh slot straight from the system allocator, touching **no**
+    /// pool state — the deterministic-execution path (see the `sim` notes on
+    /// [`NodePool::push`]). The slot is never returned to the allocator.
+    #[cfg(feature = "sim")]
+    fn alloc_unpooled(&self) -> *mut u8 {
+        let layout = self.layout(1);
+        // Safety: layout has non-zero size.
+        let p = unsafe { alloc(layout) };
+        if p.is_null() {
+            handle_alloc_error(layout);
+        }
+        p
+    }
+
     /// Obtain one fresh slot from the system allocator (cold-path miss).
     fn grow_one(&self) -> *mut u8 {
         let layout = self.layout(1);
@@ -352,6 +366,20 @@ impl NodePool {
     /// (for EBR-retired nodes: the grace period must have elapsed — which is
     /// guaranteed when called from a retire destructor).
     pub unsafe fn push(&self, node: *mut u8) {
+        // Under a controlled execution the pool is bypassed entirely: free
+        // lists, registration tickets and the lazily resolved shard count
+        // are process-global state that persists *across* explored
+        // schedules, so recycling through them makes a replayed schedule
+        // take different hit/miss paths (different instrumented access
+        // sequences) than its original run. Every sim allocation is fresh
+        // and every free leaks — each schedule then starts from identical
+        // allocator-visible state, and debug poison stamped into retired
+        // nodes survives for the use-after-reclaim demos.
+        #[cfg(feature = "sim")]
+        if sim::active() {
+            let _ = node;
+            return;
+        }
         let shard = self.current_shard();
         // Safety: forwarded contract.
         unsafe { self.push_chain_to(shard, node, node) };
@@ -394,6 +422,11 @@ impl NodePool {
     /// correct but deliberately not for hot paths, which go through a
     /// [`PoolHandle`].
     pub fn alloc_cold(&self) -> *mut u8 {
+        // Deterministic-execution bypass; see [`Self::push`].
+        #[cfg(feature = "sim")]
+        if sim::active() {
+            return self.alloc_unpooled();
+        }
         let n = self.shard_count();
         let start = self.current_shard();
         for k in 0..n {
@@ -480,8 +513,16 @@ pub struct PoolHandle {
 impl PoolHandle {
     /// Create a handle with an empty local cache, registering a home shard.
     pub fn new(pool: &'static NodePool) -> Self {
+        // Under a controlled execution no home shard is registered — the
+        // round-robin ticket and the lazy shard-count resolution are
+        // cross-schedule state (see [`NodePool::push`]), and the bypassed
+        // alloc/free below never consult the shard index.
+        #[cfg(feature = "sim")]
+        let home = if sim::active() { 0 } else { pool.assign_home() };
+        #[cfg(not(feature = "sim"))]
+        let home = pool.assign_home();
         Self {
-            home: pool.assign_home(),
+            home,
             steal_cursor: 0,
             pool,
             cache: [ptr::null_mut(); LOCAL_CACHE],
@@ -505,6 +546,11 @@ impl PoolHandle {
     /// hit/miss/steal statistics).
     #[inline]
     pub fn alloc(&mut self) -> (*mut u8, SlotSource) {
+        // Deterministic-execution bypass; see [`NodePool::push`].
+        #[cfg(feature = "sim")]
+        if sim::active() {
+            return (self.pool.alloc_unpooled(), SlotSource::Miss);
+        }
         if self.len > 0 {
             self.len -= 1;
             return (self.cache[self.len], SlotSource::Hit);
@@ -560,6 +606,12 @@ impl PoolHandle {
     /// As for [`NodePool::push`].
     #[inline]
     pub unsafe fn free(&mut self, node: *mut u8) {
+        // Deterministic-execution bypass; see [`NodePool::push`].
+        #[cfg(feature = "sim")]
+        if sim::active() {
+            let _ = node;
+            return;
+        }
         if self.len == LOCAL_CACHE {
             // Safety: the spilled slots are exclusively owned cache entries.
             unsafe { self.spill() };

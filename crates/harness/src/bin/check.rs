@@ -127,6 +127,21 @@ fn main() {
                     if report.violations.len() > 8 {
                         println!("    ... {} more", report.violations.len() - 8);
                     }
+                    if dirty_runs == 1 {
+                        // One command line pinning the failing
+                        // configuration (backend, scenario, seed, sizing).
+                        // The OS interleaving is not controlled here — for
+                        // a deterministic replay of a specific schedule use
+                        // `harness explore` (feature `sim`).
+                        println!(
+                            "    repro: cargo run --release -p harness --features record \
+                             --bin check -- --backend {} --scenario {} --seed {} {}",
+                            tm.name(),
+                            scenario.name(),
+                            seed,
+                            if args.full { "--full" } else { "--smoke" }
+                        );
+                    }
                 }
             }
         }

@@ -1,0 +1,187 @@
+//! `harness explore` — exhaustive / sampled / replayed schedule exploration
+//! of the TM protocol (feature `sim`).
+//!
+//! ```text
+//! cargo run -p harness --features sim --bin explore -- \
+//!     --scenario all [--exhaustive | --sample N] [--seed S] \
+//!     [--preemptions K] [--broken traverse-le|supersede-gate] \
+//!     [--replay TOKEN] [--expect-violation] [--keep-going]
+//! ```
+//!
+//! * `--scenario`    comma list of scenario families or `all`.
+//! * `--exhaustive`  DPOR enumeration up to the preemption bound (default).
+//! * `--sample N`    N seeded random schedules instead.
+//! * `--seed S`      base seed for `--sample` (default 1).
+//! * `--preemptions` preemptive context switches per schedule (default 2).
+//! * `--broken`      enable a reintroduced-bug demo (hidden protocol switch).
+//! * `--replay`      re-execute one schedule from its token (one scenario).
+//! * `--expect-violation` invert the exit status: succeed iff a violation
+//!   was found (the broken demos assert detection this way in CI).
+//! * `--keep-going`  explore every schedule even after a violation.
+//!
+//! On the first violation the tool prints the schedule's replay token and a
+//! stable repro command line, and exits nonzero (unless
+//! `--expect-violation`).
+
+use harness::explore::{
+    repro_command, run_explore, BrokenDemo, ExploreReport, ExploreScenario, ExploreSpec, Strategy,
+};
+
+struct Args {
+    scenarios: Vec<ExploreScenario>,
+    strategy: Strategy,
+    preemptions: u32,
+    broken: Option<BrokenDemo>,
+    expect_violation: bool,
+    keep_going: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: explore [--scenario all|name,...] [--exhaustive | --sample N] \
+         [--seed S] [--preemptions K] [--broken traverse-le|supersede-gate] \
+         [--replay TOKEN] [--expect-violation] [--keep-going]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut scenarios = ExploreScenario::all();
+    let mut sample: Option<u64> = None;
+    let mut seed = 1u64;
+    let mut replay: Option<String> = None;
+    let mut args = Args {
+        scenarios: Vec::new(),
+        strategy: Strategy::Exhaustive,
+        preemptions: 2,
+        broken: None,
+        expect_violation: false,
+        keep_going: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scenario" | "--scenarios" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                if v != "all" {
+                    scenarios = v
+                        .split(',')
+                        .map(|s| {
+                            ExploreScenario::parse(s.trim()).unwrap_or_else(|| {
+                                eprintln!("unknown scenario '{s}'");
+                                usage()
+                            })
+                        })
+                        .collect();
+                }
+            }
+            "--exhaustive" => sample = None,
+            "--sample" => {
+                sample = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--preemptions" => {
+                args.preemptions = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--broken" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                args.broken = Some(BrokenDemo::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown broken demo '{v}'");
+                    usage()
+                }));
+            }
+            "--replay" => {
+                replay = Some(it.next().unwrap_or_else(|| usage()));
+            }
+            "--expect-violation" => args.expect_violation = true,
+            "--keep-going" => args.keep_going = true,
+            _ => usage(),
+        }
+    }
+    if let Some(token) = replay {
+        if scenarios.len() != 1 {
+            eprintln!("--replay needs exactly one --scenario");
+            usage();
+        }
+        args.strategy = Strategy::Replay { token };
+    } else if let Some(schedules) = sample {
+        args.strategy = Strategy::Sample { seed, schedules };
+    }
+    args.scenarios = scenarios;
+    args
+}
+
+fn print_report(spec: &ExploreSpec, report: &ExploreReport) {
+    println!(
+        "explore {:<12} broken={:<14} schedules={:<7} clean={:<7} violating={:<4} complete={} max_nodes={} races={}",
+        report.scenario,
+        report.broken.unwrap_or("-"),
+        report.stats.schedules,
+        report.clean_schedules,
+        report.violating_schedules,
+        report.stats.complete,
+        report.stats.max_nodes,
+        report.stats.race_requests,
+    );
+    if let Some(v) = &report.first_violation {
+        println!(
+            "  first violation: schedule {} token {} history-digest {:#018x}",
+            v.schedule_index, v.token, v.history_digest
+        );
+        for line in v.details.iter().take(8) {
+            println!("    {line}");
+        }
+        if v.details.len() > 8 {
+            println!("    ... {} more", v.details.len() - 8);
+        }
+        println!("  repro: {}", repro_command(spec, &v.token));
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut violating = 0usize;
+    let mut total = 0usize;
+    for &scenario in &args.scenarios {
+        let spec = ExploreSpec {
+            scenario,
+            strategy: args.strategy.clone(),
+            preemption_bound: args.preemptions,
+            broken: args.broken,
+            stop_on_violation: !args.keep_going,
+        };
+        let report = run_explore(&spec);
+        print_report(&spec, &report);
+        total += 1;
+        if !report.is_clean() {
+            violating += 1;
+        }
+    }
+    if args.expect_violation {
+        if violating == total {
+            println!("{violating}/{total} explorations flagged the expected violation");
+        } else {
+            eprintln!(
+                "expected every exploration to find a violation; only {violating}/{total} did"
+            );
+            std::process::exit(1);
+        }
+    } else if violating > 0 {
+        eprintln!("{violating}/{total} explorations found schedule violations");
+        std::process::exit(1);
+    } else {
+        println!("{total} explorations clean: every explored schedule passed the checker");
+    }
+}

@@ -1,0 +1,624 @@
+//! # explore — exhaustive, replayable schedule exploration of the TM
+//! protocol (feature `sim`).
+//!
+//! This module connects three layers:
+//!
+//! 1. the `sim` crate's controlled scheduler (DPOR enumeration, seeded
+//!    sampling, token replay),
+//! 2. the instrumented `tm_api::sync` facade that Multiverse, the EBR layer
+//!    and the TM metadata structures are built on when the `sim` feature is
+//!    on, and
+//! 3. the PR 3 history checker ([`crate::checker`]): every explored
+//!    schedule records its transaction history and is validated for opacity
+//!    and serializability.
+//!
+//! Each *exploration scenario* is a small, fixed 2–3-thread program over a
+//! fresh Multiverse runtime with the background thread disabled
+//! (`bg_thread: false`) — background work runs as explicit
+//! [`MultiverseRuntime::bg_step`] calls from a simulated thread, so mode
+//! transitions, unversioning and EBR advancement are ordinary reorderable
+//! steps of the schedule space. A violation in any schedule reports the
+//! schedule's replay token; `harness explore --replay <token>` re-executes
+//! exactly that interleaving.
+//!
+//! ## Scenario families
+//!
+//! | name          | protocol surface                                        |
+//! |---------------|---------------------------------------------------------|
+//! | `traverse`    | versioned readers traversing version lists against a    |
+//! |               | concurrently committing updater (the strict `<`         |
+//! |               | read-clock acceptance rule)                             |
+//! | `supersede`   | clock-gated retirement of superseded version nodes,     |
+//! |               | EBR grace periods, arena recycling                      |
+//! | `mode-switch` | the announce-and-confirm handshake in `begin()` against |
+//! |               | the mode machine driven via `bg_step`                   |
+//! | `commit`      | unversioned encounter-time locking, validation, undo    |
+//! |               | and the deferred clock under write-write conflict       |
+//!
+//! ## Broken-mode demos
+//!
+//! [`BrokenDemo`] re-enables two historical bugs behind hidden switches
+//! (`multiverse::broken`): the `<=` traverse acceptance and the disabled
+//! supersede clock gate. Exhaustive 2-thread exploration must flag each —
+//! deterministically, in every run — which is asserted by the
+//! `explore_scenarios` test and CI. The supersede demo's teeth come from
+//! the arena's poisoned recycled timestamps, so it must run in a build with
+//! debug assertions (the default for `cargo test` / `cargo run`).
+
+use crate::checker::{self, History, Report};
+use multiverse::{ForcedMode, MultiverseConfig, MultiverseRuntime};
+use std::ops::ControlFlow;
+use std::sync::{Arc, Mutex, MutexGuard};
+use tm_api::abort::TxResult;
+use tm_api::record::ThreadLog;
+use tm_api::{TVar, TmHandle, TmRuntime, Transaction, TxKind};
+
+pub use sim::{ExploreConfig, ExploreStats, Strategy};
+
+// ---------------------------------------------------------------------------
+// Specs
+// ---------------------------------------------------------------------------
+
+/// An exploration scenario family (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExploreScenario {
+    /// Versioned read path vs a committing updater.
+    Traverse,
+    /// Supersede-time retirement, EBR grace, arena recycling.
+    Supersede,
+    /// Mode machine vs the begin() announce-and-confirm handshake.
+    ModeSwitch,
+    /// Unversioned commit path under write-write conflict.
+    Commit,
+}
+
+impl ExploreScenario {
+    /// Every scenario, in documentation order.
+    pub fn all() -> Vec<ExploreScenario> {
+        vec![
+            ExploreScenario::Traverse,
+            ExploreScenario::Supersede,
+            ExploreScenario::ModeSwitch,
+            ExploreScenario::Commit,
+        ]
+    }
+
+    /// Stable CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExploreScenario::Traverse => "traverse",
+            ExploreScenario::Supersede => "supersede",
+            ExploreScenario::ModeSwitch => "mode-switch",
+            ExploreScenario::Commit => "commit",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<ExploreScenario> {
+        ExploreScenario::all().into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// A reintroduced historical bug, enabled for one exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BrokenDemo {
+    /// PR 1: accept versions stamped exactly at the read clock (`<=`).
+    TraverseLe,
+    /// PR 2: retire superseded nodes without waiting for the clock gate.
+    SupersedeGate,
+}
+
+impl BrokenDemo {
+    /// Stable CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BrokenDemo::TraverseLe => "traverse-le",
+            BrokenDemo::SupersedeGate => "supersede-gate",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<BrokenDemo> {
+        match s {
+            "traverse-le" => Some(BrokenDemo::TraverseLe),
+            "supersede-gate" => Some(BrokenDemo::SupersedeGate),
+            _ => None,
+        }
+    }
+
+    /// The scenario this demo's bug is reachable from.
+    pub fn scenario(self) -> ExploreScenario {
+        match self {
+            BrokenDemo::TraverseLe => ExploreScenario::Traverse,
+            BrokenDemo::SupersedeGate => ExploreScenario::Supersede,
+        }
+    }
+}
+
+/// One exploration request.
+#[derive(Debug, Clone)]
+pub struct ExploreSpec {
+    /// The scenario to explore.
+    pub scenario: ExploreScenario,
+    /// Exhaustive DFS, seeded sampling, or single-token replay.
+    pub strategy: Strategy,
+    /// Maximum preemptive context switches per schedule.
+    pub preemption_bound: u32,
+    /// Reintroduced bug to enable for this exploration.
+    pub broken: Option<BrokenDemo>,
+    /// Stop at the first violating schedule (the CLI default).
+    pub stop_on_violation: bool,
+}
+
+impl ExploreSpec {
+    /// Exhaustive exploration of a scenario with the given preemption bound.
+    pub fn exhaustive(scenario: ExploreScenario, preemption_bound: u32) -> Self {
+        Self {
+            scenario,
+            strategy: Strategy::Exhaustive,
+            preemption_bound,
+            broken: None,
+            stop_on_violation: true,
+        }
+    }
+}
+
+/// The first violating schedule of an exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreViolation {
+    /// 0-based index in exploration order.
+    pub schedule_index: u64,
+    /// Token that replays the schedule.
+    pub token: String,
+    /// Canonical digest of the schedule's recorded history (replaying the
+    /// token must reproduce it).
+    pub history_digest: u64,
+    /// Human-readable violation lines (checker violations, or the panic /
+    /// livelock that aborted the schedule).
+    pub details: Vec<String>,
+}
+
+/// Aggregate result of one exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Broken demo enabled, if any.
+    pub broken: Option<&'static str>,
+    /// Scheduler statistics (schedule count, completeness, races).
+    pub stats: ExploreStats,
+    /// Schedules whose history passed the checker.
+    pub clean_schedules: u64,
+    /// Schedules with at least one violation (checker or abort).
+    pub violating_schedules: u64,
+    /// The first violation, with its replay token.
+    pub first_violation: Option<ExploreViolation>,
+}
+
+impl ExploreReport {
+    /// `true` if no explored schedule violated anything.
+    pub fn is_clean(&self) -> bool {
+        self.violating_schedules == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Canonical histories
+// ---------------------------------------------------------------------------
+
+/// Canonical digest of a recorded history: FNV-1a over every attempt's
+/// thread-relative identity, operations and outcome, plus the initial and
+/// final memory. Two runs of the same schedule must produce equal digests —
+/// this is what "a violation replays from its token to the same history"
+/// means operationally.
+pub fn history_digest(h: &History) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1000_0000_01b3;
+    let mut d = OFFSET;
+    let mut fold = |x: u64| {
+        d ^= x;
+        d = d.wrapping_mul(PRIME);
+    };
+    for v in h.initial.iter().chain(h.final_mem.iter()) {
+        fold(*v);
+    }
+    for a in &h.attempts {
+        fold(a.thread);
+        fold(match a.outcome {
+            checker::Outcome::Committed => 1,
+            checker::Outcome::Aborted => 2,
+        });
+        for op in &a.ops {
+            match *op {
+                checker::Op::Read { var, value } => {
+                    fold(3);
+                    fold(var as u64);
+                    fold(value);
+                }
+                checker::Op::Write { var, value } => {
+                    fold(4);
+                    fold(var as u64);
+                    fold(value);
+                }
+            }
+        }
+    }
+    d
+}
+
+/// Canonicalize raw thread logs: group by recording-thread label, order
+/// groups by label (labels are handed out in registration order, which the
+/// scheduler makes deterministic), and renumber them densely so histories
+/// compare equal across processes.
+fn canonicalize_logs(mut logs: Vec<ThreadLog>) -> Vec<ThreadLog> {
+    logs.sort_by_key(|l| l.thread);
+    let mut out: Vec<ThreadLog> = Vec::new();
+    for log in logs {
+        match out.last_mut() {
+            Some(last) if last.thread == log.thread => last.events.extend(log.events),
+            _ => out.push(log),
+        }
+    }
+    for (i, log) in out.iter_mut().enumerate() {
+        log.thread = i as u64;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Scenario models
+// ---------------------------------------------------------------------------
+
+/// Base configuration for exploration runtimes: no background thread (its
+/// work runs via `bg_step`), and the unversioning heuristic disabled (the
+/// sample window never fills) so `bg_step` stays cheap and scenario-local.
+fn sim_config() -> MultiverseConfig {
+    MultiverseConfig {
+        bg_thread: false,
+        l_delta_samples: 1 << 20,
+        min_unversion_threshold: u64::MAX,
+        ..MultiverseConfig::small()
+    }
+}
+
+/// RMW a variable under the checker's discipline: read, then write a value
+/// with a bumped sequence number and an incremented payload.
+fn rmw<T: Transaction>(tx: &mut T, var: &TVar<u64>) -> TxResult<()> {
+    let v = tx.read_var(var)?;
+    tx.write_var(
+        var,
+        crate::scenario::bump(v, crate::scenario::payload(v) + 1),
+    )
+}
+
+/// Read every variable in one read-only transaction (pre-versions the
+/// addresses when the handle's attempt runs on the versioned path).
+fn read_all<T: Transaction>(tx: &mut T, vars: &[TVar<u64>]) -> TxResult<()> {
+    for v in vars {
+        tx.read_var(v)?;
+    }
+    Ok(())
+}
+
+type ModelParts = (Arc<MultiverseRuntime>, Arc<Vec<TVar<u64>>>);
+
+/// `traverse`: a versioned reader (k1 = 0, forced Mode Q) walks the version
+/// lists of two variables while an updater commits a write to both in one
+/// transaction. With the strict `<` rule every interleaving yields a
+/// consistent snapshot; the `traverse-le` demo makes the torn old/new
+/// mixture reachable.
+fn model_traverse() -> ModelParts {
+    let cfg = MultiverseConfig {
+        forced_mode: Some(ForcedMode::ModeQ),
+        k1_versioned_after: 0,
+        ..sim_config()
+    };
+    let rt = MultiverseRuntime::start(cfg);
+    let vars = Arc::new(vec![TVar::new(0u64), TVar::new(0u64)]);
+    {
+        // Pre-version both addresses from the main thread (deterministic
+        // prefix: no other thread is running yet).
+        let mut h = rt.register();
+        let vs = Arc::clone(&vars);
+        h.txn(TxKind::ReadOnly, move |tx| read_all(tx, &vs));
+    }
+    let (rt_w, vars_w) = (Arc::clone(&rt), Arc::clone(&vars));
+    let w = sim::thread::spawn(move || {
+        let mut h = rt_w.register();
+        let _ = h.txn_budget(TxKind::ReadWrite, 6, |tx| {
+            rmw(tx, &vars_w[0])?;
+            rmw(tx, &vars_w[1])
+        });
+    });
+    let (rt_r, vars_r) = (Arc::clone(&rt), Arc::clone(&vars));
+    let r = sim::thread::spawn(move || {
+        let mut h = rt_r.register();
+        let _ = h.txn_budget(TxKind::ReadOnly, 6, |tx| read_all(tx, &vars_r));
+    });
+    w.join().unwrap();
+    r.join().unwrap();
+    (rt, vars)
+}
+
+/// `supersede`: an updater supersedes a versioned variable twice, drops its
+/// handle (orphaning its retirement bags) and drives `bg_step` so EBR can
+/// advance and reclaim; a versioned reader traverses concurrently. With the
+/// clock gate intact the superseded nodes stay queued (the clock never
+/// advances past their commit stamp) and every schedule is clean; the
+/// `supersede-gate` demo retires them immediately, so schedules where the
+/// reader starts after reclamation walk into a recycled (poisoned) node.
+fn model_supersede() -> ModelParts {
+    let cfg = MultiverseConfig {
+        forced_mode: Some(ForcedMode::ModeQ),
+        k1_versioned_after: 0,
+        ..sim_config()
+    };
+    let rt = MultiverseRuntime::start(cfg);
+    let vars = Arc::new(vec![TVar::new(0u64)]);
+    {
+        let mut h = rt.register();
+        let vs = Arc::clone(&vars);
+        h.txn(TxKind::ReadOnly, move |tx| read_all(tx, &vs));
+    }
+    let (rt_w, vars_w) = (Arc::clone(&rt), Arc::clone(&vars));
+    let w = sim::thread::spawn(move || {
+        {
+            let mut h = rt_w.register();
+            let _ = h.txn_budget(TxKind::ReadWrite, 6, |tx| rmw(tx, &vars_w[0]));
+            let _ = h.txn_budget(TxKind::ReadWrite, 6, |tx| rmw(tx, &vars_w[0]));
+            // Handle drop orphans the thread's retirement bags.
+        }
+        let mut ebr = rt_w.bg_ebr_handle();
+        let mut samples = Vec::new();
+        for _ in 0..4 {
+            rt_w.bg_step(&mut ebr, &mut samples);
+        }
+    });
+    let (rt_r, vars_r) = (Arc::clone(&rt), Arc::clone(&vars));
+    let r = sim::thread::spawn(move || {
+        let mut h = rt_r.register();
+        let _ = h.txn_budget(TxKind::ReadOnly, 6, |tx| read_all(tx, &vars_r));
+    });
+    w.join().unwrap();
+    r.join().unwrap();
+    (rt, vars)
+}
+
+/// `mode-switch`: full dynamic modes. An updater commits while a versioned
+/// reader runs and a `bg_step` drives the mode machine between the reader's
+/// transactions — exploring the begin() announce-and-confirm handshake
+/// against mode-counter advances.
+fn model_mode_switch() -> ModelParts {
+    let cfg = MultiverseConfig {
+        forced_mode: None,
+        k1_versioned_after: 0,
+        k2_mode_u_after: 1,
+        k3_versioned_mode_u_after: 1,
+        s_small_txns: 1,
+        ..sim_config()
+    };
+    let rt = MultiverseRuntime::start(cfg);
+    let vars = Arc::new(vec![TVar::new(0u64), TVar::new(0u64)]);
+    let (rt_w, vars_w) = (Arc::clone(&rt), Arc::clone(&vars));
+    let w = sim::thread::spawn(move || {
+        let mut h = rt_w.register();
+        let _ = h.txn_budget(TxKind::ReadWrite, 6, |tx| {
+            rmw(tx, &vars_w[0])?;
+            rmw(tx, &vars_w[1])
+        });
+        let _ = h.txn_budget(TxKind::ReadWrite, 6, |tx| rmw(tx, &vars_w[0]));
+    });
+    let (rt_r, vars_r) = (Arc::clone(&rt), Arc::clone(&vars));
+    let r = sim::thread::spawn(move || {
+        {
+            let mut h = rt_r.register();
+            let _ = h.txn_budget(TxKind::ReadOnly, 6, |tx| read_all(tx, &vars_r));
+        }
+        let mut ebr = rt_r.bg_ebr_handle();
+        let mut samples = Vec::new();
+        rt_r.bg_step(&mut ebr, &mut samples);
+        {
+            let mut h = rt_r.register();
+            let _ = h.txn_budget(TxKind::ReadOnly, 6, |tx| read_all(tx, &vars_r));
+        }
+    });
+    w.join().unwrap();
+    r.join().unwrap();
+    (rt, vars)
+}
+
+/// `commit`: two unversioned updaters RMW the same two variables (same
+/// acquisition order — encounter-time locking aborts on conflict rather
+/// than blocking). Exercises stripe locks, validation, undo and the
+/// deferred clock's abort-time increment.
+fn model_commit() -> ModelParts {
+    let cfg = MultiverseConfig {
+        forced_mode: Some(ForcedMode::ModeQ),
+        k1_versioned_after: 100,
+        ..sim_config()
+    };
+    let rt = MultiverseRuntime::start(cfg);
+    let vars = Arc::new(vec![TVar::new(0u64), TVar::new(0u64)]);
+    let spawn_updater = |order: [usize; 2]| {
+        let (rt_t, vars_t) = (Arc::clone(&rt), Arc::clone(&vars));
+        sim::thread::spawn(move || {
+            let mut h = rt_t.register();
+            let _ = h.txn_budget(TxKind::ReadWrite, 8, |tx| {
+                rmw(tx, &vars_t[order[0]])?;
+                rmw(tx, &vars_t[order[1]])
+            });
+        })
+    };
+    let a = spawn_updater([0, 1]);
+    let b = spawn_updater([0, 1]);
+    a.join().unwrap();
+    b.join().unwrap();
+    (rt, vars)
+}
+
+/// Run one scenario to completion inside a controlled execution and return
+/// its canonical recorded history.
+fn run_model(scen: ExploreScenario) -> History {
+    let guard = tm_api::record::start();
+    let (rt, vars) = match scen {
+        ExploreScenario::Traverse => model_traverse(),
+        ExploreScenario::Supersede => model_supersede(),
+        ExploreScenario::ModeSwitch => model_mode_switch(),
+        ExploreScenario::Commit => model_commit(),
+    };
+    tm_api::record::flush_thread();
+    let logs = canonicalize_logs(guard.finish());
+    let final_mem: Vec<u64> = vars.iter().map(|v| v.load_direct()).collect();
+    let addrs: Vec<usize> = vars.iter().map(|v| v.word().addr()).collect();
+    let initial = vec![0u64; vars.len()];
+    rt.shutdown();
+    checker::from_record::history_from_logs(
+        "multiverse",
+        scen.name(),
+        logs,
+        &addrs,
+        initial,
+        final_mem,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// The exploration driver
+// ---------------------------------------------------------------------------
+
+/// Explorations are process-exclusive: the broken-demo switches are global
+/// and the recording session is process-wide, so concurrent explorations
+/// (parallel tests) must serialize.
+static EXPLORE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Clears the broken-demo switches on scope exit, panics included.
+struct BrokenGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl BrokenGuard {
+    fn set(broken: Option<BrokenDemo>) -> Self {
+        let lock = EXPLORE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        multiverse::broken::set_traverse_le(broken == Some(BrokenDemo::TraverseLe));
+        multiverse::broken::set_supersede_no_gate(broken == Some(BrokenDemo::SupersedeGate));
+        BrokenGuard { _lock: lock }
+    }
+}
+
+impl Drop for BrokenGuard {
+    fn drop(&mut self) {
+        multiverse::broken::set_traverse_le(false);
+        multiverse::broken::set_supersede_no_gate(false);
+    }
+}
+
+/// Format a checker report's violations for the exploration output.
+fn violation_lines(report: &Report) -> Vec<String> {
+    report.violations.iter().map(|v| v.to_string()).collect()
+}
+
+/// Run one exploration: every explored schedule's history goes through
+/// [`checker::check_history`]; a schedule that aborts (panic, livelock,
+/// deadlock, stale token) is a violation too.
+/// Restores the default panic hook on scope exit.
+struct PanicHookGuard;
+
+impl Drop for PanicHookGuard {
+    fn drop(&mut self) {
+        let _ = std::panic::take_hook();
+    }
+}
+
+/// Silence panic output from simulated threads for the guard's lifetime.
+///
+/// Model panics are an *expected* outcome on broken-demo schedules (the
+/// debug poison assertions are the detection mechanism), and a per-schedule
+/// backtrace for each would drown the report — which still carries the
+/// message through `Abort::Panic`. Panics on non-sim threads (the explorer
+/// itself, the test harness) keep the default output.
+fn silence_sim_panics() -> PanicHookGuard {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let on_sim_thread = std::thread::current()
+            .name()
+            .is_some_and(|n| n.starts_with("sim-"));
+        if !on_sim_thread {
+            prev(info);
+        }
+    }));
+    PanicHookGuard
+}
+
+pub fn run_explore(spec: &ExploreSpec) -> ExploreReport {
+    let _guard = BrokenGuard::set(spec.broken);
+    let _hook = silence_sim_panics();
+    let cfg = ExploreConfig {
+        preemption_bound: spec.preemption_bound,
+        ..ExploreConfig::default()
+    };
+    let scen = spec.scenario;
+    let stop = spec.stop_on_violation;
+    let mut clean = 0u64;
+    let mut violating = 0u64;
+    let mut first: Option<ExploreViolation> = None;
+    let stats = sim::explore(
+        &cfg,
+        spec.strategy.clone(),
+        move || run_model(scen),
+        |outcome| {
+            let (details, digest) = match &outcome.result {
+                Ok(history) => {
+                    let report = checker::check_history(history);
+                    if report.is_clean() {
+                        (Vec::new(), history_digest(history))
+                    } else {
+                        (violation_lines(&report), history_digest(history))
+                    }
+                }
+                Err(abort) => (vec![format!("schedule aborted: {abort:?}")], 0),
+            };
+            if details.is_empty() {
+                clean += 1;
+                ControlFlow::Continue(())
+            } else {
+                violating += 1;
+                if first.is_none() {
+                    first = Some(ExploreViolation {
+                        schedule_index: outcome.index,
+                        token: outcome.token.clone(),
+                        history_digest: digest,
+                        details,
+                    });
+                }
+                if stop {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            }
+        },
+    );
+    ExploreReport {
+        scenario: scen.name(),
+        broken: spec.broken.map(BrokenDemo::name),
+        stats,
+        clean_schedules: clean,
+        violating_schedules: violating,
+        first_violation: first,
+    }
+}
+
+/// The stable command line that reproduces a violation found by
+/// [`run_explore`] (satellite of the exploration harness: every violation
+/// prints one of these and the run exits nonzero).
+pub fn repro_command(spec: &ExploreSpec, token: &str) -> String {
+    let mut cmd = format!(
+        "cargo run -p harness --features sim --bin explore -- --scenario {}",
+        spec.scenario.name()
+    );
+    if let Some(b) = spec.broken {
+        cmd.push_str(&format!(" --broken {}", b.name()));
+    }
+    cmd.push_str(&format!(" --replay {token}"));
+    cmd
+}

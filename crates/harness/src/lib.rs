@@ -22,6 +22,8 @@ pub mod cli;
 #[cfg(feature = "crashpoint")]
 pub mod crash;
 pub mod driver;
+#[cfg(feature = "sim")]
+pub mod explore;
 pub mod figures;
 pub mod measure;
 pub mod registry;

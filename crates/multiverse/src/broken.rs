@@ -1,0 +1,50 @@
+//! Hidden demo switches that reintroduce two historical protocol bugs.
+//!
+//! These exist so the exploration harness (`harness explore --broken ...`)
+//! can prove the schedule search plus the history checker catch real,
+//! already-fixed bugs *deterministically* — every exhaustively explored
+//! 2-thread schedule set must flag them, with no seed luck involved.
+//!
+//! The switches are process-global plain `std` atomics on purpose: they are
+//! harness configuration, not protocol state, and must not generate yield
+//! points or show up in the explored schedule space.
+//!
+//! * [`set_traverse_le`] — re-flips the version-list traversal acceptance to
+//!   `commit_ts <= read_clock` (the PR 1 bug). A reader whose read clock
+//!   equals an in-flight writer's commit timestamp can then observe the
+//!   writer's value before the writer is durably ordered, producing a
+//!   non-linearizable history.
+//! * [`set_supersede_no_gate`] — disables the clock gate in
+//!   `flush_superseded` (the PR 2 bug), retiring superseded nodes whose
+//!   commit timestamp is still at the current clock. A late reader with the
+//!   same read clock walks past the reclaimed node into poisoned memory.
+//!
+//! Only compiled with the `sim` feature; release builds carry no trace of
+//! these switches.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRAVERSE_LE: AtomicBool = AtomicBool::new(false);
+static SUPERSEDE_NO_GATE: AtomicBool = AtomicBool::new(false);
+
+/// Is the broken `<=` traverse acceptance enabled?
+#[inline]
+pub fn traverse_le() -> bool {
+    TRAVERSE_LE.load(Ordering::Relaxed)
+}
+
+/// Is the supersede clock gate disabled?
+#[inline]
+pub fn supersede_no_gate() -> bool {
+    SUPERSEDE_NO_GATE.load(Ordering::Relaxed)
+}
+
+/// Enable/disable the broken `<=` traverse acceptance (PR 1 bug).
+pub fn set_traverse_le(on: bool) {
+    TRAVERSE_LE.store(on, Ordering::Relaxed);
+}
+
+/// Enable/disable the supersede clock-gate bypass (PR 2 bug).
+pub fn set_supersede_no_gate(on: bool) {
+    SUPERSEDE_NO_GATE.store(on, Ordering::Relaxed);
+}

@@ -50,6 +50,12 @@ pub struct MultiverseConfig {
     /// Restrict the TM to a single mode (Figure 8 ablation). `None` enables
     /// full dynamic mode switching.
     pub forced_mode: Option<ForcedMode>,
+    /// Spawn the background thread on [`crate::MultiverseRuntime::start`].
+    /// Controlled-schedule exploration disables it and instead drives the
+    /// same work deterministically via [`crate::MultiverseRuntime::bg_step`]
+    /// (an OS thread waking on wall-clock time has no place in a simulated
+    /// schedule).
+    pub bg_thread: bool,
 }
 
 impl Default for MultiverseConfig {
@@ -65,6 +71,7 @@ impl Default for MultiverseConfig {
             min_unversion_threshold: 8,
             bg_sleep_us: 200,
             forced_mode: None,
+            bg_thread: true,
         }
     }
 }
@@ -90,6 +97,7 @@ impl MultiverseConfig {
             min_unversion_threshold: 2,
             bg_sleep_us: 50,
             forced_mode: None,
+            bg_thread: true,
         }
     }
 

@@ -46,6 +46,9 @@
 //! ```
 
 pub mod arena;
+#[cfg(feature = "sim")]
+#[doc(hidden)]
+pub mod broken;
 pub mod config;
 pub mod modes;
 pub mod registry;

@@ -8,8 +8,8 @@
 //! unversioning heuristic, and to decide (via the sticky bits) when to leave
 //! Mode U.
 
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+use tm_api::sync::{fence, AtomicBool, AtomicU64, Mutex, Ordering};
 use tm_api::CachePadded;
 
 /// Sentinel announced when a thread has no active transaction attempt.

@@ -9,11 +9,11 @@ use crate::registry::WorkerRegistry;
 use crate::txn::MultiverseTx;
 use crate::vlt::Vlt;
 use ebr::{Collector, LocalHandle};
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, Weak};
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::Duration;
 use tm_api::abort::TxResult;
+use tm_api::sync::{AtomicBool, AtomicI64, AtomicU64, Mutex, Ordering};
 use tm_api::{
     Backoff, BloomTable, CachePadded, GlobalClock, LockTable, StatsRegistry, TmHandle, TmRuntime,
     TmStatsSnapshot, TxKind, TxOutcome,
@@ -85,12 +85,14 @@ impl MultiverseRuntime {
             mode_transitions: AtomicU64::new(0),
             cfg,
         });
-        let weak = Arc::downgrade(&rt);
-        let join = std::thread::Builder::new()
-            .name("multiverse-bg".into())
-            .spawn(move || background_loop(weak))
-            .expect("failed to spawn the Multiverse background thread");
-        *rt.bg_join.lock().unwrap() = Some(join);
+        if rt.cfg.bg_thread {
+            let weak = Arc::downgrade(&rt);
+            let join = std::thread::Builder::new()
+                .name("multiverse-bg".into())
+                .spawn(move || background_loop(weak))
+                .expect("failed to spawn the Multiverse background thread");
+            *rt.bg_join.lock().unwrap() = Some(join);
+        }
         rt
     }
 
@@ -228,6 +230,34 @@ impl MultiverseRuntime {
         let live = self.version_bytes.load(Ordering::Relaxed).max(0) as usize;
         (live + self.ebr.pending_bytes()).max(arena::total_pool_bytes())
     }
+
+    /// Run one iteration of the background thread's work synchronously on
+    /// the calling thread: a mode-machine step, an unversioning pass (when
+    /// in Mode Q), and an EBR advance/collect.
+    ///
+    /// This is the deterministic substitute for the background thread when
+    /// the runtime was started with `bg_thread: false` — schedule
+    /// exploration calls it from a simulated thread so mode transitions and
+    /// unversioning become explicit, reorderable steps instead of
+    /// wall-clock-timed surprises. `samples` carries the commit-timestamp
+    /// delta window across calls (the background thread's loop state).
+    /// A fresh EBR handle on this runtime's collector, for driving
+    /// [`Self::bg_step`] from a caller-owned thread.
+    pub fn bg_ebr_handle(&self) -> LocalHandle {
+        LocalHandle::new(Arc::clone(&self.ebr))
+    }
+
+    pub fn bg_step(&self, ebr: &mut LocalHandle, samples: &mut Vec<u64>) {
+        if self.cfg.forced_mode.is_none() {
+            run_mode_machine(self);
+        }
+        if self.current_mode() == Mode::Q && self.cfg.forced_mode != Some(ForcedMode::ModeU) {
+            run_unversioning(self, ebr, samples);
+        }
+        self.ebr.try_advance();
+        self.ebr.collect_orphans();
+        ebr.collect();
+    }
 }
 
 impl Drop for MultiverseRuntime {
@@ -362,16 +392,7 @@ fn background_loop(weak: Weak<MultiverseRuntime>) {
         }
         let ebr = ebr_handle.as_mut().expect("ebr handle initialized above");
 
-        if rt.cfg.forced_mode.is_none() {
-            run_mode_machine(&rt);
-        }
-        if rt.current_mode() == Mode::Q && rt.cfg.forced_mode != Some(ForcedMode::ModeU) {
-            run_unversioning(&rt, ebr, &mut delta_samples);
-        }
-        // Help the collector make progress even when workers are idle.
-        rt.ebr.try_advance();
-        rt.ebr.collect_orphans();
-        ebr.collect();
+        rt.bg_step(ebr, &mut delta_samples);
 
         drop(rt);
         std::thread::sleep(sleep);

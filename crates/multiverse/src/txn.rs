@@ -11,10 +11,10 @@ use crate::version::{VersionList, VersionNode};
 use crate::vlt::VltNode;
 use ebr::pool::{PoolHandle, SlotSource};
 use ebr::{LocalHandle, TxMem};
-use std::sync::atomic::{fence, Ordering};
 use std::sync::Arc;
 use tm_api::abort::TxResult;
 use tm_api::backoff::SpinWait;
+use tm_api::sync::{fence, Ordering};
 use tm_api::traits::Dtor;
 use tm_api::txset::{InlineVec, LockedStripes, StripeReadSet, UndoLog};
 use tm_api::vlock::LockState;
@@ -453,10 +453,18 @@ impl MultiverseTx {
         if self.superseded.is_empty() {
             return;
         }
+        // Reintroduced PR 2 bug (exploration demo): skip the clock gate and
+        // retire superseded nodes immediately, the seed behaviour that lets
+        // late same-clock readers walk into reclaimed nodes. See
+        // `crate::broken`.
+        #[cfg(feature = "sim")]
+        let gate_disabled = crate::broken::supersede_no_gate();
+        #[cfg(not(feature = "sim"))]
+        let gate_disabled = false;
         // Entries are queued in nondecreasing commit-timestamp order, so the
         // whole queue is flushable iff the newest entry is.
         let newest = self.superseded.as_slice()[self.superseded.len() - 1].commit_ts;
-        if newest >= self.rt.clock.read() {
+        if !gate_disabled && newest >= self.rt.clock.read() {
             if self.superseded.len() < SUPERSEDE_FORCE_AT {
                 return;
             }

@@ -15,8 +15,8 @@
 //! module docs for the recycling safety argument.
 
 use crate::arena;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use tm_api::abort::TxResult;
+use tm_api::sync::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use tm_api::Abort;
 
 /// Timestamp sentinel for a version that belongs to an aborted transaction.
@@ -194,7 +194,13 @@ impl VersionList {
                 arena::POISON_TS,
                 "reader reached a recycled version node"
             );
-            if !tbd && ts != DELETED_TS && ts < read_clock {
+            // Reintroduced PR 1 bug (exploration demo): accept a version
+            // stamped exactly at the read clock. See `crate::broken`.
+            #[cfg(feature = "sim")]
+            let suitable = ts < read_clock || (ts == read_clock && crate::broken::traverse_le());
+            #[cfg(not(feature = "sim"))]
+            let suitable = ts < read_clock;
+            if !tbd && ts != DELETED_TS && suitable {
                 return Ok(node.data.load(Ordering::Acquire));
             }
             cur = node.older.load(Ordering::Acquire);

@@ -14,7 +14,7 @@
 
 use crate::arena;
 use crate::version::{VersionList, VersionNode};
-use std::sync::atomic::{AtomicPtr, Ordering};
+use tm_api::sync::{AtomicPtr, Ordering};
 
 /// One entry of a VLT bucket: the version list of a single address.
 ///

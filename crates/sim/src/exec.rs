@@ -1,0 +1,763 @@
+//! One controlled execution: real OS threads gated so that exactly one
+//! simulated thread runs at a time, parked at *yield points* (one per
+//! instrumented atomic/lock/fence operation) where the scheduler decides who
+//! executes the next visible operation.
+//!
+//! The decision structure follows the classic replay-based model checkers
+//! (loom / syncbox-fuzz, see SNIPPETS.md Snippet 3): a run is driven by a
+//! *script* of thread choices for its first N decision nodes; past the
+//! script, a deterministic default policy (continue the current thread,
+//! honoring spin-yield deprioritization) finishes the run. The run records
+//! every decision node (candidate set + choice) so the explorer can extend
+//! or backtrack the script, plus DPOR *backtrack requests* derived from
+//! vector-clock races (see [`SchedState::commit`]).
+//!
+//! Memory-model scope: execution is serialized, so explored behaviours are
+//! exactly the sequentially-consistent interleavings; `Ordering` arguments
+//! are passed through to real atomics but do not widen the explored set.
+//! Weak-memory reorderings are out of scope.
+
+use crate::vv::VersionVec;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// What a parked thread is about to do. Objects are per-execution intern
+/// ids (first-touch order), so they are stable across processes for a
+/// fixed schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Access {
+    /// Atomic load of an object.
+    Load(usize),
+    /// Atomic store to an object.
+    Store(usize),
+    /// Atomic read-modify-write (CAS, fetch-add, lock attempt) on an object.
+    Rmw(usize),
+    /// A memory fence. Under the SC model a fence has no visible effect;
+    /// it only contributes happens-before edges between fences.
+    Fence,
+    /// A spin-loop yield: "I cannot make progress until someone else runs".
+    Spin,
+    /// First scheduling of a freshly spawned thread.
+    Start,
+    /// Join on the given thread id.
+    Join(usize),
+}
+
+impl Access {
+    fn obj(self) -> Option<usize> {
+        match self {
+            Access::Load(o) | Access::Store(o) | Access::Rmw(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Invisible accesses commute with every operation of every other
+    /// thread, so executing one never needs a decision node: any schedule
+    /// is trace-equivalent to one where it runs immediately.
+    fn invisible(self) -> bool {
+        matches!(self, Access::Fence | Access::Start | Access::Join(_))
+    }
+
+    fn kind_code(self) -> u64 {
+        match self {
+            Access::Load(_) => 1,
+            Access::Store(_) => 2,
+            Access::Rmw(_) => 3,
+            Access::Fence => 4,
+            Access::Spin => 5,
+            Access::Start => 6,
+            Access::Join(_) => 7,
+        }
+    }
+}
+
+/// Raw (pre-interning) form of an access, carrying process addresses.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum RawAccess {
+    Load(usize),
+    Store(usize),
+    Rmw(usize),
+    Fence,
+    Spin,
+    Join(usize),
+}
+
+#[derive(Clone, Debug)]
+enum Run {
+    /// Executing between yield points (at most one thread at a time).
+    Running,
+    /// Parked at a yield point, about to perform the access.
+    Pending(Access),
+    /// Blocked joining the given thread.
+    Joining(usize),
+    Finished,
+}
+
+struct ThreadSt {
+    run: Run,
+    /// Set by a `Spin` access; cleared whenever the thread is scheduled.
+    /// The default policy refuses to keep running a yielded thread while a
+    /// non-yielded candidate exists, so spin loops cannot starve the run.
+    yielded: bool,
+    vv: VersionVec,
+    /// Objects this thread accessed since its last `Spin` (bounded; a tight
+    /// re-check loop touches only a handful of cells per iteration).
+    since_spin: Vec<usize>,
+    /// The `since_spin` set captured at the last `Spin`: the re-check loop's
+    /// footprint. Accesses to these objects are *spin retries* — repeating a
+    /// check the first iteration already performed — and raise no backtrack
+    /// requests, or DPOR would insert one more failed iteration per schedule
+    /// and diverge. The first (pre-spin) iteration raised the races, so the
+    /// reorderings that change what the check observes are still explored.
+    /// The first access outside the footprint clears it (loop exited).
+    retry_objs: Vec<usize>,
+}
+
+/// A step reference for race detection: who did it, at which decision node,
+/// and the step's clock.
+#[derive(Clone)]
+struct StepRef {
+    thread: usize,
+    node: usize,
+    vv: VersionVec,
+}
+
+#[derive(Default)]
+struct ObjSt {
+    /// Join of all accesses so far (writes must happen after all of them).
+    access_vv: VersionVec,
+    /// Join of all writes so far (reads must happen after all of them).
+    write_vv: VersionVec,
+    last_write: Option<StepRef>,
+    readers_since_write: Vec<StepRef>,
+}
+
+/// One recorded decision node.
+#[derive(Clone, Debug)]
+pub struct RunNode {
+    /// Schedulable threads at the node, ascending thread id.
+    pub candidates: Vec<usize>,
+    /// The thread whose pending access was executed.
+    pub chosen: usize,
+}
+
+/// How post-script choices are made.
+#[derive(Clone, Copy, Debug)]
+pub enum Mode {
+    /// Deterministic default: continue the current thread when possible.
+    /// The explorer's DFS uses this; the first run is the sequential one.
+    Dfs,
+    /// Seeded uniform choice among candidates at every node.
+    Sample(u64),
+}
+
+/// Why a run failed (the run itself, not the property being checked).
+#[derive(Clone, Debug)]
+pub enum Abort {
+    /// A simulated thread panicked. The panic is part of the schedule, not
+    /// a teardown: the panicking thread unwinds under normal scheduling
+    /// (releasing its locks at instrumented yield points) and the remaining
+    /// threads run to completion; the first panic message is recorded here.
+    Panic(String),
+    /// Spin-yield rounds exceeded the livelock limit.
+    Livelock,
+    /// No schedulable thread but not all threads finished.
+    Deadlock(String),
+    /// A replay script named a thread that is not schedulable at the node.
+    StaleToken(String),
+}
+
+pub(crate) struct SchedState {
+    threads: Vec<ThreadSt>,
+    active: usize,
+    /// Scripted choices for the first nodes (the DFS/replay seed).
+    script: Vec<usize>,
+    cursor: usize,
+    pub nodes: Vec<RunNode>,
+    /// DPOR: threads to additionally try at earlier nodes (race reversals).
+    pub backtracks: Vec<(usize, Vec<usize>)>,
+    objs: Vec<ObjSt>,
+    addr_ids: HashMap<usize, usize>,
+    /// Happens-before carrier for SeqCst fences (fences totally ordered).
+    fence_vv: VersionVec,
+    preemption_bound: u32,
+    preemptions: u32,
+    mode: Mode,
+    rng: u64,
+    livelock_rounds: u64,
+    livelock_limit: u64,
+    /// FNV-1a over committed (thread, access) steps: schedule identity.
+    pub digest: u64,
+    pub done: bool,
+    pub abort: Option<Abort>,
+    /// First model-thread panic message. Unlike `abort`, a panic does not
+    /// stop the run — the other threads still execute to completion under
+    /// normal scheduling — but it surfaces as `Abort::Panic` in the
+    /// outcome.
+    panic: Option<String>,
+    /// Clock snapshot of the spawning thread, consumed by `Start`.
+    spawn_vvs: Vec<Option<VersionVec>>,
+}
+
+impl SchedState {
+    fn intern(&mut self, addr: usize) -> usize {
+        let next = self.addr_ids.len();
+        let id = *self.addr_ids.entry(addr).or_insert(next);
+        if id == next {
+            self.objs.push(ObjSt::default());
+        }
+        id
+    }
+
+    fn resolve(&mut self, raw: RawAccess) -> Access {
+        match raw {
+            RawAccess::Load(a) => Access::Load(self.intern(a)),
+            RawAccess::Store(a) => Access::Store(self.intern(a)),
+            RawAccess::Rmw(a) => Access::Rmw(self.intern(a)),
+            RawAccess::Fence => Access::Fence,
+            RawAccess::Spin => Access::Spin,
+            RawAccess::Join(t) => Access::Join(t),
+        }
+    }
+
+    fn candidates(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t.run, Run::Pending(_)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| matches!(t.run, Run::Finished))
+    }
+
+    fn fold_digest(&mut self, thread: usize, acc: Access) {
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut h = self.digest;
+        for word in [
+            thread as u64,
+            acc.kind_code(),
+            acc.obj().map_or(u64::MAX, |o| o as u64) ^ 0x5bd1,
+        ] {
+            h ^= word;
+            h = h.wrapping_mul(PRIME);
+        }
+        self.digest = h;
+    }
+
+    /// Record a race between prior step `d` and the access `acc` that
+    /// thread `t` is about to execute: request exploration of `t` at `d`'s
+    /// decision node (Flanagan–Godefroid backtrack insertion; if `t` was
+    /// not schedulable there, fall back to every candidate of the node).
+    fn note_race(&mut self, d: &StepRef, t: usize) {
+        let node = &self.nodes[d.node];
+        let add = if node.candidates.contains(&t) {
+            vec![t]
+        } else {
+            node.candidates.clone()
+        };
+        self.backtracks.push((d.node, add));
+    }
+
+    /// Execute the bookkeeping for thread `t`'s pending access: race
+    /// detection against the last conflicting steps, then happens-before
+    /// edge updates. `node` is the decision node that scheduled it, or
+    /// `None` for the invisible fast path (invisible accesses never
+    /// participate in races).
+    fn commit(&mut self, t: usize, node: Option<usize>) {
+        let acc = match std::mem::replace(&mut self.threads[t].run, Run::Running) {
+            Run::Pending(a) => a,
+            other => panic!("commit of non-pending thread {t}: {other:?}"),
+        };
+        self.threads[t].yielded = false;
+        // Only visible accesses enter the digest: two schedules with the
+        // same digest order the shared-memory operations identically
+        // (fence/spawn/join placement does not affect SC outcomes).
+        if acc.obj().is_some() {
+            self.fold_digest(t, acc);
+        }
+        // Spin-retry tracking: see the `retry_objs` field docs.
+        let retry = match acc.obj() {
+            Some(o) => {
+                let th = &mut self.threads[t];
+                let retry = th.retry_objs.contains(&o);
+                if !retry {
+                    th.retry_objs.clear();
+                }
+                if !th.since_spin.contains(&o) && th.since_spin.len() < 16 {
+                    th.since_spin.push(o);
+                }
+                retry
+            }
+            None => {
+                if matches!(acc, Access::Spin) {
+                    let th = &mut self.threads[t];
+                    th.retry_objs = std::mem::take(&mut th.since_spin);
+                }
+                false
+            }
+        };
+        match acc {
+            Access::Fence => {
+                self.threads[t].vv.inc(t);
+                let tvv = self.threads[t].vv.clone();
+                self.fence_vv.join(&tvv);
+                self.threads[t].vv.join(&self.fence_vv.clone());
+            }
+            Access::Spin => {
+                self.threads[t].vv.inc(t);
+                self.threads[t].yielded = true;
+            }
+            Access::Start => {
+                if let Some(vv) = self.spawn_vvs[t].take() {
+                    self.threads[t].vv.join(&vv);
+                }
+                self.threads[t].vv.inc(t);
+            }
+            Access::Join(c) => {
+                let cvv = self.threads[c].vv.clone();
+                self.threads[t].vv.join(&cvv);
+                self.threads[t].vv.inc(t);
+            }
+            Access::Load(o) => {
+                if let Some(d) = &self.objs[o].last_write {
+                    if !retry && d.thread != t && !d.vv.le(&self.threads[t].vv) {
+                        let d = d.clone();
+                        self.note_race(&d, t);
+                    }
+                }
+                self.threads[t].vv.inc(t);
+                let wvv = self.objs[o].write_vv.clone();
+                self.threads[t].vv.join(&wvv);
+                let tvv = self.threads[t].vv.clone();
+                self.objs[o].access_vv.join(&tvv);
+                if let Some(node) = node {
+                    self.objs[o].readers_since_write.push(StepRef {
+                        thread: t,
+                        node,
+                        vv: tvv,
+                    });
+                }
+            }
+            Access::Store(o) | Access::Rmw(o) => {
+                let mut races: Vec<StepRef> = Vec::new();
+                if !retry {
+                    if let Some(d) = &self.objs[o].last_write {
+                        if d.thread != t && !d.vv.le(&self.threads[t].vv) {
+                            races.push(d.clone());
+                        }
+                    }
+                    for r in &self.objs[o].readers_since_write {
+                        if r.thread != t && !r.vv.le(&self.threads[t].vv) {
+                            races.push(r.clone());
+                        }
+                    }
+                }
+                for d in races {
+                    self.note_race(&d, t);
+                }
+                self.threads[t].vv.inc(t);
+                let avv = self.objs[o].access_vv.clone();
+                self.threads[t].vv.join(&avv);
+                let tvv = self.threads[t].vv.clone();
+                self.objs[o].write_vv.join(&tvv);
+                self.objs[o].access_vv.join(&tvv);
+                if let Some(node) = node {
+                    self.objs[o].last_write = Some(StepRef {
+                        thread: t,
+                        node,
+                        vv: tvv,
+                    });
+                }
+                self.objs[o].readers_since_write.clear();
+            }
+        }
+    }
+
+    fn next_rand(&mut self, n: usize) -> usize {
+        // splitmix64 step; enough for uniform candidate sampling.
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z % n as u64) as usize
+    }
+
+    /// Deterministic post-script policy. Returns the chosen thread.
+    fn default_choice(&mut self, cands: &[usize], cur: usize) -> usize {
+        let cur_ok = cands.contains(&cur);
+        match self.mode {
+            Mode::Dfs => {
+                if cur_ok && !self.threads[cur].yielded {
+                    return cur;
+                }
+                // Prefer non-yielded candidates, round-robin from cur+1 so
+                // a spinner hands the turn to someone who can progress.
+                let n = self.threads.len();
+                for off in 1..=n {
+                    let t = (cur + off) % n;
+                    if cands.contains(&t) && !self.threads[t].yielded {
+                        return t;
+                    }
+                }
+                // Everyone schedulable has yielded: a full spin round.
+                self.livelock_rounds += 1;
+                if self.livelock_rounds > self.livelock_limit {
+                    self.abort = Some(Abort::Livelock);
+                }
+                for t in &mut self.threads {
+                    t.yielded = false;
+                }
+                if cur_ok {
+                    cur
+                } else {
+                    cands[0]
+                }
+            }
+            Mode::Sample(_) => {
+                if self.preemptions >= self.preemption_bound && cur_ok && !self.threads[cur].yielded
+                {
+                    return cur;
+                }
+                let pool: Vec<usize> = if cands.iter().any(|&t| !self.threads[t].yielded) {
+                    cands
+                        .iter()
+                        .copied()
+                        .filter(|&t| !self.threads[t].yielded)
+                        .collect()
+                } else {
+                    self.livelock_rounds += 1;
+                    if self.livelock_rounds > self.livelock_limit {
+                        self.abort = Some(Abort::Livelock);
+                    }
+                    for t in &mut self.threads {
+                        t.yielded = false;
+                    }
+                    cands.to_vec()
+                };
+                let i = self.next_rand(pool.len());
+                pool[i]
+            }
+        }
+    }
+
+    /// Pick and commit the next thread to run. Called with the previously
+    /// active thread parked (pending), blocked, or finished.
+    fn schedule(&mut self) {
+        if self.abort.is_some() {
+            self.done = true;
+            return;
+        }
+        let cur = self.active;
+        // Join blocking / invisible fast path for the current thread.
+        if let Run::Pending(a) = self.threads[cur].run {
+            match a {
+                Access::Join(c) if !matches!(self.threads[c].run, Run::Finished) => {
+                    self.threads[cur].run = Run::Joining(c);
+                }
+                a if a.invisible() => {
+                    // Commutes with everything: execute without a node.
+                    self.commit(cur, None);
+                    return;
+                }
+                _ => {}
+            }
+        }
+        let cands = self.candidates();
+        if cands.is_empty() {
+            if self.all_finished() {
+                self.done = true;
+            } else {
+                let stuck: Vec<String> = self
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| !matches!(t.run, Run::Finished))
+                    .map(|(i, t)| format!("thread {i}: {:?}", t.run))
+                    .collect();
+                self.abort = Some(Abort::Deadlock(stuck.join("; ")));
+                self.done = true;
+            }
+            return;
+        }
+        let chosen = if self.cursor < self.script.len() {
+            let c = self.script[self.cursor];
+            self.cursor += 1;
+            if !cands.contains(&c) {
+                self.abort = Some(Abort::StaleToken(format!(
+                    "node {}: scripted thread {c} not schedulable (candidates {cands:?})",
+                    self.nodes.len()
+                )));
+                self.done = true;
+                return;
+            }
+            c
+        } else {
+            self.default_choice(&cands, cur)
+        };
+        if self.abort.is_some() {
+            self.done = true;
+            return;
+        }
+        if chosen != cur && cands.contains(&cur) && !self.threads[cur].yielded {
+            self.preemptions += 1;
+        }
+        let node = self.nodes.len();
+        self.nodes.push(RunNode {
+            candidates: cands,
+            chosen,
+        });
+        self.commit(chosen, Some(node));
+        self.active = chosen;
+    }
+}
+
+/// Shared handle for one controlled execution.
+pub(crate) struct Exec {
+    st: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+/// Configuration for a single run.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    pub script: Vec<usize>,
+    pub mode: Mode,
+    pub preemption_bound: u32,
+    pub livelock_limit: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            script: Vec::new(),
+            mode: Mode::Dfs,
+            preemption_bound: u32::MAX,
+            livelock_limit: 100_000,
+        }
+    }
+}
+
+impl Exec {
+    pub(crate) fn new(cfg: RunConfig) -> Self {
+        let main = ThreadSt {
+            run: Run::Running,
+            yielded: false,
+            vv: {
+                let mut v = VersionVec::new();
+                v.inc(0);
+                v
+            },
+            since_spin: Vec::new(),
+            retry_objs: Vec::new(),
+        };
+        Exec {
+            st: Mutex::new(SchedState {
+                threads: vec![main],
+                active: 0,
+                script: cfg.script,
+                cursor: 0,
+                nodes: Vec::new(),
+                backtracks: Vec::new(),
+                objs: Vec::new(),
+                addr_ids: HashMap::new(),
+                fence_vv: VersionVec::new(),
+                preemption_bound: cfg.preemption_bound,
+                preemptions: 0,
+                mode: cfg.mode,
+                rng: match cfg.mode {
+                    Mode::Sample(seed) => seed ^ 0x6a09_e667_f3bc_c909,
+                    Mode::Dfs => 0,
+                },
+                livelock_rounds: 0,
+                livelock_limit: cfg.livelock_limit,
+                digest: 0xcbf2_9ce4_8422_2325,
+                done: false,
+                abort: None,
+                panic: None,
+                spawn_vvs: vec![None],
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SchedState> {
+        match self.st.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Yield point: announce the access, let the scheduler decide, park
+    /// until scheduled. On return the access has been committed and the
+    /// caller may perform the real operation.
+    pub(crate) fn yield_acc(&self, tid: usize, raw: RawAccess) {
+        let mut g = self.lock();
+        let acc = g.resolve(raw);
+        g.threads[tid].run = Run::Pending(acc);
+        g.schedule();
+        // While a thread is parked here it is not Finished, so `done` can
+        // only mean the run was aborted (livelock / deadlock / stale
+        // token) — unwind so the controller can tear the execution down.
+        // If this thread is *already* unwinding, a second panic here would
+        // be a panic-in-destructor process abort: execute the operation
+        // unscheduled instead so destructors can run to completion.
+        if g.done {
+            self.cv.notify_all();
+            drop(g);
+            if std::thread::panicking() {
+                return;
+            }
+            panic!("sim execution torn down");
+        }
+        if g.active != tid {
+            self.cv.notify_all();
+            while g.active != tid && !g.done {
+                g = match self.cv.wait(g) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+            }
+            if g.done && g.active != tid {
+                drop(g);
+                if std::thread::panicking() {
+                    return;
+                }
+                panic!("sim execution torn down");
+            }
+        }
+    }
+
+    /// Intern a raw address to its per-execution id (for deterministic
+    /// stripe / filter hashing). Does not yield.
+    pub(crate) fn map_addr(&self, addr: usize) -> usize {
+        self.lock().intern(addr)
+    }
+
+    /// Register a child thread spawned by `parent`.
+    pub(crate) fn register_thread(&self, parent: usize) -> usize {
+        let mut g = self.lock();
+        let vv = g.threads[parent].vv.clone();
+        g.threads.push(ThreadSt {
+            run: Run::Pending(Access::Start),
+            yielded: false,
+            vv: VersionVec::new(),
+            since_spin: Vec::new(),
+            retry_objs: Vec::new(),
+        });
+        g.spawn_vvs.push(Some(vv));
+        g.threads.len() - 1
+    }
+
+    /// Park a fresh child until first scheduled (its `Start` commits then).
+    pub(crate) fn wait_first(&self, tid: usize) {
+        let mut g = self.lock();
+        while g.active != tid && !g.done {
+            g = match self.cv.wait(g) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+        if g.done && g.active != tid {
+            drop(g);
+            panic!("sim execution torn down");
+        }
+    }
+
+    /// Mark a thread finished (normally or by panic) and schedule onward.
+    pub(crate) fn finish(&self, tid: usize, panic_msg: Option<String>) {
+        let mut g = self.lock();
+        g.threads[tid].run = Run::Finished;
+        if let Some(msg) = panic_msg {
+            // A model panic is part of the schedule, not a teardown. By
+            // the time `finish` runs the thread has already unwound under
+            // normal scheduling — its destructors hit the same yield
+            // points as any other steps, so every lock it held is
+            // released deterministically. The remaining threads keep
+            // running; the panic surfaces as `Abort::Panic` in the
+            // outcome (first panic wins).
+            if g.panic.is_none() {
+                g.panic = Some(msg);
+            }
+        }
+        // Unblock joiners.
+        for u in 0..g.threads.len() {
+            if let Run::Joining(c) = g.threads[u].run {
+                if c == tid {
+                    g.threads[u].run = Run::Pending(Access::Join(c));
+                }
+            }
+        }
+        g.schedule();
+        self.cv.notify_all();
+    }
+
+    /// Block the controller until the run completes or aborts.
+    pub(crate) fn wait_done(&self) {
+        let mut g = self.lock();
+        while !g.done {
+            g = match self.cv.wait(g) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    pub(crate) fn take_outcome(&self) -> RunRecord {
+        let g = self.lock();
+        RunRecord {
+            nodes: g.nodes.clone(),
+            backtracks: g.backtracks.clone(),
+            digest: g.digest,
+            abort: g
+                .abort
+                .clone()
+                .or_else(|| g.panic.clone().map(Abort::Panic)),
+        }
+    }
+}
+
+/// What one run produced, for the explorer.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    pub nodes: Vec<RunNode>,
+    pub backtracks: Vec<(usize, Vec<usize>)>,
+    pub digest: u64,
+    pub abort: Option<Abort>,
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local execution context and instrumentation hooks
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Exec>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+pub(crate) fn set_current(ctx: Option<(Arc<Exec>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = ctx);
+}
+
+pub(crate) fn with_current<R>(f: impl FnOnce(&Arc<Exec>, usize) -> R) -> Option<R> {
+    CURRENT.with(|c| {
+        let b = c.borrow();
+        b.as_ref().map(|(e, t)| f(e, *t))
+    })
+}
+
+/// Count of instrumented operations that found an active execution on this
+/// thread — used by tests asserting the facade passthrough does nothing.
+pub static HOOKED_OPS: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+pub(crate) fn hook(raw: RawAccess) {
+    let _ = with_current(|e, t| {
+        HOOKED_OPS.fetch_add(1, Ordering::Relaxed);
+        e.yield_acc(t, raw);
+    });
+}

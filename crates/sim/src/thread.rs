@@ -1,0 +1,88 @@
+//! Controlled thread spawn/join. Simulated threads are real OS threads
+//! gated by the scheduler; `spawn` must be called from inside a controlled
+//! execution (the model closure or one of its children).
+
+use crate::exec::{self, RawAccess};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+/// Handle to a simulated thread.
+pub struct JoinHandle<T> {
+    tid: usize,
+    os: Option<std::thread::JoinHandle<()>>,
+    slot: Arc<Mutex<Option<std::thread::Result<T>>>>,
+}
+
+pub(crate) fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Spawn a simulated thread. The child is registered with the scheduler
+/// immediately but executes nothing until first scheduled (its `Start`
+/// step), inheriting the spawner's causality clock.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (ex, parent) = exec::with_current(|e, t| (e.clone(), t))
+        .expect("sim::thread::spawn called outside a controlled execution");
+    let tid = ex.register_thread(parent);
+    let slot: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+    let slot2 = Arc::clone(&slot);
+    let ex2 = Arc::clone(&ex);
+    let os = std::thread::Builder::new()
+        .name(format!("sim-{tid}"))
+        .spawn(move || {
+            exec::set_current(Some((Arc::clone(&ex2), tid)));
+            let ex3 = Arc::clone(&ex2);
+            let r = catch_unwind(AssertUnwindSafe(move || {
+                ex3.wait_first(tid);
+                f()
+            }));
+            let msg = r.as_ref().err().map(|p| panic_message(p.as_ref()));
+            match slot2.lock() {
+                Ok(mut g) => *g = Some(r),
+                Err(p) => *p.into_inner() = Some(r),
+            }
+            exec::set_current(None);
+            ex2.finish(tid, msg);
+        })
+        .expect("failed to spawn sim OS thread");
+    JoinHandle {
+        tid,
+        os: Some(os),
+        slot,
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Scheduler id of the thread.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Join the thread. From a simulated thread this is a blocking
+    /// scheduler operation (a `Join` step that also merges the child's
+    /// causality clock); the child's panic is propagated like
+    /// `std::thread::JoinHandle::join`.
+    pub fn join(mut self) -> std::thread::Result<T> {
+        exec::hook(RawAccess::Join(self.tid));
+        let os = self.os.take().expect("join called twice");
+        let _ = os.join();
+        let r = match self.slot.lock() {
+            Ok(mut g) => g.take(),
+            Err(p) => p.into_inner().take(),
+        };
+        match r {
+            Some(res) => res,
+            None => Err(Box::new("sim thread torn down before producing a result")),
+        }
+    }
+}

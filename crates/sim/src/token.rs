@@ -1,0 +1,110 @@
+//! Compact, printable schedule tokens.
+//!
+//! A token encodes the preemption bound and the scripted thread choices of
+//! a schedule's decision-node prefix; replaying the script and then the
+//! deterministic default policy re-executes the schedule exactly. Format:
+//! lowercase hex of `[version=1][varint bound][varint n][varint choice]*`.
+
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            break;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, String> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &b = bytes.get(*pos).ok_or("truncated token")?;
+        *pos += 1;
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err("varint overflow in token".into());
+        }
+    }
+}
+
+/// Encode a schedule token.
+pub fn encode(preemption_bound: u32, choices: &[usize]) -> String {
+    let mut bytes = vec![1u8];
+    push_varint(&mut bytes, u64::from(preemption_bound));
+    push_varint(&mut bytes, choices.len() as u64);
+    for &c in choices {
+        push_varint(&mut bytes, c as u64);
+    }
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Decode a schedule token into (preemption bound, choices).
+pub fn decode(s: &str) -> Result<(u32, Vec<usize>), String> {
+    let s = s.trim();
+    if !s.len().is_multiple_of(2) || s.is_empty() {
+        return Err("token must be a non-empty even-length hex string".into());
+    }
+    let mut bytes = Vec::with_capacity(s.len() / 2);
+    for i in (0..s.len()).step_by(2) {
+        let b =
+            u8::from_str_radix(&s[i..i + 2], 16).map_err(|e| format!("bad hex in token: {e}"))?;
+        bytes.push(b);
+    }
+    let mut pos = 0usize;
+    let version = bytes[pos];
+    pos += 1;
+    if version != 1 {
+        return Err(format!("unsupported token version {version}"));
+    }
+    let bound = read_varint(&bytes, &mut pos)?;
+    let bound = u32::try_from(bound).map_err(|_| "bound out of range".to_string())?;
+    let n = read_varint(&bytes, &mut pos)?;
+    if n > 1 << 24 {
+        return Err("token choice count implausibly large".into());
+    }
+    let mut choices = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        choices.push(read_varint(&bytes, &mut pos)? as usize);
+    }
+    if pos != bytes.len() {
+        return Err("trailing bytes in token".into());
+    }
+    Ok((bound, choices))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for (bound, choices) in [
+            (0u32, vec![]),
+            (u32::MAX, vec![0usize, 1, 2, 1, 0, 300]),
+            (3, vec![1; 100]),
+        ] {
+            let t = encode(bound, &choices);
+            assert_eq!(decode(&t).unwrap(), (bound, choices));
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode("").is_err());
+        assert!(decode("zz").is_err());
+        assert!(decode("abc").is_err());
+        assert!(decode("02").is_err()); // bad version
+        assert!(decode("01ff").is_err()); // truncated varint
+    }
+}

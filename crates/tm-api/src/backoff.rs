@@ -48,6 +48,15 @@ impl Backoff {
     #[inline]
     pub fn abort_and_wait(&mut self) {
         self.consecutive_aborts = self.consecutive_aborts.saturating_add(1);
+        // Under the simulated scheduler a backoff *duration* is meaningless
+        // (time does not pass while parked); what matters is telling the
+        // scheduler this thread wants others to progress. One spin yield
+        // does that, and keeps bounded exploration free of livelock.
+        #[cfg(feature = "sim")]
+        if sim::active() {
+            sim::on_spin();
+            return;
+        }
         let spins = ((self.consecutive_aborts - 1).saturating_mul(STEP)).min(MAX_SPINS);
         for _ in 0..spins {
             hint::spin_loop();
@@ -75,10 +84,17 @@ impl SpinWait {
         Self::default()
     }
 
-    /// Spin once; yields the thread after 64 consecutive spins.
+    /// Spin once; yields the thread after 64 consecutive spins. Under the
+    /// simulated scheduler every iteration is an explicit yield point, so
+    /// wait loops built on `SpinWait` cannot starve bounded exploration.
     #[inline]
     pub fn spin(&mut self) {
         self.spins = self.spins.wrapping_add(1);
+        #[cfg(feature = "sim")]
+        if sim::active() {
+            sim::on_spin();
+            return;
+        }
         if self.spins.is_multiple_of(64) {
             std::thread::yield_now();
         } else {

@@ -11,7 +11,7 @@
 //! keeps the table exactly as large as the lock table (8 bytes per stripe) and
 //! makes membership tests a single atomic load.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{AtomicU64, Ordering};
 
 /// A table of per-stripe 64-bit bloom filters.
 #[derive(Debug)]
@@ -21,6 +21,10 @@ pub struct BloomTable {
 
 #[inline(always)]
 fn probe_mask(addr: usize) -> u64 {
+    // Hash the deterministic interned id under the simulated scheduler so
+    // filter bit patterns replay across processes (see `stripe_of`).
+    #[cfg(feature = "sim")]
+    let addr = sim::map_addr(addr) << 3;
     // Two independent probe positions derived from different mixes of the
     // address. 64-bit filters with 2 probes keep the false-positive rate low
     // for the handful of addresses that share a stripe.

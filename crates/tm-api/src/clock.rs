@@ -14,7 +14,7 @@
 //! the individual TMs.
 
 use crate::padded::CachePadded;
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{AtomicU64, Ordering};
 
 /// Initial clock value.
 ///

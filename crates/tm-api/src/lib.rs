@@ -31,6 +31,7 @@ pub mod locktable;
 pub mod padded;
 pub mod record;
 pub mod stats;
+pub mod sync;
 pub mod traits;
 pub mod txset;
 pub mod txword;
@@ -65,6 +66,14 @@ pub const DEFAULT_STRIPES: usize = 1 << 20;
 /// that words that are adjacent in memory land in different stripes.
 #[inline(always)]
 pub fn stripe_of(addr: usize, mask: usize) -> usize {
+    // Inside a simulated execution, hash the deterministic first-touch id of
+    // the address instead of the address itself (shifted so the id survives
+    // the alignment-bit drop below): stripe assignment — and therefore lock
+    // contention and conflict orders — then replays identically across
+    // processes despite ASLR. Outside a simulated execution this is the
+    // identity function (and compiles out entirely without the feature).
+    #[cfg(feature = "sim")]
+    let addr = sim::map_addr(addr) << 3;
     let h = (addr >> 3).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     // Use the high bits: the low bits of a multiplicative hash are weaker.
     ((h >> 20) ^ h) & mask

@@ -7,8 +7,8 @@
 //! of the DCTL irrevocable path.
 
 use crate::padded::CachePadded;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use crate::sync::{AtomicU64, Mutex, Ordering};
+use std::sync::Arc;
 
 macro_rules! stat_counters {
     (

@@ -16,8 +16,8 @@
 //! plain loads/stores on x86-64 and therefore preserve the cache behaviour
 //! the paper cares about.
 
+use crate::sync::{AtomicU64, Ordering};
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A single transactional 64-bit word.
 ///

@@ -15,7 +15,7 @@
 //! *aborted* write set back to a fresh version without ever having lost the
 //! pre-lock version.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{AtomicU64, Ordering};
 
 const LOCKED_BIT: u64 = 1 << 63;
 const FLAG_BIT: u64 = 1 << 62;
