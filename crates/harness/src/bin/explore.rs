@@ -4,10 +4,11 @@
 //! ```text
 //! cargo run -p harness --features sim --bin explore -- \
 //!     --scenario all [--exhaustive | --sample N] [--seed S] \
-//!     [--preemptions K] [--broken traverse-le|supersede-gate] \
-//!     [--replay TOKEN] [--expect-violation] [--keep-going]
+//!     [--preemptions K] [--broken traverse-le|supersede-gate|struct-raw-init] \
+//!     [--replay TOKEN] [--expect-violation] [--keep-going] [--list]
 //! ```
 //!
+//! * `--list`        print every scenario with its thread count and exit.
 //! * `--scenario`    comma list of scenario families or `all`.
 //! * `--exhaustive`  DPOR enumeration up to the preemption bound (default).
 //! * `--sample N`    N seeded random schedules instead.
@@ -22,13 +23,24 @@
 //! On the first violation the tool prints the schedule's replay token and a
 //! stable repro command line, and exits nonzero (unless
 //! `--expect-violation`).
+//!
+//! Built with `--features sim,crashpoint` the WAL durability scenarios
+//! (`wal-commit`, `wal-crash-<site>`) are available too: each explored
+//! schedule runs the commit-tap / group-commit / checkpoint model, crashes
+//! at the named site, recovers, and is judged by `check_recovery`. They
+//! have no `--broken` modes (the crash sites are the fault dimension) and
+//! drop out of `all` when `--broken` is given.
 
 use harness::explore::{
     repro_command, run_explore, BrokenDemo, ExploreReport, ExploreScenario, ExploreSpec, Strategy,
 };
+#[cfg(feature = "crashpoint")]
+use harness::explore_wal::{run_wal_explore, WalExploreSpec, WalScenario};
 
 struct Args {
     scenarios: Vec<ExploreScenario>,
+    #[cfg(feature = "crashpoint")]
+    wal_scenarios: Vec<WalScenario>,
     strategy: Strategy,
     preemptions: u32,
     broken: Option<BrokenDemo>,
@@ -39,19 +51,50 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: explore [--scenario all|name,...] [--exhaustive | --sample N] \
-         [--seed S] [--preemptions K] [--broken traverse-le|supersede-gate] \
-         [--replay TOKEN] [--expect-violation] [--keep-going]"
+         [--seed S] [--preemptions K] \
+         [--broken traverse-le|supersede-gate|struct-raw-init] \
+         [--replay TOKEN] [--expect-violation] [--keep-going] [--list]"
     );
     std::process::exit(2);
 }
 
+/// `--list`: one line per scenario — name, family, simulated thread count.
+fn list_scenarios() -> ! {
+    for s in ExploreScenario::all() {
+        let family = if s.is_structure() {
+            "structure"
+        } else {
+            "protocol"
+        };
+        println!(
+            "{:<26} family={:<9} threads={}",
+            s.name(),
+            family,
+            s.threads()
+        );
+    }
+    #[cfg(feature = "crashpoint")]
+    for w in WalScenario::all() {
+        println!(
+            "{:<26} family={:<9} threads={}",
+            w.name(),
+            "wal",
+            w.threads()
+        );
+    }
+    std::process::exit(0);
+}
+
 fn parse_args() -> Args {
-    let mut scenarios = ExploreScenario::all();
+    // `None` = every scenario the build knows about.
+    let mut names: Option<Vec<String>> = None;
     let mut sample: Option<u64> = None;
     let mut seed = 1u64;
     let mut replay: Option<String> = None;
     let mut args = Args {
         scenarios: Vec::new(),
+        #[cfg(feature = "crashpoint")]
+        wal_scenarios: Vec::new(),
         strategy: Strategy::Exhaustive,
         preemptions: 2,
         broken: None,
@@ -63,17 +106,11 @@ fn parse_args() -> Args {
         match arg.as_str() {
             "--scenario" | "--scenarios" => {
                 let v = it.next().unwrap_or_else(|| usage());
-                if v != "all" {
-                    scenarios = v
-                        .split(',')
-                        .map(|s| {
-                            ExploreScenario::parse(s.trim()).unwrap_or_else(|| {
-                                eprintln!("unknown scenario '{s}'");
-                                usage()
-                            })
-                        })
-                        .collect();
-                }
+                names = if v == "all" {
+                    None
+                } else {
+                    Some(v.split(',').map(|s| s.trim().to_string()).collect())
+                };
             }
             "--exhaustive" => sample = None,
             "--sample" => {
@@ -107,11 +144,56 @@ fn parse_args() -> Args {
             }
             "--expect-violation" => args.expect_violation = true,
             "--keep-going" => args.keep_going = true,
+            "--list" => list_scenarios(),
             _ => usage(),
         }
     }
+    match names {
+        None => {
+            args.scenarios = ExploreScenario::all();
+            #[cfg(feature = "crashpoint")]
+            {
+                args.wal_scenarios = WalScenario::all();
+            }
+        }
+        Some(list) => {
+            for s in &list {
+                if let Some(p) = ExploreScenario::parse(s) {
+                    args.scenarios.push(p);
+                    continue;
+                }
+                #[cfg(feature = "crashpoint")]
+                if let Some(w) = WalScenario::parse(s) {
+                    args.wal_scenarios.push(w);
+                    continue;
+                }
+                eprintln!("unknown scenario '{s}'");
+                usage();
+            }
+        }
+    }
+    // The WAL scenarios have no broken modes; a `--broken` run is about a
+    // specific reintroduced bug, so they drop out of `all` there.
+    #[cfg(feature = "crashpoint")]
+    if args.broken.is_some() {
+        args.wal_scenarios.clear();
+    }
+    let selected = {
+        #[cfg(feature = "crashpoint")]
+        {
+            args.scenarios.len() + args.wal_scenarios.len()
+        }
+        #[cfg(not(feature = "crashpoint"))]
+        {
+            args.scenarios.len()
+        }
+    };
+    if selected == 0 {
+        eprintln!("no scenarios selected");
+        usage();
+    }
     if let Some(token) = replay {
-        if scenarios.len() != 1 {
+        if selected != 1 {
             eprintln!("--replay needs exactly one --scenario");
             usage();
         }
@@ -119,13 +201,12 @@ fn parse_args() -> Args {
     } else if let Some(schedules) = sample {
         args.strategy = Strategy::Sample { seed, schedules };
     }
-    args.scenarios = scenarios;
     args
 }
 
-fn print_report(spec: &ExploreSpec, report: &ExploreReport) {
+fn print_report(report: &ExploreReport, repro: impl Fn(&str) -> String) {
     println!(
-        "explore {:<12} broken={:<14} schedules={:<7} clean={:<7} violating={:<4} complete={} max_nodes={} races={}",
+        "explore {:<26} broken={:<14} schedules={:<7} clean={:<7} violating={:<4} complete={} max_nodes={} races={} sleep_skips={}",
         report.scenario,
         report.broken.unwrap_or("-"),
         report.stats.schedules,
@@ -134,6 +215,7 @@ fn print_report(spec: &ExploreSpec, report: &ExploreReport) {
         report.stats.complete,
         report.stats.max_nodes,
         report.stats.race_requests,
+        report.stats.sleep_skips,
     );
     if let Some(v) = &report.first_violation {
         println!(
@@ -146,7 +228,7 @@ fn print_report(spec: &ExploreSpec, report: &ExploreReport) {
         if v.details.len() > 8 {
             println!("    ... {} more", v.details.len() - 8);
         }
-        println!("  repro: {}", repro_command(spec, &v.token));
+        println!("  repro: {}", repro(&v.token));
     }
 }
 
@@ -163,7 +245,24 @@ fn main() {
             stop_on_violation: !args.keep_going,
         };
         let report = run_explore(&spec);
-        print_report(&spec, &report);
+        print_report(&report, |token| repro_command(&spec, token));
+        total += 1;
+        if !report.is_clean() {
+            violating += 1;
+        }
+    }
+    #[cfg(feature = "crashpoint")]
+    for &scenario in &args.wal_scenarios {
+        let spec = WalExploreSpec {
+            scenario,
+            strategy: args.strategy.clone(),
+            preemption_bound: args.preemptions,
+            stop_on_violation: !args.keep_going,
+        };
+        let report = run_wal_explore(&spec);
+        print_report(&report, |token| {
+            harness::explore_wal::repro_command(&spec, token)
+        });
         total += 1;
         if !report.is_clean() {
             violating += 1;

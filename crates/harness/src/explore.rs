@@ -35,23 +35,54 @@
 //! | `commit`      | unversioned encounter-time locking, validation, undo    |
 //! |               | and the deferred clock under write-write conflict       |
 //!
+//! ## Structure scenarios
+//!
+//! The second family lifts exploration from raw `TVar`s to the
+//! transactional data structures of `txstructs`: fixed 3-thread
+//! insert/remove/contains workloads over one structure each, sized so the
+//! explored schedules cross the structure's interesting internal
+//! transitions (an (a,b)-tree root split, an AVL rotation, an external-BST
+//! internal-node create/collapse, a hashmap bucket relink through a reused
+//! node address).
+//!
+//! | name      | structure             | crossed transition                |
+//! |-----------|-----------------------|-----------------------------------|
+//! | `abtree`  | [`txstructs::TxAbTree`]  | root split of a full leaf      |
+//! | `avl`     | [`txstructs::TxAvlTree`] | rebalancing rotation           |
+//! | `extbst`  | [`txstructs::TxExtBst`]  | internal-node create/collapse  |
+//! | `hashmap` | [`txstructs::TxHashMap`] | bucket relink over EBR-reused  |
+//! |           |                          | node memory                    |
+//!
+//! Every structure operation is paired, *in the same transaction*, with an
+//! update of a per-key presence variable, and cross-checked against it (the
+//! PR 3/4 `StructAudit` discipline): a structure answer that disagrees with
+//! the atomically-maintained presence word is reported as a violation of
+//! that schedule, alongside the opacity/serializability checking of the
+//! presence history itself.
+//!
 //! ## Broken-mode demos
 //!
-//! [`BrokenDemo`] re-enables two historical bugs behind hidden switches
-//! (`multiverse::broken`): the `<=` traverse acceptance and the disabled
-//! supersede clock gate. Exhaustive 2-thread exploration must flag each —
-//! deterministically, in every run — which is asserted by the
-//! `explore_scenarios` test and CI. The supersede demo's teeth come from
-//! the arena's poisoned recycled timestamps, so it must run in a build with
-//! debug assertions (the default for `cargo test` / `cargo run`).
+//! [`BrokenDemo`] re-enables three historical bugs behind hidden switches
+//! (`multiverse::broken`, `txstructs::broken`): the `<=` traverse
+//! acceptance, the disabled supersede clock gate, and raw (non-TM) node
+//! initialisation in `alloc_node` — the PR 4 ghost-key bug, where a reused
+//! node address keeps the previous node generation's version lists and a
+//! multiversioned reader traverses into the old generation's keys.
+//! Exhaustive 2-thread exploration must flag each — deterministically, in
+//! every run — which is asserted by the `explore_scenarios` test and CI.
+//! The supersede demo's teeth come from the arena's poisoned recycled
+//! timestamps, so it must run in a build with debug assertions (the default
+//! for `cargo test` / `cargo run`).
 
 use crate::checker::{self, History, Report};
+use crate::scenario::{bump, payload};
 use multiverse::{ForcedMode, MultiverseConfig, MultiverseRuntime};
 use std::ops::ControlFlow;
 use std::sync::{Arc, Mutex, MutexGuard};
 use tm_api::abort::TxResult;
 use tm_api::record::ThreadLog;
 use tm_api::{TVar, TmHandle, TmRuntime, Transaction, TxKind};
+use txstructs::{TxAbTree, TxAvlTree, TxExtBst, TxHashMap};
 
 pub use sim::{ExploreConfig, ExploreStats, Strategy};
 
@@ -70,17 +101,56 @@ pub enum ExploreScenario {
     ModeSwitch,
     /// Unversioned commit path under write-write conflict.
     Commit,
+    /// (a,b)-tree workload crossing a root split.
+    AbTree,
+    /// AVL workload crossing a rebalancing rotation.
+    Avl,
+    /// External-BST workload crossing internal-node create/collapse.
+    ExtBst,
+    /// Hashmap workload relinking a bucket through reused node memory.
+    HashMap,
 }
 
 impl ExploreScenario {
-    /// Every scenario, in documentation order.
-    pub fn all() -> Vec<ExploreScenario> {
+    /// The TM-protocol scenarios (raw `TVar` models), in documentation
+    /// order.
+    pub fn protocol() -> Vec<ExploreScenario> {
         vec![
             ExploreScenario::Traverse,
             ExploreScenario::Supersede,
             ExploreScenario::ModeSwitch,
             ExploreScenario::Commit,
         ]
+    }
+
+    /// The structure scenarios (`txstructs` workloads), in documentation
+    /// order.
+    pub fn structures() -> Vec<ExploreScenario> {
+        vec![
+            ExploreScenario::AbTree,
+            ExploreScenario::Avl,
+            ExploreScenario::ExtBst,
+            ExploreScenario::HashMap,
+        ]
+    }
+
+    /// Every scenario, in documentation order.
+    pub fn all() -> Vec<ExploreScenario> {
+        let mut v = ExploreScenario::protocol();
+        v.extend(ExploreScenario::structures());
+        v
+    }
+
+    /// Whether this scenario drives a `txstructs` structure (and therefore
+    /// needs the deterministic node-reuse stack).
+    pub fn is_structure(self) -> bool {
+        matches!(
+            self,
+            ExploreScenario::AbTree
+                | ExploreScenario::Avl
+                | ExploreScenario::ExtBst
+                | ExploreScenario::HashMap
+        )
     }
 
     /// Stable CLI name.
@@ -90,7 +160,17 @@ impl ExploreScenario {
             ExploreScenario::Supersede => "supersede",
             ExploreScenario::ModeSwitch => "mode-switch",
             ExploreScenario::Commit => "commit",
+            ExploreScenario::AbTree => "abtree",
+            ExploreScenario::Avl => "avl",
+            ExploreScenario::ExtBst => "extbst",
+            ExploreScenario::HashMap => "hashmap",
         }
+    }
+
+    /// Number of simulated threads the scenario's model runs (the main
+    /// thread plus its spawned workers).
+    pub fn threads(self) -> usize {
+        3
     }
 
     /// Parse a CLI name.
@@ -106,6 +186,10 @@ pub enum BrokenDemo {
     TraverseLe,
     /// PR 2: retire superseded nodes without waiting for the clock gate.
     SupersedeGate,
+    /// PR 4: initialise structure nodes with raw stores instead of TM
+    /// writes, so a reused address leaks the previous node generation's
+    /// version lists to multiversioned readers (ghost keys).
+    StructRawInit,
 }
 
 impl BrokenDemo {
@@ -114,6 +198,7 @@ impl BrokenDemo {
         match self {
             BrokenDemo::TraverseLe => "traverse-le",
             BrokenDemo::SupersedeGate => "supersede-gate",
+            BrokenDemo::StructRawInit => "struct-raw-init",
         }
     }
 
@@ -122,6 +207,7 @@ impl BrokenDemo {
         match s {
             "traverse-le" => Some(BrokenDemo::TraverseLe),
             "supersede-gate" => Some(BrokenDemo::SupersedeGate),
+            "struct-raw-init" => Some(BrokenDemo::StructRawInit),
             _ => None,
         }
     }
@@ -131,6 +217,10 @@ impl BrokenDemo {
         match self {
             BrokenDemo::TraverseLe => ExploreScenario::Traverse,
             BrokenDemo::SupersedeGate => ExploreScenario::Supersede,
+            // The hashmap scenario is the one whose prefix frees a node and
+            // whose workers re-allocate it while a versioned reader
+            // traverses its bucket.
+            BrokenDemo::StructRawInit => ExploreScenario::HashMap,
         }
     }
 }
@@ -250,7 +340,7 @@ pub fn history_digest(h: &History) -> u64 {
 /// groups by label (labels are handed out in registration order, which the
 /// scheduler makes deterministic), and renumber them densely so histories
 /// compare equal across processes.
-fn canonicalize_logs(mut logs: Vec<ThreadLog>) -> Vec<ThreadLog> {
+pub(crate) fn canonicalize_logs(mut logs: Vec<ThreadLog>) -> Vec<ThreadLog> {
     logs.sort_by_key(|l| l.thread);
     let mut out: Vec<ThreadLog> = Vec::new();
     for log in logs {
@@ -272,7 +362,7 @@ fn canonicalize_logs(mut logs: Vec<ThreadLog>) -> Vec<ThreadLog> {
 /// Base configuration for exploration runtimes: no background thread (its
 /// work runs via `bg_step`), and the unversioning heuristic disabled (the
 /// sample window never fills) so `bg_step` stays cheap and scenario-local.
-fn sim_config() -> MultiverseConfig {
+pub(crate) fn sim_config() -> MultiverseConfig {
     MultiverseConfig {
         bg_thread: false,
         l_delta_samples: 1 << 20,
@@ -456,15 +546,391 @@ fn model_commit() -> ModelParts {
     (rt, vars)
 }
 
+// ---------------------------------------------------------------------------
+// Structure scenario models
+// ---------------------------------------------------------------------------
+
+/// The slice of the `txstructs` API the structure scenarios drive: the
+/// transaction-composable point operations, so every structure op can share
+/// a transaction with its presence-variable update.
+trait SimSet: Send + Sync + 'static {
+    const NAME: &'static str;
+    fn insert_tx<X: Transaction>(&self, tx: &mut X, key: u64, val: u64) -> TxResult<bool>;
+    fn remove_tx<X: Transaction>(&self, tx: &mut X, key: u64) -> TxResult<bool>;
+    fn contains_tx<X: Transaction>(&self, tx: &mut X, key: u64) -> TxResult<bool>;
+}
+
+macro_rules! impl_sim_set {
+    ($ty:ty, $name:literal) => {
+        impl SimSet for $ty {
+            const NAME: &'static str = $name;
+            fn insert_tx<X: Transaction>(&self, tx: &mut X, k: u64, v: u64) -> TxResult<bool> {
+                <$ty>::insert_tx(self, tx, k, v)
+            }
+            fn remove_tx<X: Transaction>(&self, tx: &mut X, k: u64) -> TxResult<bool> {
+                <$ty>::remove_tx(self, tx, k)
+            }
+            fn contains_tx<X: Transaction>(&self, tx: &mut X, k: u64) -> TxResult<bool> {
+                <$ty>::contains_tx(self, tx, k)
+            }
+        }
+    };
+}
+
+impl_sim_set!(TxAbTree, "abtree");
+impl_sim_set!(TxAvlTree, "avl");
+impl_sim_set!(TxExtBst, "extbst");
+impl_sim_set!(TxHashMap, "hashmap");
+
+/// Attempt budget for structure-scenario transactions: with two workers and
+/// encounter-time locking a conflicting attempt aborts and retries; the
+/// budget is generous enough that give-ups are rare (and a give-up is a
+/// no-op, so the presence cross-check stays sound either way).
+const STRUCT_TX_BUDGET: u64 = 8;
+
+/// Shared state of one structure scenario run: the structure, its fixed key
+/// universe, one presence variable per key, and the audit log.
+///
+/// Every structure operation runs in one transaction together with a read
+/// (and, when it mutates, a write) of the key's presence variable; the
+/// operation's answer is cross-checked against the presence payload the
+/// same transaction observed. Because the pair is atomic, *any* mismatch is
+/// a structure-level consistency violation, not a benign race.
+///
+/// The audit log is a plain `std` mutex on purpose: pushes must not create
+/// yield points (threads never contend — the simulated scheduler runs one
+/// at a time), so auditing does not perturb the schedule space.
+struct StructCtx<S> {
+    set: S,
+    keys: Vec<u64>,
+    presence: Arc<Vec<TVar<u64>>>,
+    audit: std::sync::Mutex<Vec<String>>,
+}
+
+impl<S: SimSet> StructCtx<S> {
+    fn new(set: S, keys: Vec<u64>) -> Arc<Self> {
+        let presence = Arc::new(keys.iter().map(|_| TVar::new(0u64)).collect::<Vec<_>>());
+        Arc::new(StructCtx {
+            set,
+            keys,
+            presence,
+            audit: std::sync::Mutex::new(Vec::new()),
+        })
+    }
+
+    fn pvar(&self, key: u64) -> &TVar<u64> {
+        let i = self
+            .keys
+            .iter()
+            .position(|&k| k == key)
+            .unwrap_or_else(|| panic!("key {key} not in the scenario's key universe"));
+        &self.presence[i]
+    }
+
+    fn note(&self, line: String) {
+        self.audit
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(line);
+    }
+
+    /// Insert `key` and flip its presence payload to 1 in one transaction.
+    fn insert<H: TmHandle>(&self, h: &mut H, key: u64) {
+        let pv = self.pvar(key);
+        let out = h.txn_budget(TxKind::ReadWrite, STRUCT_TX_BUDGET, |tx| {
+            let did = self.set.insert_tx(tx, key, key)?;
+            let p = tx.read_var(pv)?;
+            if did {
+                tx.write_var(pv, bump(p, 1))?;
+            }
+            Ok((did, p))
+        });
+        if let Some((did, p)) = out.committed() {
+            if did != (payload(p) == 0) {
+                self.note(format!(
+                    "{}: insert({key}) returned {did} but the atomically-read \
+                     presence payload was {}",
+                    S::NAME,
+                    payload(p)
+                ));
+            }
+        }
+    }
+
+    /// Remove `key` and flip its presence payload to 0 in one transaction.
+    fn remove<H: TmHandle>(&self, h: &mut H, key: u64) {
+        let pv = self.pvar(key);
+        let out = h.txn_budget(TxKind::ReadWrite, STRUCT_TX_BUDGET, |tx| {
+            let did = self.set.remove_tx(tx, key)?;
+            let p = tx.read_var(pv)?;
+            if did {
+                tx.write_var(pv, bump(p, 0))?;
+            }
+            Ok((did, p))
+        });
+        if let Some((did, p)) = out.committed() {
+            if did != (payload(p) == 1) {
+                self.note(format!(
+                    "{}: remove({key}) returned {did} but the atomically-read \
+                     presence payload was {}",
+                    S::NAME,
+                    payload(p)
+                ));
+            }
+        }
+    }
+
+    /// Read-only `contains(key)` cross-checked against the presence payload
+    /// the same transaction observed.
+    fn contains<H: TmHandle>(&self, h: &mut H, key: u64) {
+        self.contains_labeled(h, key, "contains");
+    }
+
+    fn contains_labeled<H: TmHandle>(&self, h: &mut H, key: u64, label: &str) {
+        let pv = self.pvar(key);
+        let out = h.txn_budget(TxKind::ReadOnly, STRUCT_TX_BUDGET, |tx| {
+            Ok((self.set.contains_tx(tx, key)?, tx.read_var(pv)?))
+        });
+        if let Some((c, p)) = out.committed() {
+            if c != (payload(p) == 1) {
+                self.note(format!(
+                    "{}: {label}({key}) saw {c} but the atomically-read \
+                     presence payload was {}",
+                    S::NAME,
+                    payload(p)
+                ));
+            }
+        }
+    }
+
+    /// After the workers have joined: audit every key of the universe with
+    /// a fresh read clock (a versioned reader on the scenarios' forced
+    /// Mode Q path, so ghost keys left in stale version lists are visible).
+    fn final_audit<H: TmHandle>(&self, h: &mut H) {
+        for i in 0..self.keys.len() {
+            self.contains_labeled(h, self.keys[i], "final-audit contains");
+        }
+    }
+
+    fn finish(self: Arc<Self>, rt: Arc<MultiverseRuntime>) -> StructParts {
+        let audit = std::mem::take(&mut *self.audit.lock().unwrap_or_else(|e| e.into_inner()));
+        let presence = Arc::clone(&self.presence);
+        (rt, presence, audit)
+    }
+}
+
+type StructParts = (Arc<MultiverseRuntime>, Arc<Vec<TVar<u64>>>, Vec<String>);
+
+/// Configuration for the structure scenarios: forced Mode Q with versioned
+/// read-only transactions from the first attempt, so every contains/audit
+/// traversal walks version lists — the path the raw-init demo corrupts.
+fn struct_cfg() -> MultiverseConfig {
+    MultiverseConfig {
+        forced_mode: Some(ForcedMode::ModeQ),
+        k1_versioned_after: 0,
+        ..sim_config()
+    }
+}
+
+/// `abtree`: the prefix fills the root leaf to capacity (`MAX_KEYS` = 16),
+/// so one worker's insert of the 17th key crosses the root split while the
+/// other worker removes and looks up keys moved by that split.
+fn model_struct_abtree() -> StructParts {
+    let rt = MultiverseRuntime::start(struct_cfg());
+    let ctx = StructCtx::new(
+        TxAbTree::new(),
+        (0..=txstructs::abtree::MAX_KEYS as u64).collect(),
+    );
+    {
+        let mut h = rt.register();
+        for k in 0..txstructs::abtree::MAX_KEYS as u64 {
+            ctx.insert(&mut h, k);
+        }
+    }
+    let (rt_a, cx) = (Arc::clone(&rt), Arc::clone(&ctx));
+    let w1 = sim::thread::spawn(move || {
+        let mut h = rt_a.register();
+        // The 17th key: splits the full root leaf.
+        cx.insert(&mut h, txstructs::abtree::MAX_KEYS as u64);
+        cx.contains(&mut h, 3);
+    });
+    let (rt_b, cx) = (Arc::clone(&rt), Arc::clone(&ctx));
+    let w2 = sim::thread::spawn(move || {
+        let mut h = rt_b.register();
+        cx.remove(&mut h, 3);
+        cx.contains(&mut h, txstructs::abtree::MAX_KEYS as u64);
+    });
+    w1.join().unwrap();
+    w2.join().unwrap();
+    {
+        let mut h = rt.register();
+        ctx.final_audit(&mut h);
+    }
+    ctx.finish(rt)
+}
+
+/// `avl`: ascending prefill (1, 2) leaves a right-leaning chain; one
+/// worker's insert of 3 crosses the rebalancing rotation at the root while
+/// the other removes the old root's key.
+fn model_struct_avl() -> StructParts {
+    let rt = MultiverseRuntime::start(struct_cfg());
+    let ctx = StructCtx::new(TxAvlTree::new(), vec![1, 2, 3]);
+    {
+        let mut h = rt.register();
+        ctx.insert(&mut h, 1);
+        ctx.insert(&mut h, 2);
+    }
+    let (rt_a, cx) = (Arc::clone(&rt), Arc::clone(&ctx));
+    let w1 = sim::thread::spawn(move || {
+        let mut h = rt_a.register();
+        // Third key of the ascending chain: rotation at the root.
+        cx.insert(&mut h, 3);
+        cx.contains(&mut h, 1);
+    });
+    let (rt_b, cx) = (Arc::clone(&rt), Arc::clone(&ctx));
+    let w2 = sim::thread::spawn(move || {
+        let mut h = rt_b.register();
+        cx.remove(&mut h, 1);
+        cx.contains(&mut h, 3);
+    });
+    w1.join().unwrap();
+    w2.join().unwrap();
+    {
+        let mut h = rt.register();
+        ctx.final_audit(&mut h);
+    }
+    ctx.finish(rt)
+}
+
+/// `extbst`: the leaf-oriented BST creates an internal node on insert into
+/// a non-empty subtree and collapses one on remove; the two workers cross
+/// both transitions concurrently.
+fn model_struct_extbst() -> StructParts {
+    let rt = MultiverseRuntime::start(struct_cfg());
+    let ctx = StructCtx::new(TxExtBst::new(), vec![10, 15, 20]);
+    {
+        let mut h = rt.register();
+        ctx.insert(&mut h, 10);
+        ctx.insert(&mut h, 20);
+    }
+    let (rt_a, cx) = (Arc::clone(&rt), Arc::clone(&ctx));
+    let w1 = sim::thread::spawn(move || {
+        let mut h = rt_a.register();
+        cx.insert(&mut h, 15); // splits a leaf: new internal + new leaf
+        cx.contains(&mut h, 20);
+    });
+    let (rt_b, cx) = (Arc::clone(&rt), Arc::clone(&ctx));
+    let w2 = sim::thread::spawn(move || {
+        let mut h = rt_b.register();
+        cx.remove(&mut h, 10); // collapses an internal node
+        cx.contains(&mut h, 15);
+    });
+    w1.join().unwrap();
+    w2.join().unwrap();
+    {
+        let mut h = rt.register();
+        ctx.final_audit(&mut h);
+    }
+    ctx.finish(rt)
+}
+
+/// `hashmap`: two buckets; keys 1, 3 and 7 collide (the mixer sends them
+/// to the same bucket), key 2 lands in the other. The prefix builds the
+/// chain, *versioned-pre-reads* it (creating version-list entries for the
+/// chain's words), removes key 1 and drives EBR until the removed node's
+/// memory reaches the deterministic reuse stack. One worker then inserts
+/// the colliding key 7 — re-allocating exactly that node — while the other
+/// runs versioned lookups through the relinked bucket. With `TxNodeInit`
+/// intact the allocating transaction's TM writes supersede the stale
+/// version lists and every schedule is clean; the `struct-raw-init` demo
+/// initialises the node with raw stores, so versioned readers traverse
+/// into the previous generation's key (a ghost of removed key 1) — flagged
+/// by the presence audit.
+fn model_struct_hashmap() -> StructParts {
+    let rt = MultiverseRuntime::start(struct_cfg());
+    let ctx = StructCtx::new(TxHashMap::new(2), vec![1, 2, 3, 7]);
+    {
+        let mut h = rt.register();
+        for k in [1, 2, 3] {
+            ctx.insert(&mut h, k);
+        }
+        // Versioned pre-read: walk both buckets so the chain words (bucket
+        // heads, node keys, next pointers) get version-list entries.
+        for k in [1, 2, 3] {
+            ctx.contains(&mut h, k);
+        }
+        ctx.remove(&mut h, 1);
+        // Handle drop orphans the retirement bag holding the removed node.
+    }
+    {
+        // EBR flush (deterministic prefix: no workers yet): the removed
+        // node's memory lands on the sim reuse stack.
+        let mut ebr = rt.bg_ebr_handle();
+        let mut samples = Vec::new();
+        for _ in 0..4 {
+            rt.bg_step(&mut ebr, &mut samples);
+        }
+    }
+    let (rt_a, cx) = (Arc::clone(&rt), Arc::clone(&ctx));
+    let w1 = sim::thread::spawn(move || {
+        let mut h = rt_a.register();
+        cx.insert(&mut h, 7); // collides with 1 and 3: reuses the freed node
+        cx.contains(&mut h, 3);
+    });
+    let (rt_b, cx) = (Arc::clone(&rt), Arc::clone(&ctx));
+    let w2 = sim::thread::spawn(move || {
+        let mut h = rt_b.register();
+        cx.contains(&mut h, 1); // ghost under raw init once 7 is in
+        cx.contains(&mut h, 7);
+    });
+    w1.join().unwrap();
+    w2.join().unwrap();
+    {
+        let mut h = rt.register();
+        ctx.final_audit(&mut h);
+    }
+    ctx.finish(rt)
+}
+
+// ---------------------------------------------------------------------------
+// Model driver
+// ---------------------------------------------------------------------------
+
+/// What one model run produced: the canonical recorded history of its
+/// presence/protocol variables, plus any structure-audit mismatches.
+struct ModelRun {
+    history: History,
+    audit: Vec<String>,
+}
+
 /// Run one scenario to completion inside a controlled execution and return
-/// its canonical recorded history.
-fn run_model(scen: ExploreScenario) -> History {
+/// its canonical recorded history plus the structure-audit findings.
+fn run_model(scen: ExploreScenario) -> ModelRun {
+    // Fresh, deterministic node-reuse state for every explored schedule.
+    txstructs::node::sim_node_reuse_reset();
+    txstructs::node::sim_node_reuse(scen.is_structure());
     let guard = tm_api::record::start();
-    let (rt, vars) = match scen {
-        ExploreScenario::Traverse => model_traverse(),
-        ExploreScenario::Supersede => model_supersede(),
-        ExploreScenario::ModeSwitch => model_mode_switch(),
-        ExploreScenario::Commit => model_commit(),
+    let (rt, vars, audit) = match scen {
+        ExploreScenario::Traverse => {
+            let (rt, vars) = model_traverse();
+            (rt, vars, Vec::new())
+        }
+        ExploreScenario::Supersede => {
+            let (rt, vars) = model_supersede();
+            (rt, vars, Vec::new())
+        }
+        ExploreScenario::ModeSwitch => {
+            let (rt, vars) = model_mode_switch();
+            (rt, vars, Vec::new())
+        }
+        ExploreScenario::Commit => {
+            let (rt, vars) = model_commit();
+            (rt, vars, Vec::new())
+        }
+        ExploreScenario::AbTree => model_struct_abtree(),
+        ExploreScenario::Avl => model_struct_avl(),
+        ExploreScenario::ExtBst => model_struct_extbst(),
+        ExploreScenario::HashMap => model_struct_hashmap(),
     };
     tm_api::record::flush_thread();
     let logs = canonicalize_logs(guard.finish());
@@ -472,14 +938,15 @@ fn run_model(scen: ExploreScenario) -> History {
     let addrs: Vec<usize> = vars.iter().map(|v| v.word().addr()).collect();
     let initial = vec![0u64; vars.len()];
     rt.shutdown();
-    checker::from_record::history_from_logs(
+    let history = checker::from_record::history_from_logs(
         "multiverse",
         scen.name(),
         logs,
         &addrs,
         initial,
         final_mem,
-    )
+    );
+    ModelRun { history, audit }
 }
 
 // ---------------------------------------------------------------------------
@@ -489,7 +956,7 @@ fn run_model(scen: ExploreScenario) -> History {
 /// Explorations are process-exclusive: the broken-demo switches are global
 /// and the recording session is process-wide, so concurrent explorations
 /// (parallel tests) must serialize.
-static EXPLORE_LOCK: Mutex<()> = Mutex::new(());
+pub(crate) static EXPLORE_LOCK: Mutex<()> = Mutex::new(());
 
 /// Clears the broken-demo switches on scope exit, panics included.
 struct BrokenGuard {
@@ -501,6 +968,7 @@ impl BrokenGuard {
         let lock = EXPLORE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         multiverse::broken::set_traverse_le(broken == Some(BrokenDemo::TraverseLe));
         multiverse::broken::set_supersede_no_gate(broken == Some(BrokenDemo::SupersedeGate));
+        txstructs::broken::set_raw_init(broken == Some(BrokenDemo::StructRawInit));
         BrokenGuard { _lock: lock }
     }
 }
@@ -509,11 +977,13 @@ impl Drop for BrokenGuard {
     fn drop(&mut self) {
         multiverse::broken::set_traverse_le(false);
         multiverse::broken::set_supersede_no_gate(false);
+        txstructs::broken::set_raw_init(false);
+        txstructs::node::sim_node_reuse(false);
     }
 }
 
 /// Format a checker report's violations for the exploration output.
-fn violation_lines(report: &Report) -> Vec<String> {
+pub(crate) fn violation_lines(report: &Report) -> Vec<String> {
     report.violations.iter().map(|v| v.to_string()).collect()
 }
 
@@ -521,7 +991,7 @@ fn violation_lines(report: &Report) -> Vec<String> {
 /// [`checker::check_history`]; a schedule that aborts (panic, livelock,
 /// deadlock, stale token) is a violation too.
 /// Restores the default panic hook on scope exit.
-struct PanicHookGuard;
+pub(crate) struct PanicHookGuard;
 
 impl Drop for PanicHookGuard {
     fn drop(&mut self) {
@@ -536,7 +1006,7 @@ impl Drop for PanicHookGuard {
 /// backtrace for each would drown the report — which still carries the
 /// message through `Abort::Panic`. Panics on non-sim threads (the explorer
 /// itself, the test harness) keep the default output.
-fn silence_sim_panics() -> PanicHookGuard {
+pub(crate) fn silence_sim_panics() -> PanicHookGuard {
     let prev = std::panic::take_hook();
     std::panic::set_hook(Box::new(move |info| {
         let on_sim_thread = std::thread::current()
@@ -567,13 +1037,16 @@ pub fn run_explore(spec: &ExploreSpec) -> ExploreReport {
         move || run_model(scen),
         |outcome| {
             let (details, digest) = match &outcome.result {
-                Ok(history) => {
-                    let report = checker::check_history(history);
-                    if report.is_clean() {
-                        (Vec::new(), history_digest(history))
-                    } else {
-                        (violation_lines(&report), history_digest(history))
-                    }
+                Ok(run) => {
+                    let report = checker::check_history(&run.history);
+                    let mut details = violation_lines(&report);
+                    details.extend(run.audit.iter().map(|detail| {
+                        checker::Violation::StructAudit {
+                            detail: detail.clone(),
+                        }
+                        .to_string()
+                    }));
+                    (details, history_digest(&run.history))
                 }
                 Err(abort) => (vec![format!("schedule aborted: {abort:?}")], 0),
             };

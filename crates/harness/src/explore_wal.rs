@@ -1,0 +1,338 @@
+//! # explore_wal — schedule exploration of the WAL durability pipeline
+//! (features `sim` + `crashpoint`).
+//!
+//! The crash harness ([`crate::crash`]) injects faults at named sites but
+//! takes whatever thread interleaving the OS happens to produce. This
+//! module composes the two fault dimensions: the WAL session's cross-thread
+//! pipeline state lives on the instrumented `tm_api::sync` facade and its
+//! group-commit loop runs *manually* ([`wal::WalConfig::manual_bg`]) on a
+//! simulated thread, so the `sim` scheduler enumerates interleavings of
+//!
+//! * the commit tap (sequence fetch + per-thread buffer push, called while
+//!   the committing transaction still holds its stripe locks),
+//! * the group-commit merge (drain, gap hold-back, append, fsync, rotate),
+//! * the checkpoint writer (Mode-V snapshot, tmp-file write, rename,
+//!   rotation request, crash hand-off).
+//!
+//! Each scenario then optionally crashes at one named [`Site`] *per
+//! explored schedule*, recovers the directory, and judges the result with
+//! [`checker::check_recovery`] plus the live-history opacity check —
+//! so an interleaving-dependent durability bug (a record fsynced out of
+//! serialization order, a checkpoint image missing a pre-cut commit, a
+//! rotation losing the tail) shows up as an enumerable, replayable
+//! schedule rather than a flaky stress failure.
+//!
+//! | scenario                    | crash site per schedule        |
+//! |-----------------------------|--------------------------------|
+//! | `wal-commit`                | none (clean finish + recovery) |
+//! | `wal-crash-append`          | first segment append           |
+//! | `wal-crash-fsync`           | first segment fsync            |
+//! | `wal-crash-checkpoint-write`| checkpoint tmp-file write      |
+//! | `wal-crash-rotate`          | post-checkpoint segment open   |
+//!
+//! The model is fixed and small: two worker threads each commit one
+//! two-variable RMW transaction (two WAL records racing through the tap)
+//! while the model's root thread — itself a scheduled simulated thread —
+//! drives the group-commit loop step by step and writes a mid-run
+//! checkpoint from a versioned snapshot. Violations carry the schedule's
+//! replay token, same as the protocol and structure scenarios.
+
+use std::ops::ControlFlow;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::checker::{self, History};
+use crate::crash::{CrashRun, RecoverOpts};
+use crate::explore::{
+    canonicalize_logs, history_digest, silence_sim_panics, sim_config, violation_lines,
+    ExploreReport, ExploreViolation, EXPLORE_LOCK,
+};
+use crate::scenario::{bump, payload};
+use multiverse::{MultiverseConfig, MultiverseRuntime};
+use sim::{ExploreConfig, Strategy};
+use tm_api::{TVar, TmHandle, TmRuntime, Transaction, TxKind};
+use wal::crashpoint::{Plan, Site};
+
+// ---------------------------------------------------------------------------
+// Scenarios
+// ---------------------------------------------------------------------------
+
+/// A WAL exploration scenario: the fixed commit/group-commit/checkpoint
+/// model, either finishing cleanly or crashing at one named site on every
+/// explored schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalScenario {
+    /// No injected fault: every schedule must finish, recover to the full
+    /// durable state and pass both checkers.
+    Commit,
+    /// Crash at this site (first hit) on every schedule, then recover.
+    Crash(Site),
+}
+
+impl WalScenario {
+    /// Every WAL scenario: the clean one plus one crash per injection site.
+    pub fn all() -> Vec<WalScenario> {
+        let mut out = vec![WalScenario::Commit];
+        out.extend(Site::ALL.iter().map(|&s| WalScenario::Crash(s)));
+        out
+    }
+
+    /// Stable scenario name (`wal-commit`, `wal-crash-<site>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            WalScenario::Commit => "wal-commit",
+            WalScenario::Crash(Site::Append) => "wal-crash-append",
+            WalScenario::Crash(Site::Fsync) => "wal-crash-fsync",
+            WalScenario::Crash(Site::CheckpointWrite) => "wal-crash-checkpoint-write",
+            WalScenario::Crash(Site::Rotate) => "wal-crash-rotate",
+        }
+    }
+
+    /// Parse a scenario name as printed by [`Self::name`].
+    pub fn parse(s: &str) -> Option<WalScenario> {
+        WalScenario::all().into_iter().find(|w| w.name() == s)
+    }
+
+    /// Simulated thread count (two workers plus the scheduled root thread
+    /// driving group commit and the checkpoint).
+    pub fn threads(self) -> usize {
+        3
+    }
+}
+
+/// One WAL exploration request (mirror of [`crate::explore::ExploreSpec`]
+/// minus the broken-demo switch — the durability pipeline has no
+/// reintroduced-bug modes, the crash sites *are* the fault dimension).
+#[derive(Debug, Clone)]
+pub struct WalExploreSpec {
+    /// The scenario to explore.
+    pub scenario: WalScenario,
+    /// Exhaustive DFS, seeded sampling, or single-token replay.
+    pub strategy: Strategy,
+    /// Maximum preemptive context switches per schedule.
+    pub preemption_bound: u32,
+    /// Stop at the first violating schedule.
+    pub stop_on_violation: bool,
+}
+
+impl WalExploreSpec {
+    /// Exhaustive exploration of a scenario with the given preemption bound.
+    pub fn exhaustive(scenario: WalScenario, preemption_bound: u32) -> Self {
+        Self {
+            scenario,
+            strategy: Strategy::Exhaustive,
+            preemption_bound,
+            stop_on_violation: true,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The model
+// ---------------------------------------------------------------------------
+
+/// Torn-tail seed for injected crashes: fixed, so a schedule's recovery
+/// outcome is a pure function of its interleaving.
+const TORN_SEED: u64 = 7;
+
+/// Distinguishes each explored schedule's scratch WAL directory. Plain
+/// `std` atomic on purpose: allocating the directory name must not add a
+/// yield point to the schedule space.
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_wal_dir() -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("mv-simwal-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// What one model run produced: the canonical live history (for digests and
+/// replay identity) and every violation either checker raised against the
+/// schedule's recovery.
+struct WalModelRun {
+    history: History,
+    violations: Vec<String>,
+}
+
+/// Read-modify-write both variables in one transaction, under the
+/// checker's bump discipline.
+fn rmw_both<T: Transaction>(tx: &mut T, vars: &[TVar<u64>]) -> tm_api::abort::TxResult<()> {
+    for v in vars {
+        let x = tx.read_var(v)?;
+        tx.write_var(v, bump(x, payload(x) + 1))?;
+    }
+    Ok(())
+}
+
+/// Run the WAL model once inside a controlled execution: workload + manual
+/// group commit + checkpoint (+ the scenario's injected crash), then
+/// recovery and both checkers on this schedule's outcome.
+fn run_wal_model(scen: WalScenario) -> WalModelRun {
+    let dir = fresh_wal_dir();
+    // The checkpoint snapshot must be a versioned read-only attempt (its
+    // read clock is the exact cut); no forced mode — the durability path
+    // composes with whatever mode the runtime infers.
+    let cfg = MultiverseConfig {
+        k1_versioned_after: 0,
+        ..sim_config()
+    };
+    let rt = MultiverseRuntime::start(cfg);
+    let vars: Arc<Vec<TVar<u64>>> = Arc::new((0..2).map(|_| TVar::new(0)).collect());
+    let initial = vec![0u64; vars.len()];
+    let addrs: Vec<usize> = vars.iter().map(|v| v.word().addr()).collect();
+
+    let mut wal_cfg = wal::WalConfig::new(&dir);
+    wal_cfg.manual_bg = true;
+    let mut handle = wal::start(wal_cfg).expect("wal session starts");
+    if let WalScenario::Crash(site) = scen {
+        wal::crashpoint::arm(Plan::CrashAt {
+            site,
+            skip: 0,
+            torn_seed: TORN_SEED,
+        });
+    }
+
+    let guard = tm_api::record::start();
+    let (rt_a, vs) = (Arc::clone(&rt), Arc::clone(&vars));
+    let w1 = sim::thread::spawn(move || {
+        let mut h = rt_a.register();
+        h.txn(TxKind::ReadWrite, |tx| rmw_both(tx, &vs));
+        tm_api::record::flush_thread();
+    });
+    let (rt_b, vs) = (Arc::clone(&rt), Arc::clone(&vars));
+    let w2 = sim::thread::spawn(move || {
+        let mut h = rt_b.register();
+        h.txn(TxKind::ReadWrite, |tx| rmw_both(tx, &vs));
+        tm_api::record::flush_thread();
+    });
+
+    // The root thread is itself scheduled: these steps interleave with the
+    // workers' commit taps. One drain before the checkpoint, one after it
+    // (serving the rotation request or executing a handed-over crash).
+    handle.bg_step();
+    {
+        let mut h = rt.register();
+        let (rv, image) = h.txn(TxKind::ReadOnly, |tx| {
+            debug_assert!(tx.is_versioned_attempt());
+            let rv = tx.snapshot_clock();
+            let mut image = Vec::with_capacity(vars.len());
+            for v in vars.iter() {
+                image.push((v.word().addr() as u64, tx.read_var(v)?));
+            }
+            Ok((rv, image))
+        });
+        let _ = handle.checkpoint(rv, &image);
+    }
+    handle.bg_step();
+    w1.join().unwrap();
+    w2.join().unwrap();
+    // Deterministic tail: workers are joined, every fetched seq has been
+    // pushed; this step plus finish()'s final one cover the whole run.
+    handle.bg_step();
+
+    tm_api::record::flush_thread();
+    let logs = canonicalize_logs(guard.finish());
+    let finish = handle.finish();
+    wal::crashpoint::disarm();
+    let final_mem: Vec<u64> = vars.iter().map(|v| v.load_direct()).collect();
+    rt.shutdown();
+
+    let run = CrashRun {
+        label: scen.name().to_string(),
+        logs,
+        addrs,
+        initial,
+        final_mem,
+        finish,
+    };
+    let floor = run.durable_floor();
+    let verdict = crate::crash::recover_and_check(&run, &dir, &RecoverOpts::default(), &floor);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut violations = violation_lines(&verdict.recovery);
+    violations.extend(violation_lines(&verdict.live));
+    let history = checker::from_record::history_from_logs(
+        "multiverse",
+        scen.name(),
+        run.logs,
+        &run.addrs,
+        run.initial,
+        run.final_mem,
+    );
+    WalModelRun {
+        history,
+        violations,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The exploration driver
+// ---------------------------------------------------------------------------
+
+/// Run one WAL exploration: every explored schedule executes the model,
+/// recovers its WAL directory and must satisfy both the recovery checker
+/// (durable prefix + floor) and the live history checker.
+pub fn run_wal_explore(spec: &WalExploreSpec) -> ExploreReport {
+    // Same process-exclusive regime as the protocol explorations: the WAL
+    // session, the crashpoint plan and the recording session are global.
+    let _lock = EXPLORE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _hook = silence_sim_panics();
+    let cfg = ExploreConfig {
+        preemption_bound: spec.preemption_bound,
+        ..ExploreConfig::default()
+    };
+    let scen = spec.scenario;
+    let stop = spec.stop_on_violation;
+    let mut clean = 0u64;
+    let mut violating = 0u64;
+    let mut first: Option<ExploreViolation> = None;
+    let stats = sim::explore(
+        &cfg,
+        spec.strategy.clone(),
+        move || run_wal_model(scen),
+        |outcome| {
+            let (details, digest) = match &outcome.result {
+                Ok(run) => (run.violations.clone(), history_digest(&run.history)),
+                Err(abort) => (vec![format!("schedule aborted: {abort:?}")], 0),
+            };
+            if details.is_empty() {
+                clean += 1;
+                ControlFlow::Continue(())
+            } else {
+                violating += 1;
+                if first.is_none() {
+                    first = Some(ExploreViolation {
+                        schedule_index: outcome.index,
+                        token: outcome.token.clone(),
+                        history_digest: digest,
+                        details,
+                    });
+                }
+                if stop {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            }
+        },
+    );
+    ExploreReport {
+        scenario: scen.name(),
+        broken: None,
+        stats,
+        clean_schedules: clean,
+        violating_schedules: violating,
+        first_violation: first,
+    }
+}
+
+/// The stable command line that reproduces a violation found by
+/// [`run_wal_explore`].
+pub fn repro_command(spec: &WalExploreSpec, token: &str) -> String {
+    format!(
+        "cargo run -p harness --features sim,crashpoint --bin explore -- --scenario {} --replay {token}",
+        spec.scenario.name()
+    )
+}

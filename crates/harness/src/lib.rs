@@ -24,6 +24,8 @@ pub mod crash;
 pub mod driver;
 #[cfg(feature = "sim")]
 pub mod explore;
+#[cfg(all(feature = "sim", feature = "crashpoint"))]
+pub mod explore_wal;
 pub mod figures;
 pub mod measure;
 pub mod registry;

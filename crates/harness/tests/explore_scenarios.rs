@@ -2,9 +2,11 @@
 //!
 //! These are the teeth of the exploration harness:
 //!
-//! * exhaustive 2-thread exploration of every scenario completes and is
-//!   clean with the protocol intact;
-//! * both reintroduced-bug demos are flagged by exhaustive exploration —
+//! * exhaustive 2-thread exploration of every scenario — protocol and
+//!   structure families — completes and is clean with the protocol intact;
+//! * bound-2 schedule counts are pinned, and pinned *strictly below* the
+//!   pre-sleep-set counts (the sleep-set DPOR reduction must not regress);
+//! * every reintroduced-bug demo is flagged by exhaustive exploration —
 //!   deterministically (two runs agree on the first violating schedule);
 //! * a violation's token replays to the same violating history (digest
 //!   equality).
@@ -48,6 +50,101 @@ fn exhaustive_exploration_is_clean_with_protocol_intact() {
         );
         assert!(report.stats.schedules >= 1);
     }
+}
+
+/// Bound-2 exhaustive schedule counts, pinned.
+///
+/// The third column is the measured count of the same scenario *before*
+/// sleep-set DPOR (the PR 7 explorer, with only the in-run race
+/// suppression); asserting `pinned < before` is the regression teeth for
+/// the sleep sets: they must strictly reduce the explored space on every
+/// scenario while the clean/complete assertions above prove no violation
+/// is lost. A change to these counts means the schedule space changed —
+/// deliberate protocol/scenario changes update the pin, anything else is
+/// a determinism bug.
+#[test]
+fn sleep_sets_strictly_reduce_pinned_schedule_counts() {
+    const PINS: &[(ExploreScenario, u64, u64)] = &[
+        (ExploreScenario::Traverse, 254, 411),
+        (ExploreScenario::Supersede, 85, 96),
+        (ExploreScenario::ModeSwitch, 210, 221),
+        (ExploreScenario::Commit, 102, 128),
+    ];
+    for &(scenario, pinned, before_sleep_sets) in PINS {
+        let report = run_explore(&exhaustive(scenario, None));
+        assert!(report.stats.complete, "{} did not drain", report.scenario);
+        assert_eq!(
+            report.stats.schedules, pinned,
+            "{}: bound-2 schedule count drifted from its pin",
+            report.scenario
+        );
+        assert!(
+            pinned < before_sleep_sets,
+            "{}: sleep sets no longer strictly reduce ({} >= {})",
+            report.scenario,
+            pinned,
+            before_sleep_sets
+        );
+        assert!(
+            report.stats.sleep_skips > 0,
+            "{}: exploration drained without a single sleep-set skip",
+            report.scenario
+        );
+    }
+}
+
+/// The structure scenarios' bound-2 counts, pinned for the same reason
+/// (no pre-sleep-set column: they were born after the sleep sets).
+#[test]
+fn structure_scenarios_have_pinned_schedule_counts() {
+    const PINS: &[(ExploreScenario, u64)] = &[
+        (ExploreScenario::AbTree, 38),
+        (ExploreScenario::Avl, 39),
+        (ExploreScenario::ExtBst, 38),
+        (ExploreScenario::HashMap, 134),
+    ];
+    for &(scenario, pinned) in PINS {
+        let report = run_explore(&exhaustive(scenario, None));
+        assert!(report.stats.complete, "{} did not drain", report.scenario);
+        assert!(
+            report.is_clean(),
+            "{}: {:?}",
+            report.scenario,
+            report.first_violation
+        );
+        assert_eq!(
+            report.stats.schedules, pinned,
+            "{}: bound-2 schedule count drifted from its pin",
+            report.scenario
+        );
+    }
+}
+
+#[test]
+fn broken_struct_raw_init_is_flagged_deterministically() {
+    let spec = exhaustive(ExploreScenario::HashMap, Some(BrokenDemo::StructRawInit));
+    let a = run_explore(&spec);
+    let b = run_explore(&spec);
+    for (name, report) in [("first", &a), ("second", &b)] {
+        assert!(
+            !report.is_clean(),
+            "{name} exhaustive run missed the raw-init ghost key (schedules={}, complete={})",
+            report.stats.schedules,
+            report.stats.complete
+        );
+    }
+    let (va, vb) = (a.first_violation.unwrap(), b.first_violation.unwrap());
+    assert_eq!(va.token, vb.token, "detection depended on run-to-run state");
+    assert_eq!(va.history_digest, vb.history_digest);
+    // The signature of the PR 4 bug: the removed key is still visible
+    // through the reused node's stale version list.
+    assert!(
+        va.details
+            .iter()
+            .any(|d| d.contains("contains(1) saw true")),
+        "expected a ghost of removed key 1, got: {:?}",
+        va.details
+    );
 }
 
 #[test]

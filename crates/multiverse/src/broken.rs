@@ -16,8 +16,12 @@
 //!   non-linearizable history.
 //! * [`set_supersede_no_gate`] — disables the clock gate in
 //!   `flush_superseded` (the PR 2 bug), retiring superseded nodes whose
-//!   commit timestamp is still at the current clock. A late reader with the
-//!   same read clock walks past the reclaimed node into poisoned memory.
+//!   commit timestamp is still at the current clock, *and* restores the
+//!   matching historical traverse behaviour of walking past a committed
+//!   at-clock version (today's traverse aborts on that tie instead). A late
+//!   reader with the same read clock then walks past the reclaimed node
+//!   into poisoned memory — the two reverts belong together: the walk-past
+//!   is the only way the missing gate is ever observable.
 //!
 //! Only compiled with the `sim` feature; release builds carry no trace of
 //! these switches.

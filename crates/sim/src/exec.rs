@@ -45,10 +45,26 @@ pub enum Access {
 }
 
 impl Access {
-    fn obj(self) -> Option<usize> {
+    /// The intern id of the object this access touches, if any.
+    pub fn obj(self) -> Option<usize> {
         match self {
             Access::Load(o) | Access::Store(o) | Access::Rmw(o) => Some(o),
             _ => None,
+        }
+    }
+
+    /// Whether two accesses by *different* threads are dependent (do not
+    /// commute): both touch the same object and at least one writes it.
+    /// Everything else — accesses to distinct objects, two loads of the
+    /// same object, fences/spins/joins — commutes under the SC model, so
+    /// swapping their order yields a trace-equivalent execution. This is
+    /// the independence relation the explorer's sleep sets are built on.
+    pub fn dependent(self, other: Access) -> bool {
+        match (self.obj(), other.obj()) {
+            (Some(a), Some(b)) if a == b => {
+                !(matches!(self, Access::Load(_)) && matches!(other, Access::Load(_)))
+            }
+            _ => false,
         }
     }
 
@@ -105,12 +121,21 @@ struct ThreadSt {
     /// re-check loop touches only a handful of cells per iteration).
     since_spin: Vec<usize>,
     /// The `since_spin` set captured at the last `Spin`: the re-check loop's
-    /// footprint. Accesses to these objects are *spin retries* — repeating a
-    /// check the first iteration already performed — and raise no backtrack
+    /// footprint, i.e. the set of objects the thread is *asleep on* while it
+    /// spins. Accesses to these objects are spin retries — repeating a check
+    /// the first iteration already performed — and raise no backtrack
     /// requests, or DPOR would insert one more failed iteration per schedule
     /// and diverge. The first (pre-spin) iteration raised the races, so the
     /// reorderings that change what the check observes are still explored.
     /// The first access outside the footprint clears it (loop exited).
+    ///
+    /// This is the in-run counterpart of the explorer's sleep sets
+    /// (`explore.rs`): sleep sets prune *branches* whose first step commutes
+    /// with an already-explored sibling, while this rule prunes *races*
+    /// inside one branch that only re-observe a spin condition. Sleep sets
+    /// alone cannot subsume it — a spinning read and the store it awaits are
+    /// dependent, so every extra failed iteration would look like a fresh
+    /// reversal to plain DPOR.
     retry_objs: Vec<usize>,
 }
 
@@ -138,8 +163,22 @@ struct ObjSt {
 pub struct RunNode {
     /// Schedulable threads at the node, ascending thread id.
     pub candidates: Vec<usize>,
+    /// Each candidate's pending access (parallel to `candidates`). The
+    /// explorer's sleep sets use these to decide which untried candidates
+    /// commute with the executed one.
+    pub pendings: Vec<Access>,
     /// The thread whose pending access was executed.
     pub chosen: usize,
+}
+
+impl RunNode {
+    /// The pending access of thread `t` at this node.
+    pub fn pending_of(&self, t: usize) -> Option<Access> {
+        self.candidates
+            .iter()
+            .position(|&c| c == t)
+            .map(|i| self.pendings[i])
+    }
 }
 
 /// How post-script choices are made.
@@ -507,8 +546,16 @@ impl SchedState {
             self.preemptions += 1;
         }
         let node = self.nodes.len();
+        let pendings = cands
+            .iter()
+            .map(|&t| match self.threads[t].run {
+                Run::Pending(a) => a,
+                ref other => panic!("candidate {t} not pending: {other:?}"),
+            })
+            .collect();
         self.nodes.push(RunNode {
             candidates: cands,
+            pendings,
             chosen,
         });
         self.commit(chosen, Some(node));

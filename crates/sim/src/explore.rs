@@ -10,7 +10,7 @@
 //! therefore explore exactly one schedule, and only causally-concurrent
 //! conflicting accesses multiply the schedule count.
 
-use crate::exec::{Abort, Exec, Mode, RunConfig, RunRecord};
+use crate::exec::{Abort, Access, Exec, Mode, RunConfig, RunRecord};
 use crate::token;
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
@@ -79,14 +79,66 @@ pub struct ExploreStats {
     pub max_nodes: usize,
     /// DPOR backtrack requests raised by races (after dedup).
     pub race_requests: u64,
+    /// Requested alternatives pruned by sleep sets: the candidate's first
+    /// step commutes with everything executed since an already-explored
+    /// sibling branch covered it, so replaying it here would only permute
+    /// independent steps of a schedule already seen.
+    pub sleep_skips: u64,
 }
 
 /// One DFS path node with its exploration bookkeeping.
 struct PNode {
     candidates: Vec<usize>,
+    /// Pending access per candidate (parallel to `candidates`).
+    pendings: Vec<Access>,
     chosen: usize,
     tried: BTreeSet<usize>,
     todo: BTreeSet<usize>,
+}
+
+impl PNode {
+    fn pending_of(&self, t: usize) -> Option<Access> {
+        self.candidates
+            .iter()
+            .position(|&c| c == t)
+            .map(|i| self.pendings[i])
+    }
+}
+
+/// The sleep set at entry of node `upto`, implied by the current path
+/// (Flanagan–Godefroid). A thread sleeps when an already-explored sibling
+/// branch at some ancestor covers every trace in which it is scheduled
+/// next; it wakes at the first executed access its pending step does not
+/// commute with. Entry sleep depends only on ancestors of `upto` — all of
+/// whose `tried`/`chosen` are frozen while `upto` is on the path — so the
+/// value is stable for the node's lifetime and can be recomputed on demand.
+fn entry_sleep(path: &[PNode], upto: usize) -> BTreeSet<usize> {
+    let mut sleep = BTreeSet::new();
+    for n in path.iter().take(upto) {
+        let Some(exec) = n.pending_of(n.chosen) else {
+            // Scripted replay guarantees chosen is a candidate.
+            continue;
+        };
+        // Siblings explored at this node before the current choice are now
+        // asleep for the subtree; the chosen thread itself always wakes.
+        let mut eff = sleep;
+        for &t in &n.tried {
+            eff.insert(t);
+        }
+        eff.remove(&n.chosen);
+        sleep = eff
+            .into_iter()
+            .filter(|&u| match n.pending_of(u) {
+                // Still asleep only if its pending step commutes with the
+                // executed one. An asleep thread is unscheduled, so its
+                // pending access is unchanged; if it is somehow not a
+                // candidate here, drop it (conservative).
+                Some(p) => !p.dependent(exec),
+                None => false,
+            })
+            .collect();
+    }
+    sleep
 }
 
 fn run_one<T, F>(rc: RunConfig, model: &Arc<F>) -> (RunRecord, Option<T>)
@@ -248,8 +300,8 @@ where
                 for (i, rn) in rec.nodes.iter().enumerate() {
                     if i < path.len() {
                         assert_eq!(
-                            (&path[i].candidates, path[i].chosen),
-                            (&rn.candidates, rn.chosen),
+                            (&path[i].candidates, &path[i].pendings, path[i].chosen),
+                            (&rn.candidates, &rn.pendings, rn.chosen),
                             "nondeterministic replay at node {i}: instrument the \
                              diverging synchronization site or remove the \
                              uncontrolled input"
@@ -257,6 +309,7 @@ where
                     } else {
                         path.push(PNode {
                             candidates: rn.candidates.clone(),
+                            pendings: rn.pendings.clone(),
                             chosen: rn.chosen,
                             tried: BTreeSet::from([rn.chosen]),
                             todo: BTreeSet::new(),
@@ -289,14 +342,26 @@ where
                     break;
                 }
                 // Backtrack: deepest node with an untried requested
-                // alternative that stays within the preemption bound.
+                // alternative that stays within the preemption bound and is
+                // not asleep (sleep-set pruning: an asleep alternative only
+                // permutes independent steps of an explored schedule).
                 let mut advanced = false;
                 'select: for i in (0..path.len()).rev() {
+                    let mut sleep: Option<BTreeSet<usize>> = None;
                     while let Some(&t) = path[i].todo.iter().next() {
                         path[i].todo.remove(&t);
                         if cfg.preemption_bound != u32::MAX
                             && path_preemptions(&path, i, t) > cfg.preemption_bound
                         {
+                            continue;
+                        }
+                        let sleep = sleep.get_or_insert_with(|| entry_sleep(&path, i));
+                        if sleep.contains(&t) {
+                            // Entry sleep is fixed for the node's lifetime,
+                            // so a re-requested `t` would be skipped again:
+                            // mark it tried to drop future requests.
+                            stats.sleep_skips += 1;
+                            path[i].tried.insert(t);
                             continue;
                         }
                         path[i].tried.insert(t);

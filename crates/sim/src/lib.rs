@@ -29,7 +29,7 @@ pub mod thread;
 pub mod token;
 pub mod vv;
 
-pub use exec::{Abort, Mode, RunNode, HOOKED_OPS};
+pub use exec::{Abort, Access, Mode, RunNode, HOOKED_OPS};
 pub use explore::{explore, ExploreConfig, ExploreStats, ScheduleOutcome, Strategy};
 
 use exec::RawAccess;

@@ -107,4 +107,85 @@ mod tests {
         assert!(decode("02").is_err()); // bad version
         assert!(decode("01ff").is_err()); // truncated varint
     }
+
+    #[test]
+    fn rejects_other_versions_with_a_clear_error() {
+        // A token from a future (or corrupted) format version must be
+        // refused outright, not parsed as a silently different schedule.
+        let good = encode(2, &[0, 1, 1, 0]);
+        for v in ["00", "02", "7f", "ff"] {
+            let relabeled = format!("{v}{}", &good[2..]);
+            let err = decode(&relabeled).unwrap_err();
+            assert!(err.contains("version"), "unexpected error: {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_byte_boundary() {
+        // Chopping a valid token anywhere must yield an error — never a
+        // panic, and never a shorter schedule accepted as valid.
+        let good = encode(3, &[0, 1, 2, 300, 1, 0, 77]);
+        for cut in (2..good.len()).step_by(2) {
+            assert!(
+                decode(&good[..cut]).is_err(),
+                "truncated token accepted at byte {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_and_oversized_payloads() {
+        let good = encode(1, &[1, 0, 1]);
+        assert!(decode(&format!("{good}00"))
+            .unwrap_err()
+            .contains("trailing"));
+        // Choice count beyond the plausibility cap.
+        let mut bytes = vec![1u8];
+        push_varint(&mut bytes, 1);
+        push_varint(&mut bytes, (1 << 24) + 1);
+        let s: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
+        assert!(decode(&s).unwrap_err().contains("implausibly large"));
+        // Preemption bound that does not fit u32.
+        let mut bytes = vec![1u8];
+        push_varint(&mut bytes, u64::from(u32::MAX) + 1);
+        push_varint(&mut bytes, 0);
+        let s: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
+        assert!(decode(&s).unwrap_err().contains("bound out of range"));
+        // A varint spanning more than 64 bits.
+        let s = format!("01{}", "ff".repeat(11));
+        assert!(decode(&s).unwrap_err().contains("overflow"));
+    }
+
+    #[test]
+    fn corrupt_bytes_never_panic() {
+        // Deterministic byte-level fuzz: every single-byte corruption of a
+        // valid token, plus pseudorandom hex strings, must either decode to
+        // *something* or error — but never panic and never round-trip to a
+        // different token that decodes to another schedule silently.
+        let good = encode(2, &[0, 1, 2, 1, 0, 1, 2, 5]);
+        for i in 0..good.len() {
+            let mut s: Vec<u8> = good.as_bytes().to_vec();
+            for c in [b'0', b'7', b'f', b'z'] {
+                s[i] = c;
+                let s = String::from_utf8(s.clone()).unwrap();
+                if let Ok((bound, choices)) = decode(&s) {
+                    // Accepted corruptions must re-encode canonically: the
+                    // schedule they name is exactly what the bytes say.
+                    assert_eq!(decode(&encode(bound, &choices)).unwrap(), (bound, choices));
+                }
+            }
+        }
+        let mut z = 0x9e37_79b9_97f4_a7c1u64;
+        for _ in 0..500 {
+            z = z.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(1);
+            let len = (z % 24) as usize;
+            let s: String = (0..len)
+                .map(|i| {
+                    let nib = (z >> (i % 16)) & 0xf;
+                    char::from_digit(nib as u32, 16).unwrap()
+                })
+                .collect();
+            let _ = decode(&s); // must not panic
+        }
+    }
 }

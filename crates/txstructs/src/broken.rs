@@ -1,0 +1,31 @@
+//! Reintroduced-bug switches for schedule-exploration demos (`sim` builds
+//! only). Mirrors `multiverse::broken`: each switch disables one safety
+//! property this crate's structural invariants normally make
+//! unrepresentable, so the exploration harness can prove the checkers
+//! would catch the bug class deterministically.
+//!
+//! * [`set_raw_init`] — re-introduces the PR 4 ghost-key bug:
+//!   [`crate::node::alloc_node`] initialises the node's fields with **raw
+//!   stores** instead of TM writes, bypassing the `TxNodeInit` contract. At
+//!   a reused address the TM's per-address metadata (stripes, version
+//!   lists) then still carries the previous node generation's values, so a
+//!   multiversioned reader traversing to the node reads the *old*
+//!   generation's key/pointer fields — ghost or missing keys, flagged by
+//!   the presence audit of the structure scenarios.
+//!
+//! Process-global plain `std` atomics on purpose: these are harness
+//! configuration, not protocol state, and must not generate yield points.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static RAW_INIT: AtomicBool = AtomicBool::new(false);
+
+/// Whether `alloc_node` bypasses `TxNodeInit` with raw field stores.
+pub fn raw_init() -> bool {
+    RAW_INIT.load(Ordering::Relaxed)
+}
+
+/// Enable/disable the raw-init bug (exploration demos only).
+pub fn set_raw_init(on: bool) {
+    RAW_INIT.store(on, Ordering::Relaxed);
+}

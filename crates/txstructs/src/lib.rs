@@ -31,6 +31,8 @@
 
 pub mod abtree;
 pub mod avl;
+#[cfg(feature = "sim")]
+pub mod broken;
 pub mod extbst;
 pub mod hashmap;
 pub mod list;

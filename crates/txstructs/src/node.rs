@@ -156,6 +156,107 @@ thread_local! {
     static NODE_CACHE: RefCell<NodeCache> = RefCell::new(NodeCache::new());
 }
 
+/// Deterministic node-address reuse for schedule exploration.
+///
+/// Under `sim` the epoch pools bypass themselves (`ebr::pool`): every
+/// allocation is fresh and every free leaks, so each explored schedule
+/// starts from identical allocator-visible state. That kills the very
+/// behaviour the ghost-key bug class needs — **address reuse** — so the
+/// structure scenarios opt into this layer instead: freed struct nodes go
+/// onto a per-class LIFO stack (plain `std` sync — harness machinery, no
+/// yield points) and `alloc_node` pops from it first. Execution under sim
+/// is serialized, so push/pop order is a pure function of the schedule;
+/// the scenario resets the stacks at the start of every model run, making
+/// reuse exactly as deterministic as the schedule itself. Debug poison is
+/// still stamped on capture, so stale traversals into a dead (not yet
+/// reused) node keep tripping.
+#[cfg(feature = "sim")]
+mod sim_reuse {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static FREE: Mutex<[Vec<usize>; super::CLASS_COUNT]> =
+        Mutex::new([const { Vec::new() }; super::CLASS_COUNT]);
+
+    fn lock() -> std::sync::MutexGuard<'static, [Vec<usize>; super::CLASS_COUNT]> {
+        match FREE.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Capture a freed slot for deterministic reuse. Returns false when the
+    /// layer is disabled or no sim execution is active (caller falls back
+    /// to the pool).
+    pub(super) fn capture(class: usize, p: *mut u8) -> bool {
+        if !ENABLED.load(Ordering::Relaxed) || !sim::active() {
+            return false;
+        }
+        lock()[class].push(p as usize);
+        true
+    }
+
+    /// Pop the most recently freed slot of `class`, if any.
+    pub(super) fn pop(class: usize) -> Option<*mut u8> {
+        if !ENABLED.load(Ordering::Relaxed) || !sim::active() {
+            return None;
+        }
+        lock()[class].pop().map(|a| a as *mut u8)
+    }
+
+    pub(super) fn set_enabled(on: bool) {
+        ENABLED.store(on, Ordering::Relaxed);
+    }
+
+    pub(super) fn reset() {
+        for v in lock().iter_mut() {
+            v.clear();
+        }
+    }
+}
+
+/// Enable/disable deterministic sim-mode node reuse (exploration scenarios
+/// only; no effect outside an active sim execution).
+#[cfg(feature = "sim")]
+pub fn sim_node_reuse(on: bool) {
+    sim_reuse::set_enabled(on);
+}
+
+/// Clear the sim reuse stacks. Call at the start of every explored model
+/// run so each schedule sees an identical (empty) reuse state.
+#[cfg(feature = "sim")]
+pub fn sim_node_reuse_reset() {
+    sim_reuse::reset();
+}
+
+/// The raw-store `Transaction` shim behind `broken::raw_init`: re-creates
+/// the PR 4 bug by letting `write_fields` bypass the TM entirely. Reads and
+/// writes go straight to the word; nothing is logged, stamped, or
+/// versioned — exactly what `TxNodeInit` exists to make unrepresentable.
+#[cfg(feature = "sim")]
+struct RawInitTx;
+
+#[cfg(feature = "sim")]
+impl Transaction for RawInitTx {
+    fn read(&mut self, word: &tm_api::TxWord) -> TxResult<u64> {
+        Ok(word.load_direct())
+    }
+
+    fn write(&mut self, word: &tm_api::TxWord, value: u64) -> TxResult<()> {
+        word.store_direct(value);
+        Ok(())
+    }
+
+    fn defer_alloc(&mut self, _ptr: *mut u8, _dtor: tm_api::traits::Dtor) {}
+
+    fn defer_retire(&mut self, _ptr: *mut u8, _dtor: tm_api::traits::Dtor) {}
+
+    fn read_count(&self) -> u64 {
+        0
+    }
+}
+
 /// A pooled transactional node type.
 ///
 /// Implementing this trait is the *audit point* for the ROADMAP invariant
@@ -217,18 +318,31 @@ pub fn alloc_node<N: TxNodeInit, X: Transaction>(tx: &mut X, init: N::Init) -> T
             "pooled node types must not have drop glue"
         );
     }
-    let p = NODE_CACHE.with(|c| {
-        let mut c = c.borrow_mut();
-        let (p, src) = c.handle.alloc(class_of::<N>());
-        c.note(src);
-        p
-    });
+    let fresh = || {
+        NODE_CACHE.with(|c| {
+            let mut c = c.borrow_mut();
+            let (p, src) = c.handle.alloc(class_of::<N>());
+            c.note(src);
+            p
+        })
+    };
+    #[cfg(feature = "sim")]
+    let p = sim_reuse::pop(class_of::<N>()).unwrap_or_else(fresh);
+    #[cfg(not(feature = "sim"))]
+    let p = fresh();
     // Safety: the slot is exclusively owned, cache-line aligned and at least
     // size_of::<N>() bytes (compile-time asserts above).
     unsafe { (p as *mut N).write(N::vacant()) };
     tx.defer_alloc(p, release_dtor::<N>());
     // Safety: just written; exclusively owned until the commit publishes it.
     let node = unsafe { &*(p as *const N) };
+    #[cfg(feature = "sim")]
+    if crate::broken::raw_init() {
+        // Reintroduced PR 4 bug (exploration demo): initialise the fields
+        // with raw stores instead of TM writes. See `crate::broken`.
+        node.write_fields(&mut RawInitTx, &init)?;
+        return Ok(p as usize as u64);
+    }
     node.write_fields(tx, &init)?;
     Ok(p as usize as u64)
 }
@@ -270,6 +384,10 @@ fn poison_slot<N>(p: *mut u8) {
 fn release_dtor<N: TxNodeInit>() -> unsafe fn(*mut u8) {
     unsafe fn release<N: TxNodeInit>(p: *mut u8) {
         poison_slot::<N>(p);
+        #[cfg(feature = "sim")]
+        if sim_reuse::capture(class_of::<N>(), p) {
+            return;
+        }
         // Safety: the slot was allocated from this class and never
         // published (the TM rolled the publishing writes back).
         unsafe { STRUCT_POOL.push(class_of::<N>(), p) };
@@ -286,6 +404,10 @@ fn recycle_dtor<N: TxNodeInit>() -> unsafe fn(*mut u8) {
         tm_api::stats::struct_pool_counters()
             .recycled
             .fetch_add(1, Ordering::Relaxed);
+        #[cfg(feature = "sim")]
+        if sim_reuse::capture(class_of::<N>(), p) {
+            return;
+        }
         // Safety: grace period elapsed (retire-destructor contract).
         unsafe { STRUCT_POOL.push(class_of::<N>(), p) };
     }

@@ -25,6 +25,23 @@
 //! Callers must join their worker threads before [`WalHandle::finish`]: a
 //! worker that has fetched a seq but not yet pushed it would otherwise hold
 //! back the final flush of everything behind it.
+//!
+//! ## Deterministic exploration (`tm_api::sync`)
+//!
+//! The cross-thread pipeline state — the global sequence counter, the
+//! per-thread pending buffers and their registry, and the handle ↔
+//! group-commit channel ([`BgShared`]) — lives on the [`tm_api::sync`]
+//! facade: plain `std::sync` in normal builds, scheduler-instrumented
+//! yield points when the workspace is built with tm-api's `sim` feature.
+//! Combined with [`WalConfig::manual_bg`] (the group-commit loop driven by
+//! explicit [`WalHandle::bg_step`] calls instead of an OS thread), the
+//! schedule explorer can enumerate interleavings of commit-tap pushes,
+//! group-commit drains and the checkpoint writer. Session *lifecycle*
+//! flags (`ACTIVE`/`CRASHED`/`FAILED`/`RUN_ID`) stay on plain `std`
+//! atomics on purpose: they gate whether the tap runs at all, so making
+//! them yield points would perturb every non-WAL exploration's schedule
+//! space for no coverage (they only change at deterministic session
+//! boundaries).
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -35,6 +52,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
+use tm_api::sync as tmsync;
 
 use crate::crashpoint::{self, Action, Site};
 use crate::frame::{encode_record, Record};
@@ -50,6 +68,10 @@ pub struct WalConfig {
     pub io_max_retries: u32,
     /// Initial retry backoff; doubles per attempt.
     pub io_backoff: Duration,
+    /// Drive the group-commit loop manually through [`WalHandle::bg_step`]
+    /// instead of an OS thread. Used by the schedule explorer, where the
+    /// driver must be a simulated thread the scheduler can interleave.
+    pub manual_bg: bool,
 }
 
 impl WalConfig {
@@ -60,6 +82,7 @@ impl WalConfig {
             flush_interval: Duration::from_micros(500),
             io_max_retries: 4,
             io_backoff: Duration::from_micros(50),
+            manual_bg: false,
         }
     }
 }
@@ -68,15 +91,15 @@ static ACTIVE: AtomicBool = AtomicBool::new(false);
 static CRASHED: AtomicBool = AtomicBool::new(false);
 static FAILED: AtomicBool = AtomicBool::new(false);
 static RUN_ID: AtomicU64 = AtomicU64::new(0);
-static NEXT_SEQ: AtomicU64 = AtomicU64::new(1);
+static NEXT_SEQ: tmsync::AtomicU64 = tmsync::AtomicU64::new(1);
 /// Serializes whole sessions; held by the [`WalHandle`].
 static SESSION: Mutex<()> = Mutex::new(());
 /// Registry of every thread's pending buffer for the current run.
-static BUFFERS: Mutex<Vec<Arc<ThreadBuf>>> = Mutex::new(Vec::new());
+static BUFFERS: tmsync::Mutex<Vec<Arc<ThreadBuf>>> = tmsync::Mutex::new(Vec::new());
 
 struct ThreadBuf {
     run: u64,
-    pending: Mutex<Vec<Record>>,
+    pending: tmsync::Mutex<Vec<Record>>,
 }
 
 thread_local! {
@@ -84,6 +107,13 @@ thread_local! {
 }
 
 fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Same policy for state on the instrumented facade. (With tm-api's `sim`
+/// feature off these are the same types; with it on the instrumented lock
+/// is a yield point the explorer schedules around.)
+fn lock_sync<T>(m: &tmsync::Mutex<T>) -> tmsync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
@@ -117,13 +147,13 @@ pub fn log_commit(writes: &[(u64, u64)], commit_ts: u64) {
         if slot.as_ref().map(|b| b.run != run).unwrap_or(true) {
             let buf = Arc::new(ThreadBuf {
                 run,
-                pending: Mutex::new(Vec::new()),
+                pending: tmsync::Mutex::new(Vec::new()),
             });
-            lock_ignore_poison(&BUFFERS).push(Arc::clone(&buf));
+            lock_sync(&BUFFERS).push(Arc::clone(&buf));
             *slot = Some(buf);
         }
         let buf = slot.as_ref().expect("buffer installed above");
-        lock_ignore_poison(&buf.pending).push(record);
+        lock_sync(&buf.pending).push(record);
     });
 }
 
@@ -187,11 +217,11 @@ pub fn checkpoint_name(rv: u64) -> String {
 
 /// Shared state between the handle and the group-commit thread.
 struct BgShared {
-    shutdown: AtomicBool,
-    rotate_requested: AtomicBool,
+    shutdown: tmsync::AtomicBool,
+    rotate_requested: tmsync::AtomicBool,
     /// A crash injected on the *checkpoint caller's* thread is carried here
     /// for the group-commit thread to execute (it owns the segment file).
-    crash_requested: Mutex<Option<u64>>,
+    crash_requested: tmsync::Mutex<Option<u64>>,
 }
 
 /// Final accounting carried out of the group-commit thread.
@@ -227,6 +257,9 @@ struct BgThread {
     fsyncs: u64,
     bytes: u64,
     io_retries: u64,
+    /// Latched once the pipeline stops (crash or failure); further steps
+    /// are no-ops so a manual driver can keep calling [`Self::step_once`].
+    stopped: bool,
     #[cfg(feature = "crashpoint")]
     pending_durable: Vec<Record>,
     #[cfg(feature = "crashpoint")]
@@ -264,9 +297,9 @@ impl BgThread {
     }
 
     fn drain_buffers(&mut self) {
-        let bufs = lock_ignore_poison(&BUFFERS);
+        let bufs = lock_sync(&BUFFERS);
         for buf in bufs.iter().filter(|b| b.run == self.run) {
-            let taken = std::mem::take(&mut *lock_ignore_poison(&buf.pending));
+            let taken = std::mem::take(&mut *lock_sync(&buf.pending));
             for r in taken {
                 self.stash.insert(r.seq, r);
             }
@@ -326,37 +359,51 @@ impl BgThread {
         Ok(())
     }
 
+    /// One group-commit iteration: execute a pending crash request,
+    /// otherwise drain + flush + fsync and serve any rotation request.
+    /// Returns `false` once the pipeline has stopped (crash or exhausted
+    /// retry budget); every later call is a no-op returning `false`.
+    fn step_once(&mut self) -> bool {
+        if self.stopped {
+            return false;
+        }
+        let crash = lock_sync(&self.shared.crash_requested).take();
+        if let Some(torn_seed) = crash {
+            self.crash(torn_seed);
+            self.stopped = true;
+            return false;
+        }
+        let step = self.flush_round().and_then(|()| {
+            if self.shared.rotate_requested.swap(false, Ordering::AcqRel) {
+                self.rotate()
+            } else {
+                Ok(())
+            }
+        });
+        match step {
+            Ok(()) => true,
+            Err(WalIoError::Crash { torn_seed }) => {
+                self.crash(torn_seed);
+                self.stopped = true;
+                false
+            }
+            Err(WalIoError::Io(_)) => {
+                // Retry budget exhausted: stop logging, let the
+                // application keep running in volatile mode.
+                FAILED.store(true, Ordering::Release);
+                self.stopped = true;
+                false
+            }
+        }
+    }
+
     fn run(mut self) -> BgExit {
         loop {
-            let crash = lock_ignore_poison(&self.shared.crash_requested).take();
-            if let Some(torn_seed) = crash {
-                self.crash(torn_seed);
-                return self.exit();
-            }
+            // Read shutdown *before* the step: the final flush then runs
+            // after shutdown was set, so every record pushed before
+            // finish() has been covered.
             let shutting_down = self.shared.shutdown.load(Ordering::Acquire);
-            let step = self.flush_round().and_then(|()| {
-                if self.shared.rotate_requested.swap(false, Ordering::AcqRel) {
-                    self.rotate()
-                } else {
-                    Ok(())
-                }
-            });
-            match step {
-                Ok(()) => {}
-                Err(WalIoError::Crash { torn_seed }) => {
-                    self.crash(torn_seed);
-                    return self.exit();
-                }
-                Err(WalIoError::Io(_)) => {
-                    // Retry budget exhausted: stop logging, let the
-                    // application keep running in volatile mode.
-                    FAILED.store(true, Ordering::Release);
-                    return self.exit();
-                }
-            }
-            if shutting_down {
-                // The pre-sleep flush above ran after shutdown was set, so
-                // every record pushed before finish() has been covered.
+            if !self.step_once() || shutting_down {
                 return self.exit();
             }
             std::thread::sleep(self.cfg.flush_interval);
@@ -395,6 +442,9 @@ pub struct WalHandle {
     _session: MutexGuard<'static, ()>,
     shared: Arc<BgShared>,
     bg: Option<JoinHandle<BgExit>>,
+    /// The group-commit state itself when `manual_bg` is set: the caller
+    /// drives it through [`WalHandle::bg_step`] instead of an OS thread.
+    manual: Option<Box<BgThread>>,
     cfg: WalConfig,
     checkpoints: u64,
     checkpoint_retries: u64,
@@ -410,7 +460,7 @@ pub fn start(cfg: WalConfig) -> io::Result<WalHandle> {
     CRASHED.store(false, Ordering::Release);
     FAILED.store(false, Ordering::Release);
     NEXT_SEQ.store(1, Ordering::Release);
-    lock_ignore_poison(&BUFFERS).clear();
+    lock_sync(&BUFFERS).clear();
 
     let first = cfg.dir.join(segment_name(1));
     let file = OpenOptions::new()
@@ -418,9 +468,9 @@ pub fn start(cfg: WalConfig) -> io::Result<WalHandle> {
         .write(true)
         .open(&first)?;
     let shared = Arc::new(BgShared {
-        shutdown: AtomicBool::new(false),
-        rotate_requested: AtomicBool::new(false),
-        crash_requested: Mutex::new(None),
+        shutdown: tmsync::AtomicBool::new(false),
+        rotate_requested: tmsync::AtomicBool::new(false),
+        crash_requested: tmsync::Mutex::new(None),
     });
     let bg = BgThread {
         cfg: cfg.clone(),
@@ -438,19 +488,26 @@ pub fn start(cfg: WalConfig) -> io::Result<WalHandle> {
         fsyncs: 0,
         bytes: 0,
         io_retries: 0,
+        stopped: false,
         #[cfg(feature = "crashpoint")]
         pending_durable: Vec::new(),
         #[cfg(feature = "crashpoint")]
         durable_records: Vec::new(),
     };
-    let handle = std::thread::Builder::new()
-        .name("wal-group-commit".into())
-        .spawn(move || bg.run())?;
+    let (bg_join, manual) = if cfg.manual_bg {
+        (None, Some(Box::new(bg)))
+    } else {
+        let handle = std::thread::Builder::new()
+            .name("wal-group-commit".into())
+            .spawn(move || bg.run())?;
+        (Some(handle), None)
+    };
     ACTIVE.store(true, Ordering::Release);
     Ok(WalHandle {
         _session: session,
         shared,
-        bg: Some(handle),
+        bg: bg_join,
+        manual,
         cfg,
         checkpoints: 0,
         checkpoint_retries: 0,
@@ -486,7 +543,7 @@ impl WalHandle {
             Err(WalIoError::Crash { torn_seed }) => {
                 // The group-commit thread owns the segment file; hand the
                 // crash over for it to execute.
-                *lock_ignore_poison(&self.shared.crash_requested) = Some(torn_seed);
+                *lock_sync(&self.shared.crash_requested) = Some(torn_seed);
                 let _ = std::fs::remove_file(&tmp_path);
                 return Ok(false);
             }
@@ -510,7 +567,18 @@ impl WalHandle {
     /// had fired. Used by the harness for caller-side injection sites.
     #[cfg(feature = "crashpoint")]
     pub fn request_crash(&self, torn_seed: u64) {
-        *lock_ignore_poison(&self.shared.crash_requested) = Some(torn_seed);
+        *lock_sync(&self.shared.crash_requested) = Some(torn_seed);
+    }
+
+    /// Manual-mode only: run one group-commit iteration (drain, flush,
+    /// fsync, rotate, or execute a pending crash request). A no-op once
+    /// the pipeline has stopped. Panics if the session was not started
+    /// with [`WalConfig::manual_bg`].
+    pub fn bg_step(&mut self) {
+        self.manual
+            .as_mut()
+            .expect("bg_step requires WalConfig::manual_bg")
+            .step_once();
     }
 
     /// Stop logging, flush and fsync everything pushed so far (unless the
@@ -518,12 +586,18 @@ impl WalHandle {
     pub fn finish(mut self) -> WalFinish {
         ACTIVE.store(false, Ordering::Release);
         self.shared.shutdown.store(true, Ordering::Release);
-        let exit = self
-            .bg
-            .take()
-            .expect("finish called once")
-            .join()
-            .expect("wal group-commit thread panicked");
+        let exit = if let Some(mut bg) = self.manual.take() {
+            // Same contract as the threaded loop: one final step after
+            // shutdown covers every record pushed before finish().
+            bg.step_once();
+            bg.exit()
+        } else {
+            self.bg
+                .take()
+                .expect("finish called once")
+                .join()
+                .expect("wal group-commit thread panicked")
+        };
         WalFinish {
             crashed: CRASHED.load(Ordering::Acquire),
             failed: FAILED.load(Ordering::Acquire),

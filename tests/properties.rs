@@ -34,8 +34,11 @@ proptest! {
         }
     }
 
-    /// A version-list traversal always returns the newest version whose
-    /// timestamp is at most the reader's timestamp.
+    /// A version-list traversal returns the newest version whose timestamp
+    /// is strictly below the reader's clock — unless a committed version
+    /// sits exactly *at* the reader's clock, which is ambiguous under the
+    /// deferred clock (its commit may predate the reader's begin) and must
+    /// abort so the retry's fresher clock can disambiguate.
     #[test]
     fn version_list_traversal_picks_newest_suitable(
         // Strictly increasing timestamps starting at 1.
@@ -51,12 +54,18 @@ proptest! {
             history.push(ts);
         }
         let read_clock = read_offset.min(ts + 5);
-        // Strict acceptance: a version is visible only when its timestamp is
-        // strictly below the reader's clock (matches LockState::validate).
-        let expected = history.iter().copied().filter(|&t| t < read_clock).max();
-        match expected {
-            Some(e) => prop_assert_eq!(list.traverse(read_clock), Ok(e)),
-            None => prop_assert!(list.traverse(read_clock).is_err()),
+        if history.contains(&read_clock) {
+            // Committed at-clock tie: must abort, never surface a value.
+            prop_assert!(list.traverse(read_clock).is_err());
+        } else {
+            // Strict acceptance below the tie: a version is visible only
+            // when its timestamp is strictly below the reader's clock
+            // (matches LockState::validate).
+            let expected = history.iter().copied().filter(|&t| t < read_clock).max();
+            match expected {
+                Some(e) => prop_assert_eq!(list.traverse(read_clock), Ok(e)),
+                None => prop_assert!(list.traverse(read_clock).is_err()),
+            }
         }
     }
 
