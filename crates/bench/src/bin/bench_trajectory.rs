@@ -34,6 +34,9 @@ where
     M: Fn(usize) -> F + Sync,
     F: FnMut(),
 {
+    // `threads == 0` would divide by zero below and leave the coordinator
+    // stuck on a Barrier no worker ever reaches.
+    assert!(threads >= 1, "measure_mt needs at least one worker");
     let start = std::sync::Barrier::new(threads + 1);
     let done = std::sync::Barrier::new(threads + 1);
     let mut times: Vec<f64> = Vec::with_capacity(samples);
@@ -404,6 +407,80 @@ fn structure_measurements(out: &mut Vec<(String, f64)>) {
     rt.shutdown();
 }
 
+/// The store front door, priced over real loopback TCP: a blocking get
+/// round trip (protocol encode → server decode → one read-only commit →
+/// response) and the pipelined path, where a window of single-op puts is
+/// in flight at once so the server coalesces them into shared commits —
+/// the per-op number is the amortized cost the OLTP driver actually pays.
+fn server_measurements(out: &mut Vec<(String, f64)>) {
+    const KEYS: u64 = 64;
+    const WINDOW: usize = 16;
+    let served = harness::serve(
+        harness::TmKind::Multiverse,
+        harness::RuntimeScale::Test,
+        &store::StoreSpec {
+            spaces: vec![store::SpaceKind::AbTree],
+            audit_keys: 0,
+            hash_buckets: 1024,
+        },
+        store::ServerConfig::default(),
+    )
+    .expect("store server starts");
+    let mut c = store::Client::connect(served.addr()).expect("client connects");
+    for k in 0..KEYS {
+        c.put(0, k, k).expect("prefill");
+    }
+
+    let mut i = 0u64;
+    out.push((
+        "server/multiverse/get_roundtrip".into(),
+        measure(11, 2_000, || {
+            i += 1;
+            black_box(c.get(0, i % KEYS).expect("get round trip"));
+        }),
+    ));
+
+    let mut j = 0u64;
+    let per_window = measure(11, 200, || {
+        let mut ids = [0u64; WINDOW];
+        for slot in ids.iter_mut() {
+            j += 1;
+            *slot = c
+                .send(vec![store::kv::Op::Put {
+                    space: 0,
+                    key: j % KEYS,
+                    val: j,
+                }])
+                .expect("pipelined send");
+        }
+        for id in ids {
+            let resp = c.recv().expect("pipelined recv");
+            assert_eq!(resp.id(), id, "responses arrive in request order");
+        }
+    });
+    out.push((
+        "server/multiverse/pipelined_put_per_op".into(),
+        per_window / WINDOW as f64,
+    ));
+
+    drop(c);
+    let report = served.finish();
+    use std::sync::atomic::Ordering::Relaxed;
+    let sc = tm_api::stats::store_counters();
+    println!(
+        "server counters: connections={} requests={} batches={} protocol_errors={} \
+         (process-wide {}/{}/{}/{})",
+        report.connections,
+        report.requests,
+        report.batches,
+        report.protocol_errors,
+        sc.connections.load(Relaxed),
+        sc.requests.load(Relaxed),
+        sc.batches.load(Relaxed),
+        sc.protocol_errors.load(Relaxed),
+    );
+}
+
 /// Parse the committed baseline: lines of the form `"name": 123.45[,]`.
 fn parse_baseline(text: &str) -> Vec<(String, f64)> {
     let mut out = Vec::new();
@@ -467,34 +544,64 @@ fn check_against_baseline(results: &[(String, f64)], baseline_path: &str, tolera
     }
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = "BENCH_txset.json".to_string();
-    let mut check_tolerance: Option<f64> = None;
-    let mut baseline_path = "BENCH_txset.json".to_string();
+const USAGE: &str = "usage: bench_trajectory [out.json] [--check <tolerance>] [--baseline <path>]";
+
+/// Parsed command line. Every malformed input is a usage-style `Err` (no
+/// `.expect` panics): a typo'd flag or a missing/garbage flag argument
+/// silently becoming the output path would disable the regression check
+/// with exit code 0.
+#[derive(Debug, PartialEq)]
+struct Args {
+    out_path: String,
+    check_tolerance: Option<f64>,
+    baseline_path: String,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        out_path: "BENCH_txset.json".to_string(),
+        check_tolerance: None,
+        baseline_path: "BENCH_txset.json".to_string(),
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--check" => {
-                let tol = it
+                let raw = it
                     .next()
-                    .and_then(|t| t.parse::<f64>().ok())
-                    .expect("--check requires a fractional tolerance, e.g. 0.30");
-                check_tolerance = Some(tol);
+                    .ok_or("--check requires a fractional tolerance, e.g. 0.30")?;
+                let tol: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("--check tolerance `{raw}` is not a number"))?;
+                if !tol.is_finite() || tol < 0.0 {
+                    return Err(format!(
+                        "--check tolerance must be a non-negative fraction, got `{raw}`"
+                    ));
+                }
+                parsed.check_tolerance = Some(tol);
             }
             "--baseline" => {
-                baseline_path = it.next().expect("--baseline requires a path").clone();
+                parsed.baseline_path = it.next().ok_or("--baseline requires a path")?.clone();
             }
             other if other.starts_with("--") => {
-                // A typo'd flag silently becoming the output path would
-                // disable the regression check with exit code 0 — fail loud.
-                eprintln!("bench_trajectory: unknown flag {other}");
-                eprintln!("usage: bench_trajectory [out.json] [--check <tol>] [--baseline <path>]");
-                std::process::exit(2);
+                return Err(format!("unknown flag {other}"));
             }
-            other => out_path = other.to_string(),
+            other => parsed.out_path = other.to_string(),
         }
     }
+    Ok(parsed)
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_trajectory: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
 
     let mut results: Vec<(String, f64)> = Vec::new();
     txset_measurements(&mut results);
@@ -506,6 +613,7 @@ fn main() {
     versioned_measurements(&mut results);
     wal_measurements(&mut results);
     structure_measurements(&mut results);
+    server_measurements(&mut results);
     tm_measurements("dctl", Arc::new(DctlRuntime::with_defaults()), &mut results);
     tm_measurements("tl2", Arc::new(Tl2Runtime::with_defaults()), &mut results);
     tm_measurements("norec", Arc::new(NorecRuntime::new()), &mut results);
@@ -525,10 +633,45 @@ fn main() {
         json.push_str(&format!("    \"{name}\": {ns:.2}{comma}\n"));
     }
     json.push_str("  }\n}\n");
-    std::fs::write(&out_path, json).expect("write benchmark output file");
-    println!("\nwrote {out_path}");
+    std::fs::write(&args.out_path, json).expect("write benchmark output file");
+    println!("\nwrote {}", args.out_path);
 
-    if let Some(tol) = check_tolerance {
-        check_against_baseline(&results, &baseline_path, tol);
+    if let Some(tol) = args.check_tolerance {
+        check_against_baseline(&results, &args.baseline_path, tol);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_and_positional_output_path() {
+        let a = parse_args(&[]).unwrap();
+        assert_eq!(a.out_path, "BENCH_txset.json");
+        assert_eq!(a.check_tolerance, None);
+        let a = parse_args(&strings(&["other.json"])).unwrap();
+        assert_eq!(a.out_path, "other.json");
+    }
+
+    #[test]
+    fn check_and_baseline_parse() {
+        let a = parse_args(&strings(&["--check", "0.30", "--baseline", "base.json"])).unwrap();
+        assert_eq!(a.check_tolerance, Some(0.30));
+        assert_eq!(a.baseline_path, "base.json");
+    }
+
+    #[test]
+    fn malformed_flags_are_errors_not_panics() {
+        assert!(parse_args(&strings(&["--check"])).is_err());
+        assert!(parse_args(&strings(&["--check", "fast"])).is_err());
+        assert!(parse_args(&strings(&["--check", "-0.5"])).is_err());
+        assert!(parse_args(&strings(&["--check", "inf"])).is_err());
+        assert!(parse_args(&strings(&["--baseline"])).is_err());
+        assert!(parse_args(&strings(&["--chekc", "0.3"])).is_err());
     }
 }

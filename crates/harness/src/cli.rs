@@ -43,6 +43,15 @@ impl BenchArgs {
                         .split(',')
                         .map(|s| s.trim().parse::<usize>().map_err(|e| e.to_string()))
                         .collect::<Result<Vec<_>, _>>()?;
+                    // A zero thread count reaches the trial driver as a
+                    // division by zero and a Barrier no worker ever joins;
+                    // reject it here with a usable message instead.
+                    if out.threads.is_empty() {
+                        return Err("--threads needs at least one thread count".to_string());
+                    }
+                    if out.threads.contains(&0) {
+                        return Err("--threads counts must be >= 1".to_string());
+                    }
                 }
                 "--seconds" => {
                     out.seconds = Some(
@@ -165,5 +174,16 @@ mod tests {
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--tms", "nosuchtm"]).is_err());
         assert!(parse(&["--threads"]).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_and_empty_thread_counts() {
+        // Regression: `--threads 0` used to reach the trial driver and die
+        // as a division by zero / stuck start barrier.
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--threads", "1,0,4"]).is_err());
+        assert!(parse(&["--threads", ""]).is_err());
+        assert!(parse(&["--threads", ","]).is_err());
+        assert_eq!(parse(&["--threads", "1"]).unwrap().threads, vec![1]);
     }
 }

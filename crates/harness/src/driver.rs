@@ -139,6 +139,9 @@ where
     R: TmRuntime,
     S: TxSet,
 {
+    // Backstop for callers that bypass `BenchArgs` validation: zero workers
+    // would divide by zero in the per-thread accounting below.
+    assert!(trial.threads >= 1, "run_trial needs at least one thread");
     prefill(tm, set, spec);
 
     let stop = Arc::new(AtomicBool::new(false));

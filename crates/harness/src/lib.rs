@@ -28,9 +28,12 @@ pub mod explore;
 pub mod explore_wal;
 pub mod figures;
 pub mod measure;
+pub mod oltp;
 pub mod registry;
 #[cfg(feature = "record")]
 pub mod scenario;
+#[cfg(feature = "crashpoint")]
+pub mod store_e2e;
 pub mod timevarying;
 pub mod workload;
 pub mod zipf;
@@ -39,6 +42,7 @@ pub use checker::{check_history, History, Report, Violation};
 pub use cli::BenchArgs;
 pub use driver::{run_trial, TrialConfig, TrialResult};
 pub use figures::{default_thread_sweep, print_results, run_sweep, FigurePoint, FigureSpec};
+pub use oltp::{run_client, run_clients, serve, OltpSpec, OltpStats, ServedStore};
 pub use registry::{run_workload, with_backend, BackendVisitor, RuntimeScale, StructKind, TmKind};
 pub use timevarying::{run_time_varying, Interval, TimeVaryingResult};
 pub use workload::{KeyDist, OpKind, WorkloadMix, WorkloadSpec};

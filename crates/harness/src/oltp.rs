@@ -1,0 +1,375 @@
+//! # oltp — an OLTP-style workload driver that speaks the store protocol.
+//!
+//! Where [`crate::workload`] drives structures in-process, this module
+//! drives a [`store::Server`] over the wire: each client opens one TCP
+//! connection, composes seeded multi-op transactions (upsert-then-read,
+//! cross-space moves, delete-then-probe, range scans), and pipelines them
+//! `window` deep so the server's coalescing path — several small requests
+//! batched into one commit — is actually exercised. Responses are drained
+//! in request order and checked against the transaction-composition
+//! invariants (a `Get` right after a `Put`/`Del` of the same key *in the
+//! same request* must see the request's own effect).
+//!
+//! [`serve`] is the TmKind front door: it starts a runtime for any backend
+//! the registry knows and serves a store on it, so the protocol tests and
+//! the bench binaries pick backends by name exactly like every other
+//! harness entry point.
+
+use crate::registry::{with_backend, BackendVisitor, RuntimeScale, TmKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use store::kv::{Op, OpResult};
+use store::{Client, Response, Server, ServerConfig, ShutdownReport, Store, StoreSpec};
+use tm_api::TmRuntime;
+
+/// Shape of one OLTP driver run (all clients together).
+#[derive(Debug, Clone)]
+pub struct OltpSpec {
+    /// Seed for the per-client request schedules.
+    pub seed: u64,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests (composed transactions) each client issues.
+    pub requests_per_client: usize,
+    /// Pipelining depth: how many requests a client keeps in flight.
+    pub window: usize,
+    /// Key spaces the served store exposes (requests spread across them).
+    pub spaces: u8,
+    /// Keys are drawn from `0..key_range`.
+    pub key_range: u64,
+}
+
+impl OltpSpec {
+    /// CI-friendly sizing.
+    pub fn smoke(seed: u64) -> Self {
+        Self {
+            seed,
+            clients: 3,
+            requests_per_client: 40,
+            window: 6,
+            spaces: 2,
+            key_range: 48,
+        }
+    }
+}
+
+/// What one or more OLTP clients observed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OltpStats {
+    /// Requests answered with `Ok`.
+    pub requests: u64,
+    /// Individual operations inside those requests.
+    pub ops: u64,
+    /// `Get`s that found a value.
+    pub hits: u64,
+    /// `Put`s/`Del`s that reported an effect.
+    pub effects: u64,
+    /// Entries returned across all scans.
+    pub scan_entries: u64,
+}
+
+impl OltpStats {
+    fn absorb(&mut self, other: OltpStats) {
+        self.requests += other.requests;
+        self.ops += other.ops;
+        self.hits += other.hits;
+        self.effects += other.effects;
+        self.scan_entries += other.scan_entries;
+    }
+}
+
+/// The invariant a composed request's *last* result must satisfy, checked
+/// when its response is drained.
+#[derive(Debug, Clone, Copy)]
+enum Expect {
+    /// Last op is a `Get` that must see a value (a `Put` of the same key
+    /// precedes it in the same request).
+    SomeLast,
+    /// Last op is a `Get` that must see nothing (a `Del` of the same key
+    /// precedes it in the same request).
+    NoneLast,
+    /// Last op is a scan over `[lo, hi]`: sorted, in bounds.
+    Scan { lo: u64, hi: u64 },
+    /// No invariant beyond "the request is answered".
+    Nothing,
+}
+
+/// Compose one seeded transaction: a request body plus its invariant.
+fn compose(rng: &mut StdRng, spec: &OltpSpec) -> (Vec<Op>, Expect) {
+    let space = rng.gen_range(0..spec.spaces);
+    let key = rng.gen_range(0..spec.key_range);
+    let val = rng.gen_range(1..1_000_000u64);
+    match rng.gen_range(0..6u32) {
+        // Upsert then read back in the same transaction.
+        0 | 1 => (
+            vec![Op::Put { space, key, val }, Op::Get { space, key }],
+            Expect::SomeLast,
+        ),
+        // Cross-space move: retire a key here, materialise one there.
+        2 => {
+            let other = (space + 1) % spec.spaces.max(1);
+            (
+                vec![
+                    Op::Del { space, key },
+                    Op::Put {
+                        space: other,
+                        key,
+                        val,
+                    },
+                    Op::Get { space: other, key },
+                ],
+                Expect::SomeLast,
+            )
+        }
+        // Delete then probe: the same transaction must not resurrect it.
+        3 => (
+            vec![Op::Del { space, key }, Op::Get { space, key }],
+            Expect::NoneLast,
+        ),
+        // Range scan window.
+        4 => {
+            let lo = key;
+            let hi = (key + rng.gen_range(1..16u64)).min(spec.key_range.saturating_sub(1));
+            let lo = lo.min(hi);
+            (
+                vec![Op::Scan {
+                    space,
+                    lo,
+                    hi,
+                    limit: 0,
+                }],
+                Expect::Scan { lo, hi },
+            )
+        }
+        // Plain point reads across spaces.
+        _ => {
+            let other = (space + 1) % spec.spaces.max(1);
+            (
+                vec![Op::Get { space, key }, Op::Get { space: other, key }],
+                Expect::Nothing,
+            )
+        }
+    }
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Drain one response, match it to its request, check its invariant, and
+/// fold it into `stats`.
+fn drain_one(
+    client: &mut Client,
+    inflight: &mut VecDeque<(u64, usize, Expect)>,
+    stats: &mut OltpStats,
+) -> io::Result<()> {
+    let (id, n_ops, expect) = inflight.pop_front().expect("drain with work in flight");
+    let resp = client.recv()?;
+    if resp.id() != id {
+        return Err(invalid(format!(
+            "response {} out of order (expected {id})",
+            resp.id()
+        )));
+    }
+    let results = match resp {
+        Response::Ok { results, .. } => results,
+        Response::Err { msg, .. } => return Err(invalid(format!("request {id} rejected: {msg}"))),
+    };
+    if results.len() != n_ops {
+        return Err(invalid(format!(
+            "request {id}: {} results for {n_ops} ops",
+            results.len()
+        )));
+    }
+    stats.requests += 1;
+    stats.ops += n_ops as u64;
+    for r in &results {
+        match r {
+            OpResult::Value(Some(_)) => stats.hits += 1,
+            OpResult::Value(None) => {}
+            OpResult::Did(did) => stats.effects += u64::from(*did),
+            OpResult::Entries(es) => stats.scan_entries += es.len() as u64,
+        }
+    }
+    match (expect, results.last()) {
+        (Expect::SomeLast, Some(OpResult::Value(Some(_)))) => Ok(()),
+        (Expect::SomeLast, other) => {
+            Err(invalid(format!("request {id}: put-then-get saw {other:?}")))
+        }
+        (Expect::NoneLast, Some(OpResult::Value(None))) => Ok(()),
+        (Expect::NoneLast, other) => {
+            Err(invalid(format!("request {id}: del-then-get saw {other:?}")))
+        }
+        (Expect::Scan { lo, hi }, Some(OpResult::Entries(es))) => {
+            if es.windows(2).any(|w| w[0].0 >= w[1].0) {
+                return Err(invalid(format!("request {id}: scan not sorted")));
+            }
+            if es.iter().any(|&(k, _)| k < lo || k > hi) {
+                return Err(invalid(format!("request {id}: scan left [{lo}, {hi}]")));
+            }
+            Ok(())
+        }
+        (Expect::Scan { .. }, other) => {
+            Err(invalid(format!("request {id}: scan answered {other:?}")))
+        }
+        (Expect::Nothing, _) => Ok(()),
+    }
+}
+
+/// One OLTP client: seeded composed transactions, pipelined `window` deep.
+pub fn run_client(addr: SocketAddr, spec: &OltpSpec, client: usize) -> io::Result<OltpStats> {
+    let mut c = Client::connect(addr)?;
+    let mut rng =
+        StdRng::seed_from_u64(spec.seed ^ (client as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut inflight: VecDeque<(u64, usize, Expect)> = VecDeque::new();
+    let mut stats = OltpStats::default();
+    let window = spec.window.max(1);
+    for _ in 0..spec.requests_per_client {
+        let (ops, expect) = compose(&mut rng, spec);
+        let n_ops = ops.len();
+        let id = c.send(ops)?;
+        inflight.push_back((id, n_ops, expect));
+        while inflight.len() >= window {
+            drain_one(&mut c, &mut inflight, &mut stats)?;
+        }
+    }
+    while !inflight.is_empty() {
+        drain_one(&mut c, &mut inflight, &mut stats)?;
+    }
+    Ok(stats)
+}
+
+/// Run `spec.clients` concurrent [`run_client`]s and aggregate their stats.
+pub fn run_clients(addr: SocketAddr, spec: &OltpSpec) -> io::Result<OltpStats> {
+    let results: Vec<io::Result<OltpStats>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..spec.clients)
+            .map(|t| s.spawn(move || run_client(addr, spec, t)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let mut total = OltpStats::default();
+    for r in results {
+        total.absorb(r?);
+    }
+    Ok(total)
+}
+
+/// A store served on a registry-selected backend. The runtime's lifetime is
+/// tied to this value: call [`ServedStore::finish`] to shut the server down
+/// gracefully *and* stop the backend.
+pub struct ServedStore {
+    server: Option<Server>,
+    stop_rt: Option<Box<dyn FnOnce() + Send>>,
+}
+
+impl ServedStore {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.server
+            .as_ref()
+            .expect("server is running")
+            .local_addr()
+    }
+
+    /// The store being served.
+    pub fn store(&self) -> Arc<Store> {
+        Arc::clone(self.server.as_ref().expect("server is running").store())
+    }
+
+    /// Graceful shutdown: drain the server, then stop the runtime.
+    pub fn finish(mut self) -> ShutdownReport {
+        let report = self.server.take().expect("server is running").shutdown();
+        if let Some(stop) = self.stop_rt.take() {
+            stop();
+        }
+        report
+    }
+}
+
+struct ServeVisitor {
+    store: Arc<Store>,
+    cfg: ServerConfig,
+}
+
+impl BackendVisitor for ServeVisitor {
+    type Out = io::Result<ServedStore>;
+    fn visit<R: TmRuntime>(self, rt: Arc<R>) -> Self::Out {
+        match Server::start(&rt, self.store, self.cfg) {
+            Ok(server) => Ok(ServedStore {
+                server: Some(server),
+                stop_rt: Some(Box::new(move || rt.shutdown())),
+            }),
+            Err(e) => {
+                rt.shutdown();
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Start the named backend at `scale` and serve a fresh [`Store`] built
+/// from `store_spec` on it.
+pub fn serve(
+    tm: TmKind,
+    scale: RuntimeScale,
+    store_spec: &StoreSpec,
+    cfg: ServerConfig,
+) -> io::Result<ServedStore> {
+    let store = Arc::new(Store::new(store_spec));
+    with_backend(tm, scale, ServeVisitor { store, cfg })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use store::SpaceKind;
+
+    fn store_spec() -> StoreSpec {
+        StoreSpec {
+            spaces: vec![SpaceKind::AbTree, SpaceKind::HashMap],
+            audit_keys: 48,
+            hash_buckets: 128,
+        }
+    }
+
+    fn run_oltp_on(tm: TmKind) {
+        let served = serve(
+            tm,
+            RuntimeScale::Test,
+            &store_spec(),
+            ServerConfig::default(),
+        )
+        .expect("server starts");
+        let spec = OltpSpec::smoke(11);
+        let stats = run_clients(served.addr(), &spec).expect("oltp clients run clean");
+        assert_eq!(
+            stats.requests,
+            (spec.clients * spec.requests_per_client) as u64
+        );
+        assert!(stats.ops > stats.requests, "transactions are composed");
+        assert!(stats.hits > 0, "upsert-then-read must hit");
+        let store = served.store();
+        let report = served.finish();
+        assert_eq!(report.protocol_errors, 0);
+        assert_eq!(report.requests, stats.requests);
+        assert!(report.batches >= 1 && report.batches <= report.requests);
+        assert_eq!(store.audit_failures(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn oltp_drives_the_served_store_on_glock() {
+        run_oltp_on(TmKind::Glock);
+    }
+
+    #[test]
+    fn oltp_drives_the_served_store_on_multiverse() {
+        run_oltp_on(TmKind::Multiverse);
+    }
+}

@@ -1,0 +1,349 @@
+//! # store_e2e — the audited end-to-end store scenario (feature `crashpoint`).
+//!
+//! The full front door under one roof: a Multiverse runtime with the WAL
+//! commit tap on, a [`store::Server`] serving a multi-space store, N
+//! concurrent OLTP protocol clients ([`crate::oltp`]) interleaved with
+//! *evil* clients (garbage bytes, torn frames, flipped frames, mid-run
+//! disconnects), then a graceful shutdown. Everything the run produced is
+//! judged:
+//!
+//! * the recorded history of the store's **audit variables** (one presence
+//!   word per key, RMW-bumped inside every transaction that touches the
+//!   key) goes through the PR 3 opacity/serializability checker against the
+//!   live final memory;
+//! * the WAL directory is recovered and [`crate::checker::check_recovery`]
+//!   confirms the image is a committed prefix at or above the durability
+//!   floor ([`wal::WalFinish::durable_records`]) — and because the shutdown
+//!   was graceful (final flush covered every commit), the recovered audit
+//!   image must equal the live one bit for bit: no committed-and-fsynced
+//!   write may be lost;
+//! * the store's own in-band audits ([`store::Store::audit_failures`],
+//!   [`store::Store::final_audit`]) must be empty, and the evil clients'
+//!   input must surface as counted protocol errors, never as a panic.
+//!
+//! The audit variables are deliberately the *only* addresses the history is
+//! built over: the structures' node words churn through allocation and
+//! reuse, while an audit var is one word per key for the whole run — the
+//! stable skeleton a value-based checker can reconstruct version chains
+//! from (every bump is unique).
+
+use crate::checker::{self, Report};
+use crate::oltp::{self, OltpSpec};
+use multiverse::{MultiverseConfig, MultiverseRuntime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::SocketAddr;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use store::kv::Op;
+use store::proto::{encode_request, Request};
+use store::{Client, Server, ServerConfig, SpaceKind, Store, StoreSpec};
+use tm_api::record::ThreadLog;
+use tm_api::TmRuntime;
+
+/// Serializes runs: the WAL session is process-global, so two e2e tests in
+/// one binary must not overlap their sessions.
+static EXEC: Mutex<()> = Mutex::new(());
+
+/// One fully specified e2e run.
+#[derive(Debug, Clone)]
+pub struct E2eSpec {
+    /// Seed for the client schedules.
+    pub seed: u64,
+    /// Well-behaved OLTP protocol clients.
+    pub clients: usize,
+    /// Requests each OLTP client issues.
+    pub requests_per_client: usize,
+    /// Pipelining depth per client.
+    pub window: usize,
+    /// Evil clients (garbage / torn / flipped frames, mid-run disconnects).
+    pub evil_clients: usize,
+    /// Keys per space; also the audited-key count, so *every* operation of
+    /// the run carries an audit write the checker can see.
+    pub keys: u64,
+    /// Server worker-pool size.
+    pub workers: usize,
+}
+
+impl E2eSpec {
+    /// CI-friendly sizing: 5 clients (the acceptance floor is 4) plus 4
+    /// evil ones.
+    pub fn smoke(seed: u64) -> Self {
+        Self {
+            seed,
+            clients: 5,
+            requests_per_client: 60,
+            window: 8,
+            evil_clients: 4,
+            keys: 48,
+            workers: 3,
+        }
+    }
+}
+
+/// Everything one run produced, plus both checkers' verdicts.
+#[derive(Debug)]
+pub struct E2eVerdict {
+    /// Opacity/serializability of the recorded audit history against the
+    /// live final memory.
+    pub live: Report,
+    /// Recovery check: the recovered image vs. the history and the
+    /// durability floor.
+    pub recovery: Report,
+    /// Audit values in live memory after the graceful shutdown.
+    pub final_mem: Vec<u64>,
+    /// Audit values recovered from the WAL directory.
+    pub recovered_mem: Vec<u64>,
+    /// Post-commit audit mismatches recorded by the store (must be empty).
+    pub audit_failures: Vec<String>,
+    /// Final audit sweep mismatches (must be empty).
+    pub final_audit: Vec<String>,
+    /// The WAL session's final accounting.
+    pub finish: wal::WalFinish,
+    /// Connections the server accepted (OLTP + evil).
+    pub connections: u64,
+    /// Requests the server decoded.
+    pub requests: u64,
+    /// Commit batches the server executed.
+    pub batches: u64,
+    /// Protocol errors the evil clients tripped.
+    pub protocol_errors: u64,
+    /// Aggregate OLTP client stats.
+    pub stats: oltp::OltpStats,
+}
+
+impl E2eVerdict {
+    /// Every check green: both checkers clean, both in-band audits empty,
+    /// the WAL session closed without crash or failure, and the recovered
+    /// image identical to live memory (graceful shutdown lost nothing).
+    pub fn is_clean(&self) -> bool {
+        self.live.is_clean()
+            && self.recovery.is_clean()
+            && self.audit_failures.is_empty()
+            && self.final_audit.is_empty()
+            && !self.finish.crashed
+            && !self.finish.failed
+            && self.recovered_mem == self.final_mem
+    }
+}
+
+/// The recorded logs, copied (`ThreadLog` is not `Clone`; the live and
+/// recovery checks each consume a history).
+fn clone_logs(logs: &[ThreadLog]) -> Vec<ThreadLog> {
+    logs.iter()
+        .map(|l| ThreadLog {
+            thread: l.thread,
+            events: l.events.clone(),
+        })
+        .collect()
+}
+
+/// One evil client. Flavors cycle: garbage bytes, a torn frame then a
+/// disconnect, a checksummed frame with one byte flipped, and a mid-run
+/// disconnect after well-formed pipelined requests. None of these may ever
+/// panic the server; the first and third must be counted protocol errors.
+fn run_evil_client(addr: SocketAddr, flavor: usize, seed: u64) {
+    let Ok(mut c) = Client::connect(addr) else {
+        return;
+    };
+    let mut frame = Vec::new();
+    encode_request(
+        &Request {
+            id: 1,
+            ops: vec![Op::Get {
+                space: 0,
+                key: seed % 8,
+            }],
+        },
+        &mut frame,
+    );
+    match flavor % 4 {
+        0 => {
+            // Garbage: the length prefix or the checksum rejects it.
+            let _ = c.send_raw(&[0xde, 0xad, 0xbe, 0xef].repeat(8));
+            let _ = c.recv(); // error response or close, never a hang
+        }
+        1 => {
+            // Torn frame, then vanish mid-frame.
+            let _ = c.send_raw(&frame[..frame.len() / 2]);
+        }
+        2 => {
+            // Valid length, corrupt body: the checksum must catch it.
+            let mut bad = frame.clone();
+            let last = bad.len() - 1;
+            bad[last] ^= 0x40;
+            let _ = c.send_raw(&bad);
+            let _ = c.recv();
+        }
+        _ => {
+            // Mid-run disconnect: well-formed pipelined requests, then drop
+            // without draining — in-flight transactions must still commit
+            // (or their responses just go nowhere), never wedge a worker.
+            let _ = c.send(vec![Op::Put {
+                space: 0,
+                key: seed % 8,
+                val: 1,
+            }]);
+            let _ = c.send(vec![Op::Get {
+                space: 0,
+                key: seed % 8,
+            }]);
+            let _ = c.recv();
+        }
+    }
+    drop(c);
+}
+
+/// Raw socket probe used at the end of the run: a connection that sends
+/// nothing and disconnects (accept-path robustness).
+fn run_silent_client(addr: SocketAddr) {
+    if let Ok(mut s) = std::net::TcpStream::connect(addr) {
+        let _ = s.set_read_timeout(Some(Duration::from_millis(50)));
+        let mut byte = [0u8; 1];
+        let _ = s.read(&mut byte);
+    }
+}
+
+/// Run one audited e2e scenario. The WAL directory `dir` is left behind
+/// (the caller deletes it); recovery has already been checked against it.
+pub fn run(spec: &E2eSpec, dir: &Path) -> E2eVerdict {
+    let _exec = EXEC.lock().unwrap_or_else(|e| e.into_inner());
+
+    // Mirror the crash harness: small tables, every read-only attempt on
+    // the versioned path, so the delicate version-list machinery is what
+    // the run exercises.
+    let mut cfg = MultiverseConfig::small();
+    cfg.k1_versioned_after = 0;
+    let rt = MultiverseRuntime::start(cfg);
+
+    let store = Arc::new(Store::new(&StoreSpec {
+        spaces: vec![SpaceKind::AbTree, SpaceKind::HashMap],
+        audit_keys: spec.keys,
+        hash_buckets: 256,
+    }));
+    let addrs = store.audit_addrs();
+    let initial = store.audit_values_direct();
+
+    let mut wal_cfg = wal::WalConfig::new(dir);
+    wal_cfg.flush_interval = Duration::from_micros(200);
+
+    let guard = tm_api::record::start();
+    let server = Server::start(
+        &rt,
+        Arc::clone(&store),
+        ServerConfig {
+            workers: spec.workers,
+            wal: Some(wal_cfg),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    let oltp_spec = OltpSpec {
+        seed: spec.seed,
+        clients: spec.clients,
+        requests_per_client: spec.requests_per_client,
+        window: spec.window,
+        spaces: 2,
+        key_range: spec.keys,
+    };
+    let stats = std::thread::scope(|s| {
+        let evil: Vec<_> = (0..spec.evil_clients)
+            .map(|e| s.spawn(move || run_evil_client(addr, e, spec.seed.wrapping_add(e as u64))))
+            .collect();
+        let stats = oltp::run_clients(addr, &oltp_spec).expect("oltp clients run clean");
+        for h in evil {
+            h.join().expect("evil client panicked");
+        }
+        // The server must still be fully operational after the abuse.
+        run_silent_client(addr);
+        let mut probe = Client::connect(addr).expect("post-abuse connect");
+        let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xabad_1dea);
+        let key = rng.gen_range(0..spec.keys);
+        probe.put(0, key, 1).expect("post-abuse put");
+        assert!(
+            probe.get(0, key).expect("post-abuse get").is_some(),
+            "server lost a write after evil-client abuse"
+        );
+        stats
+    });
+
+    // Graceful drain: readers, workers, then the WAL's final flush. Worker
+    // threads flush their recorded events when they exit (TLS drop), so the
+    // guard may only be finished after the shutdown joins them.
+    let report = server.shutdown();
+    let logs = guard.finish();
+    let finish = report.wal.expect("server owned the WAL session");
+
+    let final_mem = store.audit_values_direct();
+    let audit_failures = store.audit_failures();
+    let mut h = rt.register();
+    let final_audit = store.final_audit(&mut h);
+    rt.shutdown();
+
+    let label = format!(
+        "store-e2e(seed={}, clients={}+{} evil)",
+        spec.seed, spec.clients, spec.evil_clients
+    );
+    let live_history = checker::from_record::history_from_logs(
+        "multiverse",
+        &label,
+        clone_logs(&logs),
+        &addrs,
+        initial.clone(),
+        final_mem.clone(),
+    );
+    let live = checker::check_history(&live_history);
+
+    // Recover the directory and enforce the durability floor: nothing the
+    // session fsynced may be missing from the image.
+    let recovered =
+        wal::recover(dir, &wal::RecoverOpts::default()).expect("recovery reads the log directory");
+    let var_of: HashMap<u64, usize> = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| (a as u64, i))
+        .collect();
+    let mut recovered_mem = initial.clone();
+    for (&a, &value) in &recovered.values {
+        if let Some(&var) = var_of.get(&a) {
+            recovered_mem[var] = value;
+        }
+    }
+    let mut floor = Vec::new();
+    for record in &finish.durable_records {
+        for &(a, value) in &record.writes {
+            if let Some(&var) = var_of.get(&a) {
+                floor.push((var, value));
+            }
+        }
+    }
+    let recovery_history = checker::from_record::history_from_logs(
+        "multiverse",
+        &format!("{label} [recovered]"),
+        clone_logs(&logs),
+        &addrs,
+        initial,
+        recovered_mem.clone(),
+    );
+    let recovery = checker::check_recovery(&recovery_history, &floor);
+
+    E2eVerdict {
+        live,
+        recovery,
+        final_mem,
+        recovered_mem,
+        audit_failures,
+        final_audit,
+        finish,
+        connections: report.connections,
+        requests: report.requests,
+        batches: report.batches,
+        protocol_errors: report.protocol_errors,
+        stats,
+    }
+}

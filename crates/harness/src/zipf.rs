@@ -36,7 +36,13 @@ impl Zipf {
         let zetan = zeta(n, theta);
         let zeta2 = zeta(2.min(n), theta);
         let alpha = 1.0 / (1.0 - theta);
-        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        // For n == 1, zeta2 == zetan and the eta denominator is exactly 0
+        // (0/0 → NaN); the only sample is item 0, so eta is never used.
+        let eta = if n == 1 {
+            0.0
+        } else {
+            (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan)
+        };
         Self {
             n,
             theta,
@@ -116,5 +122,16 @@ mod tests {
     #[should_panic(expected = "empty domain")]
     fn zero_domain_panics() {
         let _ = Zipf::new(0, 0.9);
+    }
+
+    #[test]
+    fn singleton_domain_always_samples_zero() {
+        // Regression: n == 1 used to compute eta = 0/0 (zeta2 == zetan).
+        let z = Zipf::new(1, 0.9);
+        assert!(z.eta.is_finite(), "eta must not be NaN/inf for n == 1");
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1_000 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
     }
 }

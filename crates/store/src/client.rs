@@ -1,0 +1,155 @@
+//! A blocking protocol client with explicit pipelining support.
+//!
+//! [`Client::call`] is the simple request/response path. For pipelining,
+//! issue several [`Client::send`]s before draining the matching responses
+//! with [`Client::recv`] — the server coalesces pipelined small requests
+//! into one commit. [`Client::send_raw`] exists for tests that need to
+//! inject torn or corrupt bytes.
+
+use crate::kv::{Op, OpResult};
+use crate::proto::{decode_response, encode_request, peek_frame, FrameStatus, Request, Response};
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking store-protocol client over one TCP connection.
+pub struct Client {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    pos: usize,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            stream,
+            rbuf: Vec::with_capacity(16 * 1024),
+            pos: 0,
+            next_id: 1,
+        })
+    }
+
+    /// Send one request without waiting; returns its id. Pair each `send`
+    /// with a later [`Client::recv`] (responses arrive in request order).
+    pub fn send(&mut self, ops: Vec<Op>) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut out = Vec::with_capacity(32 + ops.len() * 20);
+        encode_request(&Request { id, ops }, &mut out);
+        self.stream.write_all(&out)?;
+        Ok(id)
+    }
+
+    /// Write raw bytes to the connection (test hook for torn/corrupt input).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Receive the next response.
+    pub fn recv(&mut self) -> io::Result<Response> {
+        loop {
+            match peek_frame(&self.rbuf[self.pos..]) {
+                FrameStatus::Ready { start, end } => {
+                    let payload = &self.rbuf[self.pos + start..self.pos + end];
+                    let resp = decode_response(payload).ok_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidData, "malformed response")
+                    })?;
+                    self.pos += end;
+                    if self.pos >= self.rbuf.len() {
+                        self.rbuf.clear();
+                        self.pos = 0;
+                    }
+                    return Ok(resp);
+                }
+                FrameStatus::Corrupt => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "corrupt response frame",
+                    ));
+                }
+                FrameStatus::NeedMore => {
+                    let mut chunk = [0u8; 16 * 1024];
+                    let n = self.stream.read(&mut chunk)?;
+                    if n == 0 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "server closed the connection",
+                        ));
+                    }
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                }
+            }
+        }
+    }
+
+    /// Send one request and wait for its response.
+    pub fn call(&mut self, ops: Vec<Op>) -> io::Result<Response> {
+        let id = self.send(ops)?;
+        let resp = self.recv()?;
+        if resp.id() != id {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "response id does not match request (pipelining misuse?)",
+            ));
+        }
+        Ok(resp)
+    }
+
+    fn one(&mut self, op: Op) -> io::Result<OpResult> {
+        match self.call(vec![op])? {
+            Response::Ok { mut results, .. } if results.len() == 1 => Ok(results.remove(0)),
+            Response::Ok { .. } => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unexpected result arity",
+            )),
+            Response::Err { msg, .. } => Err(io::Error::other(msg)),
+        }
+    }
+
+    /// Point lookup.
+    pub fn get(&mut self, space: u8, key: u64) -> io::Result<Option<u64>> {
+        match self.one(Op::Get { space, key })? {
+            OpResult::Value(v) => Ok(v),
+            other => Err(bad_result(other)),
+        }
+    }
+
+    /// Insert `key -> val`; `Ok(true)` iff the key was new.
+    pub fn put(&mut self, space: u8, key: u64, val: u64) -> io::Result<bool> {
+        match self.one(Op::Put { space, key, val })? {
+            OpResult::Did(d) => Ok(d),
+            other => Err(bad_result(other)),
+        }
+    }
+
+    /// Remove `key`; `Ok(true)` iff the key was present.
+    pub fn del(&mut self, space: u8, key: u64) -> io::Result<bool> {
+        match self.one(Op::Del { space, key })? {
+            OpResult::Did(d) => Ok(d),
+            other => Err(bad_result(other)),
+        }
+    }
+
+    /// Scan `[lo, hi]`, at most `limit` entries (0 = server default cap).
+    pub fn scan(&mut self, space: u8, lo: u64, hi: u64, limit: u32) -> io::Result<Vec<(u64, u64)>> {
+        match self.one(Op::Scan {
+            space,
+            lo,
+            hi,
+            limit,
+        })? {
+            OpResult::Entries(es) => Ok(es),
+            other => Err(bad_result(other)),
+        }
+    }
+}
+
+fn bad_result(got: OpResult) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected result kind: {got:?}"),
+    )
+}

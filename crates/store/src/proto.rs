@@ -1,0 +1,493 @@
+//! The store wire protocol: length-prefixed, checksummed frames carrying
+//! binary-encoded requests/responses.
+//!
+//! Frames reuse the WAL frame discipline byte-for-byte:
+//!
+//! ```text
+//! [len: u32 LE] [check: u64 LE] [payload: len bytes]
+//! ```
+//!
+//! where `check` is FNV-1a-64 over the length bytes followed by the payload
+//! (the exact [`wal::frame::fnv1a`] the log uses). A reader therefore
+//! treats its input stream the way WAL recovery treats a segment file:
+//! [`peek_frame`] either yields a whole verified frame, asks for more
+//! bytes, or declares the stream corrupt — and corrupt input degrades to a
+//! clean connection error, never a panic.
+//!
+//! Payloads:
+//!
+//! ```text
+//! request   = 0x01, id: u64, n: u16, n × op
+//! op        = 0x01, space: u8, key: u64                     (get)
+//!           | 0x02, space: u8, key: u64, val: u64           (put)
+//!           | 0x03, space: u8, key: u64                     (del)
+//!           | 0x04, space: u8, lo: u64, hi: u64, limit: u32 (scan)
+//! ok-resp   = 0x02, id: u64, n: u16, n × result
+//! result    = 0x01, present: u8, [val: u64 if present]      (value)
+//!           | 0x02, did: u8                                 (did)
+//!           | 0x03, count: u32, count × (key: u64, val: u64)(entries)
+//! err-resp  = 0x03, id: u64, len: u16, len × msg byte (UTF-8)
+//! ```
+//!
+//! All integers little-endian. Decoders are total: any malformed payload
+//! returns `None` (the transport layer counts it as a protocol error).
+
+use crate::kv::{Op, OpResult, MAX_OPS_PER_REQUEST, MAX_SCAN_ENTRIES};
+use wal::frame::fnv1a;
+
+/// Frame header size: length prefix + checksum.
+pub const FRAME_HEADER_BYTES: usize = 4 + 8;
+/// Maximum frame payload the protocol accepts (well under the WAL's cap;
+/// a longer length prefix is treated as corruption, bounding buffering).
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 20;
+
+const MSG_REQUEST: u8 = 0x01;
+const MSG_RESPONSE_OK: u8 = 0x02;
+const MSG_RESPONSE_ERR: u8 = 0x03;
+
+const OP_GET: u8 = 0x01;
+const OP_PUT: u8 = 0x02;
+const OP_DEL: u8 = 0x03;
+const OP_SCAN: u8 = 0x04;
+
+const RES_VALUE: u8 = 0x01;
+const RES_DID: u8 = 0x02;
+const RES_ENTRIES: u8 = 0x03;
+
+/// A client request: an atomic batch of ops tagged with a client-chosen id
+/// (echoed in the response, so pipelined responses can be matched up).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen request id, echoed by the response.
+    pub id: u64,
+    /// The ops, executed atomically in order.
+    pub ops: Vec<Op>,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The request committed; per-op results in op order.
+    Ok {
+        /// Echo of the request id.
+        id: u64,
+        /// Per-op results.
+        results: Vec<OpResult>,
+    },
+    /// The request was rejected (validation or protocol error).
+    Err {
+        /// Echo of the request id (0 if it could not be decoded).
+        id: u64,
+        /// Human-readable reason.
+        msg: String,
+    },
+}
+
+impl Response {
+    /// The echoed request id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Ok { id, .. } | Response::Err { id, .. } => *id,
+        }
+    }
+}
+
+// -- framing ----------------------------------------------------------------
+
+/// Append one frame holding `payload` to `out`. Panics on oversized
+/// payloads (encoders cap their content well below the limit).
+pub fn encode_frame(payload: &[u8], out: &mut Vec<u8>) {
+    assert!(
+        payload.len() <= MAX_FRAME_PAYLOAD,
+        "oversized frame payload"
+    );
+    let len = (payload.len() as u32).to_le_bytes();
+    let check = fnv1a(&[&len, payload]);
+    out.extend_from_slice(&len);
+    out.extend_from_slice(&check.to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Result of inspecting the front of a receive buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameStatus {
+    /// The buffer holds a prefix of a valid frame; read more bytes.
+    NeedMore,
+    /// A whole, checksum-verified frame: payload is `buf[start..end]`, and
+    /// `end` bytes of the buffer are consumed.
+    Ready {
+        /// Payload start offset.
+        start: usize,
+        /// Payload end offset (== bytes consumed).
+        end: usize,
+    },
+    /// The front of the buffer is not a valid frame (bad length or
+    /// checksum). The connection cannot be resynchronized.
+    Corrupt,
+}
+
+/// Inspect the front of `buf` for one frame (see [`FrameStatus`]).
+pub fn peek_frame(buf: &[u8]) -> FrameStatus {
+    if buf.len() < FRAME_HEADER_BYTES {
+        return FrameStatus::NeedMore;
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_PAYLOAD {
+        return FrameStatus::Corrupt;
+    }
+    if buf.len() < FRAME_HEADER_BYTES + len {
+        return FrameStatus::NeedMore;
+    }
+    let check = u64::from_le_bytes(buf[4..12].try_into().unwrap());
+    let payload = &buf[FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + len];
+    if fnv1a(&[&buf[0..4], payload]) != check {
+        return FrameStatus::Corrupt;
+    }
+    FrameStatus::Ready {
+        start: FRAME_HEADER_BYTES,
+        end: FRAME_HEADER_BYTES + len,
+    }
+}
+
+// -- payload encoding -------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Encode `req` as one frame appended to `out`. Panics if the request
+/// exceeds the protocol's op cap (callers validate first).
+pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
+    assert!(
+        !req.ops.is_empty() && req.ops.len() <= MAX_OPS_PER_REQUEST,
+        "request must hold 1..={MAX_OPS_PER_REQUEST} ops"
+    );
+    let mut p = Vec::with_capacity(16 + req.ops.len() * 20);
+    p.push(MSG_REQUEST);
+    put_u64(&mut p, req.id);
+    put_u16(&mut p, req.ops.len() as u16);
+    for op in &req.ops {
+        match *op {
+            Op::Get { space, key } => {
+                p.push(OP_GET);
+                p.push(space);
+                put_u64(&mut p, key);
+            }
+            Op::Put { space, key, val } => {
+                p.push(OP_PUT);
+                p.push(space);
+                put_u64(&mut p, key);
+                put_u64(&mut p, val);
+            }
+            Op::Del { space, key } => {
+                p.push(OP_DEL);
+                p.push(space);
+                put_u64(&mut p, key);
+            }
+            Op::Scan {
+                space,
+                lo,
+                hi,
+                limit,
+            } => {
+                p.push(OP_SCAN);
+                p.push(space);
+                put_u64(&mut p, lo);
+                put_u64(&mut p, hi);
+                put_u32(&mut p, limit);
+            }
+        }
+    }
+    encode_frame(&p, out);
+}
+
+/// Encode `resp` as one frame appended to `out`.
+pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
+    let mut p = Vec::with_capacity(64);
+    match resp {
+        Response::Ok { id, results } => {
+            p.push(MSG_RESPONSE_OK);
+            put_u64(&mut p, *id);
+            put_u16(&mut p, results.len() as u16);
+            for r in results {
+                match r {
+                    OpResult::Value(v) => {
+                        p.push(RES_VALUE);
+                        p.push(v.is_some() as u8);
+                        if let Some(v) = v {
+                            put_u64(&mut p, *v);
+                        }
+                    }
+                    OpResult::Did(d) => {
+                        p.push(RES_DID);
+                        p.push(*d as u8);
+                    }
+                    OpResult::Entries(es) => {
+                        p.push(RES_ENTRIES);
+                        put_u32(&mut p, es.len() as u32);
+                        for (k, v) in es {
+                            put_u64(&mut p, *k);
+                            put_u64(&mut p, *v);
+                        }
+                    }
+                }
+            }
+        }
+        Response::Err { id, msg } => {
+            p.push(MSG_RESPONSE_ERR);
+            put_u64(&mut p, *id);
+            let bytes = msg.as_bytes();
+            let n = bytes.len().min(u16::MAX as usize);
+            put_u16(&mut p, n as u16);
+            p.extend_from_slice(&bytes[..n]);
+        }
+    }
+    encode_frame(&p, out);
+}
+
+// -- payload decoding -------------------------------------------------------
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        Some(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Decode a request from a (verified) frame payload. `None` = malformed.
+pub fn decode_request(payload: &[u8]) -> Option<Request> {
+    let mut c = Cursor::new(payload);
+    if c.u8()? != MSG_REQUEST {
+        return None;
+    }
+    let id = c.u64()?;
+    let n = c.u16()? as usize;
+    if n == 0 || n > MAX_OPS_PER_REQUEST {
+        return None;
+    }
+    let mut ops = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tag = c.u8()?;
+        let space = c.u8()?;
+        ops.push(match tag {
+            OP_GET => Op::Get {
+                space,
+                key: c.u64()?,
+            },
+            OP_PUT => Op::Put {
+                space,
+                key: c.u64()?,
+                val: c.u64()?,
+            },
+            OP_DEL => Op::Del {
+                space,
+                key: c.u64()?,
+            },
+            OP_SCAN => Op::Scan {
+                space,
+                lo: c.u64()?,
+                hi: c.u64()?,
+                limit: c.u32()?,
+            },
+            _ => return None,
+        });
+    }
+    if !c.done() {
+        return None;
+    }
+    Some(Request { id, ops })
+}
+
+/// Decode a response from a (verified) frame payload. `None` = malformed.
+pub fn decode_response(payload: &[u8]) -> Option<Response> {
+    let mut c = Cursor::new(payload);
+    match c.u8()? {
+        MSG_RESPONSE_OK => {
+            let id = c.u64()?;
+            let n = c.u16()? as usize;
+            let mut results = Vec::with_capacity(n);
+            for _ in 0..n {
+                results.push(match c.u8()? {
+                    RES_VALUE => OpResult::Value(if c.u8()? != 0 { Some(c.u64()?) } else { None }),
+                    RES_DID => OpResult::Did(c.u8()? != 0),
+                    RES_ENTRIES => {
+                        let count = c.u32()? as usize;
+                        if count > MAX_SCAN_ENTRIES {
+                            return None;
+                        }
+                        let mut es = Vec::with_capacity(count);
+                        for _ in 0..count {
+                            es.push((c.u64()?, c.u64()?));
+                        }
+                        OpResult::Entries(es)
+                    }
+                    _ => return None,
+                });
+            }
+            if !c.done() {
+                return None;
+            }
+            Some(Response::Ok { id, results })
+        }
+        MSG_RESPONSE_ERR => {
+            let id = c.u64()?;
+            let n = c.u16()? as usize;
+            let msg = String::from_utf8(c.take(n)?.to_vec()).ok()?;
+            if !c.done() {
+                return None;
+            }
+            Some(Response::Err { id, msg })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: &Request) -> Request {
+        let mut bytes = Vec::new();
+        encode_request(req, &mut bytes);
+        match peek_frame(&bytes) {
+            FrameStatus::Ready { start, end } => {
+                assert_eq!(end, bytes.len());
+                decode_request(&bytes[start..end]).expect("decodes")
+            }
+            other => panic!("expected whole frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request {
+            id: 77,
+            ops: vec![
+                Op::Get { space: 0, key: 1 },
+                Op::Put {
+                    space: 1,
+                    key: 2,
+                    val: 3,
+                },
+                Op::Del { space: 2, key: 4 },
+                Op::Scan {
+                    space: 0,
+                    lo: 5,
+                    hi: 6,
+                    limit: 7,
+                },
+            ],
+        };
+        assert_eq!(roundtrip_request(&req), req);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        for resp in [
+            Response::Ok {
+                id: 9,
+                results: vec![
+                    OpResult::Value(Some(42)),
+                    OpResult::Value(None),
+                    OpResult::Did(true),
+                    OpResult::Entries(vec![(1, 10), (2, 20)]),
+                ],
+            },
+            Response::Err {
+                id: 0,
+                msg: "bad space".to_string(),
+            },
+        ] {
+            let mut bytes = Vec::new();
+            encode_response(&resp, &mut bytes);
+            let FrameStatus::Ready { start, end } = peek_frame(&bytes) else {
+                panic!("expected whole frame");
+            };
+            assert_eq!(decode_response(&bytes[start..end]).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn torn_frame_needs_more_and_flips_corrupt() {
+        let mut bytes = Vec::new();
+        encode_request(
+            &Request {
+                id: 1,
+                ops: vec![Op::Get { space: 0, key: 0 }],
+            },
+            &mut bytes,
+        );
+        for cut in 0..bytes.len() {
+            assert_eq!(peek_frame(&bytes[..cut]), FrameStatus::NeedMore);
+        }
+        // Flip a payload byte: checksum must catch it.
+        let mut bad = bytes.clone();
+        let idx = FRAME_HEADER_BYTES + 2;
+        bad[idx] ^= 0x40;
+        assert_eq!(peek_frame(&bad), FrameStatus::Corrupt);
+        // Absurd length prefix: corrupt, not an attempt to buffer 4 GiB.
+        let mut huge = bytes;
+        huge[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(peek_frame(&huge), FrameStatus::Corrupt);
+    }
+
+    #[test]
+    fn trailing_garbage_in_payload_is_malformed() {
+        let mut bytes = Vec::new();
+        encode_request(
+            &Request {
+                id: 1,
+                ops: vec![Op::Get { space: 0, key: 0 }],
+            },
+            &mut bytes,
+        );
+        let FrameStatus::Ready { start, end } = peek_frame(&bytes) else {
+            panic!()
+        };
+        let mut payload = bytes[start..end].to_vec();
+        payload.push(0xff);
+        assert!(decode_request(&payload).is_none());
+    }
+}

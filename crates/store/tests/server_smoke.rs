@@ -1,0 +1,155 @@
+//! Server smoke tests: spawn a server, drive it with several concurrent
+//! clients (well-behaved and malicious), and shut it down gracefully.
+
+use baselines::GlockRuntime;
+use multiverse::{MultiverseConfig, MultiverseRuntime};
+use std::sync::Arc;
+use store::kv::{Op, OpResult};
+use store::{Client, Response, Server, ServerConfig, SpaceKind, Store, StoreSpec};
+use tm_api::TmRuntime;
+
+fn spec() -> StoreSpec {
+    StoreSpec {
+        spaces: vec![SpaceKind::AbTree, SpaceKind::HashMap],
+        audit_keys: 32,
+        hash_buckets: 64,
+    }
+}
+
+fn start_server<R: TmRuntime>(rt: &Arc<R>, workers: usize) -> Server {
+    Server::start(
+        rt,
+        Arc::new(Store::new(&spec())),
+        ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts")
+}
+
+#[test]
+fn point_ops_and_scans_roundtrip() {
+    let rt = Arc::new(GlockRuntime::new());
+    let server = start_server(&rt, 2);
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    assert!(c.put(0, 7, 70).unwrap());
+    assert!(!c.put(0, 7, 71).unwrap(), "duplicate put is not new");
+    assert_eq!(c.get(0, 7).unwrap(), Some(70), "old value kept");
+    assert_eq!(c.get(1, 7).unwrap(), None, "spaces are independent");
+    assert!(c.put(0, 9, 90).unwrap());
+    assert_eq!(c.scan(0, 0, 100, 0).unwrap(), vec![(7, 70), (9, 90)]);
+    assert!(c.del(0, 7).unwrap());
+    assert_eq!(c.get(0, 7).unwrap(), None);
+    let report = server.shutdown();
+    assert_eq!(report.connections, 1);
+    assert!(report.requests >= 8);
+    assert_eq!(report.protocol_errors, 0);
+    rt.shutdown();
+}
+
+#[test]
+fn concurrent_clients_with_pipelining_and_shutdown() {
+    let rt = MultiverseRuntime::start(MultiverseConfig::small());
+    let server = start_server(&rt, 3);
+    let addr = server.local_addr();
+    let clients = 6u64;
+    std::thread::scope(|s| {
+        for t in 0..clients {
+            s.spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                // Pipelined window: send a burst, then drain the responses
+                // in order — the server may coalesce them into one commit.
+                let mut ids = Vec::new();
+                for i in 0..40u64 {
+                    let key = (t * 40 + i) % 64;
+                    let ops = vec![
+                        Op::Put {
+                            space: (i % 2) as u8,
+                            key,
+                            val: key * 100,
+                        },
+                        Op::Get {
+                            space: (i % 2) as u8,
+                            key,
+                        },
+                    ];
+                    ids.push(c.send(ops).unwrap());
+                }
+                for id in ids {
+                    let resp = c.recv().unwrap();
+                    assert_eq!(resp.id(), id, "responses arrive in order");
+                    let Response::Ok { results, .. } = resp else {
+                        panic!("request rejected: {resp:?}");
+                    };
+                    assert_eq!(results.len(), 2);
+                    let OpResult::Value(Some(_)) = results[1] else {
+                        panic!("get after put in same txn saw nothing");
+                    };
+                }
+                // A few deletes and scans on the simple path.
+                let _ = c.del(0, t % 64).unwrap();
+                let entries = c.scan(0, 0, 31, 0).unwrap();
+                assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+            });
+        }
+    });
+    let store = Arc::clone(server.store());
+    let report = server.shutdown();
+    assert_eq!(report.connections, clients);
+    assert!(report.batches >= 1 && report.batches <= report.requests);
+    assert_eq!(report.protocol_errors, 0);
+    // Presence audit: no committed op disagreed with the audit vars, and a
+    // final sweep over the quiesced store agrees too.
+    assert_eq!(store.audit_failures(), Vec::<String>::new());
+    let mut h = rt.register();
+    assert_eq!(store.final_audit(&mut h), Vec::<String>::new());
+    rt.shutdown();
+}
+
+#[test]
+fn malformed_input_gets_clean_error_not_panic() {
+    let rt = Arc::new(GlockRuntime::new());
+    let server = start_server(&rt, 2);
+    let addr = server.local_addr();
+
+    // Garbage bytes: connection is told off and closed.
+    let mut evil = Client::connect(addr).unwrap();
+    evil.send_raw(&[0xde, 0xad, 0xbe, 0xef].repeat(8)).unwrap();
+    match evil.recv() {
+        Ok(Response::Err { msg, .. }) => assert!(msg.contains("corrupt")),
+        Ok(other) => panic!("expected protocol error, got {other:?}"),
+        Err(_) => {} // server may close before the error frame is read
+    }
+
+    // Torn frame then disconnect: server must keep serving others.
+    let mut torn = Client::connect(addr).unwrap();
+    let mut bytes = Vec::new();
+    store::proto::encode_request(
+        &store::proto::Request {
+            id: 1,
+            ops: vec![Op::Get { space: 0, key: 0 }],
+        },
+        &mut bytes,
+    );
+    torn.send_raw(&bytes[..bytes.len() / 2]).unwrap();
+    drop(torn);
+
+    // A request for a bad space: usage-style error, connection stays up.
+    let mut picky = Client::connect(addr).unwrap();
+    let resp = picky.call(vec![Op::Get { space: 99, key: 0 }]).unwrap();
+    let Response::Err { msg, .. } = resp else {
+        panic!("bad space must be rejected");
+    };
+    assert!(msg.contains("space"), "unhelpful error: {msg}");
+    assert_eq!(picky.get(0, 0).unwrap(), None, "connection survives");
+
+    // And a fresh well-behaved client still works.
+    let mut good = Client::connect(addr).unwrap();
+    assert!(good.put(0, 1, 2).unwrap());
+    assert_eq!(good.get(0, 1).unwrap(), Some(2));
+
+    let report = server.shutdown();
+    assert!(report.protocol_errors >= 2);
+    rt.shutdown();
+}

@@ -178,6 +178,15 @@ stat_counters! {
     checkpoint_count,
     /// Invalid WAL frames truncated or skipped during recovery.
     recovery_truncated_records,
+    /// Client connections accepted by the store server.
+    store_connections,
+    /// Protocol requests decoded by the store server (each a batch of ops).
+    store_requests,
+    /// Commit batches executed by store workers (pipelined requests
+    /// coalesced into one transaction each count once).
+    store_batches,
+    /// Malformed/torn client frames and undecodable requests rejected.
+    store_protocol_errors,
 }
 
 /// Process-wide counters of the size-classed structure-node arena.
@@ -262,6 +271,39 @@ pub fn wal_counters() -> &'static WalCounters {
     &WAL_COUNTERS
 }
 
+/// Process-wide counters of the store network front door.
+///
+/// Like [`StructPoolCounters`], these live below every TM crate: a store
+/// server multiplexes many connection threads onto one runtime, so the
+/// counters are multi-writer and use atomic RMWs (`fetch_add`), not the
+/// single-writer [`CachePaddedCounter`] discipline. They sit on the
+/// per-request path, not the per-transactional-op hot path, so the locked
+/// RMW cost is acceptable.
+#[derive(Debug, Default)]
+pub struct StoreCounters {
+    /// Client connections accepted.
+    pub connections: AtomicU64,
+    /// Protocol requests decoded (each a batch of ops).
+    pub requests: AtomicU64,
+    /// Commit batches executed by workers.
+    pub batches: AtomicU64,
+    /// Malformed/torn frames and undecodable requests rejected.
+    pub protocol_errors: AtomicU64,
+}
+
+static STORE_COUNTERS: StoreCounters = StoreCounters {
+    connections: AtomicU64::new(0),
+    requests: AtomicU64::new(0),
+    batches: AtomicU64::new(0),
+    protocol_errors: AtomicU64::new(0),
+};
+
+/// The process-wide store front-door counters (written by the `store`
+/// crate, folded into every [`StatsRegistry::snapshot`]).
+pub fn store_counters() -> &'static StoreCounters {
+    &STORE_COUNTERS
+}
+
 /// Registry of all per-thread statistics for one TM runtime instance.
 #[derive(Debug, Default)]
 pub struct StatsRegistry {
@@ -302,6 +344,11 @@ impl StatsRegistry {
         total.wal_bytes += wal.bytes.get();
         total.checkpoint_count += wal.checkpoints.get();
         total.recovery_truncated_records += wal.recovery_truncated.get();
+        let store = store_counters();
+        total.store_connections += store.connections.load(Ordering::Relaxed);
+        total.store_requests += store.requests.load(Ordering::Relaxed);
+        total.store_batches += store.batches.load(Ordering::Relaxed);
+        total.store_protocol_errors += store.protocol_errors.load(Ordering::Relaxed);
         total
     }
 
@@ -424,6 +471,25 @@ mod tests {
         assert_eq!(
             after.recovery_truncated_records - before.recovery_truncated_records,
             2
+        );
+    }
+
+    #[test]
+    fn store_counters_fold_into_every_snapshot() {
+        let reg = StatsRegistry::new();
+        let before = reg.snapshot();
+        let sc = store_counters();
+        sc.connections.fetch_add(3, Ordering::Relaxed);
+        sc.requests.fetch_add(12, Ordering::Relaxed);
+        sc.batches.fetch_add(5, Ordering::Relaxed);
+        sc.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        let after = reg.snapshot();
+        assert_eq!(after.store_connections - before.store_connections, 3);
+        assert_eq!(after.store_requests - before.store_requests, 12);
+        assert_eq!(after.store_batches - before.store_batches, 5);
+        assert_eq!(
+            after.store_protocol_errors - before.store_protocol_errors,
+            1
         );
     }
 

@@ -328,6 +328,71 @@ impl TxAbTree {
         }
     }
 
+    /// Look up `key` within transaction `tx`, returning its value.
+    pub fn get_tx<X: Transaction>(&self, tx: &mut X, key: u64) -> TxResult<Option<u64>> {
+        let mut cur_word = tx.read_var(&self.root)?;
+        if cur_word == NULL {
+            return Ok(None);
+        }
+        loop {
+            let cur = unsafe { deref::<AbNode>(cur_word) };
+            if tx.read_var(&cur.is_leaf)? {
+                let count = tx.read_var(&cur.count)? as usize;
+                for i in 0..count {
+                    if tx.read_var(&cur.keys[i])? == key {
+                        return Ok(Some(tx.read_var(&cur.vals[i])?));
+                    }
+                }
+                return Ok(None);
+            }
+            let idx = Self::child_index(tx, cur, key)?;
+            cur_word = tx.read_var(&cur.children[idx])?;
+        }
+    }
+
+    /// Visit every `(key, value)` pair with `lo <= key <= hi` within
+    /// transaction `tx` (visit order unspecified); returns the pair count.
+    pub fn scan_tx<X: Transaction, F: FnMut(u64, u64)>(
+        &self,
+        tx: &mut X,
+        lo: u64,
+        hi: u64,
+        visit: &mut F,
+    ) -> TxResult<usize> {
+        let root = tx.read_var(&self.root)?;
+        if root == NULL {
+            return Ok(0);
+        }
+        let mut count = 0usize;
+        let mut stack = vec![root];
+        while let Some(word) = stack.pop() {
+            let node = unsafe { deref::<AbNode>(word) };
+            let n = tx.read_var(&node.count)? as usize;
+            if tx.read_var(&node.is_leaf)? {
+                for i in 0..n {
+                    let k = tx.read_var(&node.keys[i])?;
+                    if k >= lo && k <= hi {
+                        visit(k, tx.read_var(&node.vals[i])?);
+                        count += 1;
+                    }
+                }
+                continue;
+            }
+            // Child i covers [keys[i-1], keys[i]) (with open ends).
+            for i in 0..=n {
+                let lower_ok = i == 0 || tx.read_var(&node.keys[i - 1])? <= hi;
+                let upper_ok = i == n || tx.read_var(&node.keys[i])? > lo;
+                if lower_ok && upper_ok {
+                    let child = tx.read_var(&node.children[i])?;
+                    if child != NULL {
+                        stack.push(child);
+                    }
+                }
+            }
+        }
+        Ok(count)
+    }
+
     /// Count the keys in `[lo, hi]`, within transaction `tx`.
     pub fn range_query_tx<X: Transaction>(&self, tx: &mut X, lo: u64, hi: u64) -> TxResult<usize> {
         let root = tx.read_var(&self.root)?;

@@ -313,6 +313,58 @@ impl TxAvlTree {
         Ok(false)
     }
 
+    /// Look up `key` within transaction `tx`, returning its value.
+    pub fn get_tx<X: Transaction>(&self, tx: &mut X, key: u64) -> TxResult<Option<u64>> {
+        let mut cur = tx.read_var(&self.root)?;
+        while cur != NULL {
+            let node = unsafe { deref::<AvlNode>(cur) };
+            let k = tx.read_var(&node.key)?;
+            if k == key {
+                return Ok(Some(tx.read_var(&node.val)?));
+            }
+            cur = if key < k {
+                tx.read_var(&node.left)?
+            } else {
+                tx.read_var(&node.right)?
+            };
+        }
+        Ok(None)
+    }
+
+    /// Visit every `(key, value)` pair with `lo <= key <= hi` within
+    /// transaction `tx` (visit order unspecified); returns the pair count.
+    pub fn scan_tx<X: Transaction, F: FnMut(u64, u64)>(
+        &self,
+        tx: &mut X,
+        lo: u64,
+        hi: u64,
+        visit: &mut F,
+    ) -> TxResult<usize> {
+        let mut count = 0usize;
+        let root = tx.read_var(&self.root)?;
+        if root == NULL {
+            return Ok(0);
+        }
+        let mut stack = vec![root];
+        while let Some(word) = stack.pop() {
+            let node = unsafe { deref::<AvlNode>(word) };
+            let k = tx.read_var(&node.key)?;
+            if k >= lo && k <= hi {
+                visit(k, tx.read_var(&node.val)?);
+                count += 1;
+            }
+            let l = tx.read_var(&node.left)?;
+            let r = tx.read_var(&node.right)?;
+            if l != NULL && lo < k {
+                stack.push(l);
+            }
+            if r != NULL && hi > k {
+                stack.push(r);
+            }
+        }
+        Ok(count)
+    }
+
     /// Count the keys in `[lo, hi]`, within transaction `tx`.
     pub fn range_query_tx<X: Transaction>(&self, tx: &mut X, lo: u64, hi: u64) -> TxResult<usize> {
         let mut count = 0usize;

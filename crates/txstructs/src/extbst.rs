@@ -211,6 +211,67 @@ impl TxExtBst {
         Ok(tx.read_var(&leaf.key)? == key)
     }
 
+    /// Look up `key` within transaction `tx`, returning its value.
+    pub fn get_tx<X: Transaction>(&self, tx: &mut X, key: u64) -> TxResult<Option<u64>> {
+        let mut cur = tx.read_var(&self.root)?;
+        if cur == NULL {
+            return Ok(None);
+        }
+        while !Self::is_leaf(tx, cur)? {
+            let node = unsafe { deref::<BstNode>(cur) };
+            let k = tx.read_var(&node.key)?;
+            cur = if key < k {
+                tx.read_var(&node.left)?
+            } else {
+                tx.read_var(&node.right)?
+            };
+        }
+        let leaf = unsafe { deref::<BstNode>(cur) };
+        if tx.read_var(&leaf.key)? == key {
+            Ok(Some(tx.read_var(&leaf.val)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Visit every `(key, value)` pair with `lo <= key <= hi` within
+    /// transaction `tx` (visit order unspecified); returns the pair count.
+    pub fn scan_tx<X: Transaction, F: FnMut(u64, u64)>(
+        &self,
+        tx: &mut X,
+        lo: u64,
+        hi: u64,
+        visit: &mut F,
+    ) -> TxResult<usize> {
+        let mut count = 0usize;
+        let root = tx.read_var(&self.root)?;
+        if root == NULL {
+            return Ok(0);
+        }
+        let mut stack = vec![root];
+        while let Some(word) = stack.pop() {
+            let node = unsafe { deref::<BstNode>(word) };
+            let left = tx.read_var(&node.left)?;
+            let k = tx.read_var(&node.key)?;
+            if left == NULL {
+                if k >= lo && k <= hi {
+                    visit(k, tx.read_var(&node.val)?);
+                    count += 1;
+                }
+                continue;
+            }
+            let right = tx.read_var(&node.right)?;
+            // Left subtree holds keys < k, right subtree keys >= k.
+            if lo < k {
+                stack.push(left);
+            }
+            if hi >= k {
+                stack.push(right);
+            }
+        }
+        Ok(count)
+    }
+
     /// Count the keys in `[lo, hi]`, within transaction `tx`.
     pub fn range_query_tx<X: Transaction>(&self, tx: &mut X, lo: u64, hi: u64) -> TxResult<usize> {
         let mut count = 0usize;

@@ -107,15 +107,44 @@ impl TxHashMap {
 
     /// Transactional point lookup returning the value.
     pub fn get<H: TmHandle>(&self, h: &mut H, key: u64) -> Option<u64> {
-        h.txn(TxKind::ReadOnly, |tx| {
-            let bucket = self.bucket_of(key);
-            let (_, cur) = self.locate(tx, bucket, key)?;
-            if cur == NULL {
-                return Ok(None);
+        h.txn(TxKind::ReadOnly, |tx| self.get_tx(tx, key))
+    }
+
+    /// Look up `key` within transaction `tx`, returning its value.
+    pub fn get_tx<X: Transaction>(&self, tx: &mut X, key: u64) -> TxResult<Option<u64>> {
+        let bucket = self.bucket_of(key);
+        let (_, cur) = self.locate(tx, bucket, key)?;
+        if cur == NULL {
+            return Ok(None);
+        }
+        let node = unsafe { deref::<MapNode>(cur) };
+        Ok(Some(tx.read_var(&node.val)?))
+    }
+
+    /// Visit every `(key, value)` pair with `lo <= key <= hi` within
+    /// transaction `tx` (a full scan; visit order unspecified); returns the
+    /// pair count.
+    pub fn scan_tx<X: Transaction, F: FnMut(u64, u64)>(
+        &self,
+        tx: &mut X,
+        lo: u64,
+        hi: u64,
+        visit: &mut F,
+    ) -> TxResult<usize> {
+        let mut count = 0usize;
+        for bucket in self.buckets.iter() {
+            let mut cur = tx.read_var(bucket)?;
+            while cur != NULL {
+                let node = unsafe { deref::<MapNode>(cur) };
+                let k = tx.read_var(&node.key)?;
+                if k >= lo && k <= hi {
+                    visit(k, tx.read_var(&node.val)?);
+                    count += 1;
+                }
+                cur = tx.read_var(&node.next)?;
             }
-            let node = unsafe { deref::<MapNode>(cur) };
-            Ok(Some(tx.read_var(&node.val)?))
-        })
+        }
+        Ok(count)
     }
 
     // -- transaction-composable operations ---------------------------------

@@ -100,18 +100,47 @@ impl TxList {
 
     /// Read the value for `key`, if present (transactional point lookup).
     pub fn get<H: TmHandle>(&self, h: &mut H, key: u64) -> Option<u64> {
-        h.txn(TxKind::ReadOnly, |tx| {
-            let (_, cur) = self.locate(tx, key)?;
-            if cur == NULL {
-                return Ok(None);
-            }
+        h.txn(TxKind::ReadOnly, |tx| self.get_tx(tx, key))
+    }
+
+    /// Look up `key` within transaction `tx`, returning its value.
+    pub fn get_tx<X: Transaction>(&self, tx: &mut X, key: u64) -> TxResult<Option<u64>> {
+        let (_, cur) = self.locate(tx, key)?;
+        if cur == NULL {
+            return Ok(None);
+        }
+        let node = unsafe { deref::<ListNode>(cur) };
+        if tx.read_var(&node.key)? == key {
+            Ok(Some(tx.read_var(&node.val)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Visit every `(key, value)` pair with `lo <= key <= hi` within
+    /// transaction `tx` (key-ascending order); returns the pair count.
+    pub fn scan_tx<X: Transaction, F: FnMut(u64, u64)>(
+        &self,
+        tx: &mut X,
+        lo: u64,
+        hi: u64,
+        visit: &mut F,
+    ) -> TxResult<usize> {
+        let mut count = 0usize;
+        let mut cur = tx.read_var(&self.sentinel().next)?;
+        while cur != NULL {
             let node = unsafe { deref::<ListNode>(cur) };
-            if tx.read_var(&node.key)? == key {
-                Ok(Some(tx.read_var(&node.val)?))
-            } else {
-                Ok(None)
+            let k = tx.read_var(&node.key)?;
+            if k > hi {
+                break;
             }
-        })
+            if k >= lo {
+                visit(k, tx.read_var(&node.val)?);
+                count += 1;
+            }
+            cur = tx.read_var(&node.next)?;
+        }
+        Ok(count)
     }
 
     // -- transaction-composable operations ---------------------------------

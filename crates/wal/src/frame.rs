@@ -59,8 +59,9 @@ const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x100_0000_01b3;
 
 /// FNV-1a-64 over `parts`, in order. See the module docs for why this
-/// detects every single-byte change deterministically.
-pub(crate) fn fnv1a(parts: &[&[u8]]) -> u64 {
+/// detects every single-byte change deterministically. Public so the store
+/// network protocol can reuse the exact WAL frame discipline.
+pub fn fnv1a(parts: &[&[u8]]) -> u64 {
     let mut h = FNV_OFFSET;
     for part in parts {
         for &b in *part {
