@@ -58,8 +58,13 @@ impl Client {
                         io::Error::new(io::ErrorKind::InvalidData, "malformed response")
                     })?;
                     self.pos += end;
-                    if self.pos >= self.rbuf.len() {
-                        self.rbuf.clear();
+                    // Compact like the server: under sustained pipelining
+                    // the buffer is rarely *exactly* drained, so also drop
+                    // the consumed prefix once it dominates the buffer —
+                    // otherwise rbuf grows without bound on a long-lived
+                    // connection.
+                    if self.pos >= self.rbuf.len() || self.pos > 64 * 1024 {
+                        self.rbuf.drain(..self.pos);
                         self.pos = 0;
                     }
                     return Ok(resp);

@@ -35,6 +35,17 @@ pub const MAX_SCAN_ENTRIES: usize = 32_768;
 /// Audit payload meaning "key present".
 const PRESENT: u64 = 1;
 
+/// Effective entry cap of a scan with the given `limit` (0 = unlimited up
+/// to [`MAX_SCAN_ENTRIES`]).
+#[inline]
+pub fn scan_cap(limit: u32) -> usize {
+    if limit == 0 {
+        MAX_SCAN_ENTRIES
+    } else {
+        (limit as usize).min(MAX_SCAN_ENTRIES)
+    }
+}
+
 /// Low 32 bits of an audit value: the presence payload.
 #[inline]
 pub fn payload(v: u64) -> u64 {
@@ -363,6 +374,17 @@ impl Store {
                 }
             }
         }
+        // The Ok response must fit one frame; scans dominate the bound via
+        // their entry caps, so a batch of maximal scans is rejected here
+        // rather than panicking the encoder after the commit.
+        let worst = crate::proto::worst_response_bytes(ops);
+        if worst > crate::proto::MAX_FRAME_PAYLOAD {
+            return Err(format!(
+                "worst-case response ({worst} bytes) exceeds the frame cap \
+                 ({} bytes); lower scan limits or split the request",
+                crate::proto::MAX_FRAME_PAYLOAD
+            ));
+        }
         Ok(())
     }
 
@@ -474,11 +496,7 @@ impl Store {
                 sp.imp
                     .scan_tx(tx, lo, hi, &mut |k, v| entries.push((k, v)))?;
                 entries.sort_unstable();
-                let cap = if limit == 0 {
-                    MAX_SCAN_ENTRIES
-                } else {
-                    (limit as usize).min(MAX_SCAN_ENTRIES)
-                };
+                let cap = scan_cap(limit);
                 entries.truncate(cap);
                 // Audit only windows that lie fully inside the audit range,
                 // where the expected key set is exactly the present ones.
@@ -635,6 +653,15 @@ mod tests {
             }])
             .is_err());
         assert!(st.validate(&[Op::Get { space: 1, key: 0 }]).is_ok());
+        // Response-size bound: one maximal scan fits a frame, two do not.
+        let full = Op::Scan {
+            space: 0,
+            lo: 0,
+            hi: u64::MAX,
+            limit: 0,
+        };
+        assert!(st.validate(std::slice::from_ref(&full)).is_ok());
+        assert!(st.validate(&[full.clone(), full]).is_err());
     }
 
     #[test]

@@ -41,6 +41,31 @@ pub const FRAME_HEADER_BYTES: usize = 4 + 8;
 /// a longer length prefix is treated as corruption, bounding buffering).
 pub const MAX_FRAME_PAYLOAD: usize = 1 << 20;
 
+/// Encoded size of an Ok-response header: tag + id + result count.
+const RESP_OK_HEADER_BYTES: usize = 1 + 8 + 2;
+
+/// Worst-case encoded payload size of the Ok response to `ops`.
+///
+/// [`Store::validate`](crate::kv::Store::validate) rejects any request
+/// whose bound exceeds [`MAX_FRAME_PAYLOAD`], which is what makes the
+/// [`encode_frame`] size assert unreachable for accepted requests: a
+/// malicious batch of maximal scans gets an `Err` response instead of
+/// panicking the connection's reader after the transaction committed.
+pub fn worst_response_bytes(ops: &[Op]) -> usize {
+    RESP_OK_HEADER_BYTES
+        + ops
+            .iter()
+            .map(|op| match *op {
+                // tag + present flag + value
+                Op::Get { .. } => 1 + 1 + 8,
+                // tag + did flag
+                Op::Put { .. } | Op::Del { .. } => 1 + 1,
+                // tag + count + capped entries
+                Op::Scan { limit, .. } => 1 + 4 + crate::kv::scan_cap(limit) * 16,
+            })
+            .sum::<usize>()
+}
+
 const MSG_REQUEST: u8 = 0x01;
 const MSG_RESPONSE_OK: u8 = 0x02;
 const MSG_RESPONSE_ERR: u8 = 0x03;
@@ -95,7 +120,9 @@ impl Response {
 // -- framing ----------------------------------------------------------------
 
 /// Append one frame holding `payload` to `out`. Panics on oversized
-/// payloads (encoders cap their content well below the limit).
+/// payloads — unreachable for well-formed traffic: requests are capped by
+/// [`MAX_OPS_PER_REQUEST`], error messages by `u16::MAX`, and Ok responses
+/// by the [`worst_response_bytes`] bound `validate` enforces.
 pub fn encode_frame(payload: &[u8], out: &mut Vec<u8>) {
     assert!(
         payload.len() <= MAX_FRAME_PAYLOAD,
@@ -471,6 +498,38 @@ mod tests {
         let mut huge = bytes;
         huge[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert_eq!(peek_frame(&huge), FrameStatus::Corrupt);
+    }
+
+    #[test]
+    fn worst_response_bound_is_exact_for_maximal_results() {
+        // A scan answering exactly its entry cap, a present get, and a did
+        // result encode to exactly the bound validate() enforces.
+        let limit = 100u32;
+        let ops = vec![
+            Op::Scan {
+                space: 0,
+                lo: 0,
+                hi: u64::MAX,
+                limit,
+            },
+            Op::Get { space: 0, key: 1 },
+            Op::Put {
+                space: 0,
+                key: 2,
+                val: 3,
+            },
+        ];
+        let resp = Response::Ok {
+            id: 1,
+            results: vec![
+                OpResult::Entries((0..limit as u64).map(|k| (k, k)).collect()),
+                OpResult::Value(Some(7)),
+                OpResult::Did(true),
+            ],
+        };
+        let mut bytes = Vec::new();
+        encode_response(&resp, &mut bytes);
+        assert_eq!(bytes.len() - FRAME_HEADER_BYTES, worst_response_bytes(&ops));
     }
 
     #[test]

@@ -31,12 +31,13 @@ use crate::kv::{Op, OpResult, Store};
 use crate::proto::{
     decode_request, encode_response, peek_frame, FrameStatus, Response, FRAME_HEADER_BYTES,
 };
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 use tm_api::{stats::store_counters, TmRuntime};
 
 /// Server construction parameters.
@@ -93,10 +94,17 @@ struct Shared {
     queue_cv: Condvar,
     stop_accepting: AtomicBool,
     stop_workers: AtomicBool,
-    /// Clones of every accepted stream, for shutdown to unblock readers.
-    conns: Mutex<Vec<TcpStream>>,
-    /// Reader-thread handles, joined at shutdown.
-    readers: Mutex<Vec<JoinHandle<()>>>,
+    /// Clones of every *live* accepted stream, keyed by connection id, for
+    /// shutdown to unblock readers. A reader erases its own entry on exit,
+    /// so closed connections do not pin duplicated fds for the server's
+    /// lifetime.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    /// Reader-thread handles, keyed by connection id. Finished readers are
+    /// reaped by the accept loop (see `finished`); the rest are joined at
+    /// shutdown.
+    readers: Mutex<HashMap<u64, JoinHandle<()>>>,
+    /// Ids of reader threads that have exited and can be reaped.
+    finished: Mutex<Vec<u64>>,
     connections: AtomicU64,
     requests: AtomicU64,
     batches: AtomicU64,
@@ -148,8 +156,9 @@ impl Server {
             queue_cv: Condvar::new(),
             stop_accepting: AtomicBool::new(false),
             stop_workers: AtomicBool::new(false),
-            conns: Mutex::new(Vec::new()),
-            readers: Mutex::new(Vec::new()),
+            conns: Mutex::new(HashMap::new()),
+            readers: Mutex::new(HashMap::new()),
+            finished: Mutex::new(Vec::new()),
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             batches: AtomicU64::new(0),
@@ -203,11 +212,11 @@ impl Server {
         }
         // Stop readers: shutting the read side makes a blocked read return
         // 0 while letting in-flight responses still be written.
-        for conn in self.shared.conns.lock().unwrap().drain(..) {
+        for (_, conn) in self.shared.conns.lock().unwrap().drain() {
             let _ = conn.shutdown(Shutdown::Read);
         }
         let readers = std::mem::take(&mut *self.shared.readers.lock().unwrap());
-        for r in readers {
+        for (_, r) in readers {
             let _ = r.join();
         }
         // All jobs are submitted; let the workers drain the queue and exit.
@@ -253,35 +262,67 @@ fn worker_loop<R: TmRuntime>(rt: &Arc<R>, shared: &Shared) {
     }
 }
 
+/// Join (and forget) the reader threads that have announced their exit, so
+/// a long-running server does not accumulate one JoinHandle per connection
+/// it ever served. Their `conns` entries were already erased by the readers
+/// themselves.
+fn reap_finished(shared: &Shared) {
+    let ids = std::mem::take(&mut *shared.finished.lock().unwrap());
+    if ids.is_empty() {
+        return;
+    }
+    let mut readers = shared.readers.lock().unwrap();
+    for id in ids {
+        if let Some(h) = readers.remove(&id) {
+            let _ = h.join();
+        }
+    }
+}
+
 fn accept_loop(listener: TcpListener, shared: &Arc<Shared>, batch_max_ops: usize) {
+    let mut next_conn_id: u64 = 0;
     loop {
+        reap_finished(shared);
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
             Err(_) => {
                 if shared.stop_accepting.load(Ordering::SeqCst) {
                     return;
                 }
+                // A persistent accept error (EMFILE, say) must not become
+                // a busy spin; back off before retrying.
+                std::thread::sleep(Duration::from_millis(50));
                 continue;
             }
         };
         if shared.stop_accepting.load(Ordering::SeqCst) {
             return;
         }
+        // Without a registered clone, shutdown could not shut this reader's
+        // read side and would block forever joining it — drop the
+        // connection rather than serve it unstoppably.
+        let Ok(clone) = stream.try_clone() else {
+            continue;
+        };
         shared.connections.fetch_add(1, Ordering::Relaxed);
         store_counters().connections.fetch_add(1, Ordering::Relaxed);
         // Without this, Nagle holds each small response until the previous
         // one is ACKed, and a pipelining client (which only reads) delays
         // those ACKs — tens of milliseconds per batch on loopback.
         stream.set_nodelay(true).ok();
-        if let Ok(clone) = stream.try_clone() {
-            shared.conns.lock().unwrap().push(clone);
-        }
+        let id = next_conn_id;
+        next_conn_id += 1;
+        shared.conns.lock().unwrap().insert(id, clone);
         let shared_for_reader = Arc::clone(shared);
         let reader = std::thread::Builder::new()
             .name("store-conn".to_string())
-            .spawn(move || connection_loop(stream, &shared_for_reader, batch_max_ops))
+            .spawn(move || {
+                connection_loop(stream, &shared_for_reader, batch_max_ops);
+                shared_for_reader.conns.lock().unwrap().remove(&id);
+                shared_for_reader.finished.lock().unwrap().push(id);
+            })
             .expect("spawn connection reader");
-        shared.readers.lock().unwrap().push(reader);
+        shared.readers.lock().unwrap().insert(id, reader);
     }
 }
 

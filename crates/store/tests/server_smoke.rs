@@ -108,6 +108,78 @@ fn concurrent_clients_with_pipelining_and_shutdown() {
 }
 
 #[test]
+fn oversized_worst_case_response_rejected_not_panicked() {
+    let rt = Arc::new(GlockRuntime::new());
+    let server = start_server(&rt, 2);
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let full = Op::Scan {
+        space: 0,
+        lo: 0,
+        hi: u64::MAX,
+        limit: 0,
+    };
+    // Two maximal scans could encode past the frame cap: the request gets
+    // a usage-style error (instead of the response encoder panicking the
+    // reader after the commit), and the connection stays up.
+    let resp = c.call(vec![full.clone(), full.clone()]).unwrap();
+    let Response::Err { msg, .. } = resp else {
+        panic!("oversized worst-case response must be rejected");
+    };
+    assert!(msg.contains("frame cap"), "unhelpful error: {msg}");
+    // A single maximal scan fits one frame and still works.
+    assert!(c.put(0, 5, 50).unwrap());
+    let Response::Ok { results, .. } = c.call(vec![full]).unwrap() else {
+        panic!("single maximal scan must be accepted");
+    };
+    assert_eq!(results, vec![OpResult::Entries(vec![(5, 50)])]);
+    let report = server.shutdown();
+    assert_eq!(report.protocol_errors, 1);
+    rt.shutdown();
+}
+
+/// Open fds of this process (Linux); used to observe the per-connection
+/// clone cleanup.
+#[cfg(target_os = "linux")]
+fn open_fds() -> usize {
+    std::fs::read_dir("/proc/self/fd").map_or(0, |d| d.count())
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn closed_connections_release_their_fds() {
+    let rt = Arc::new(GlockRuntime::new());
+    let server = start_server(&rt, 2);
+    let addr = server.local_addr();
+    let before = open_fds();
+    // Churn many short-lived connections: each one's registered clone must
+    // be released when it closes, not pinned until shutdown.
+    for i in 0..100u64 {
+        let mut c = Client::connect(addr).unwrap();
+        assert!(c.put(0, i % 32, i).unwrap() || i >= 32);
+    }
+    // Reader exit (and the accept loop's reap) is asynchronous; poll.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        // Generous slack: sibling tests in this binary run concurrently
+        // and also open sockets. A leak of the old kind holds all 100
+        // clones until shutdown and stays far above this.
+        if open_fds() <= before + 32 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "fds not released: {} before churn, {} after",
+            before,
+            open_fds()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let report = server.shutdown();
+    assert_eq!(report.connections, 100);
+    rt.shutdown();
+}
+
+#[test]
 fn malformed_input_gets_clean_error_not_panic() {
     let rt = Arc::new(GlockRuntime::new());
     let server = start_server(&rt, 2);
