@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench_trajectory [-- <output-path>] \
-//!     [--check <tolerance> [--baseline <path>]]
+//!     [--sweep 1,2,4,8,16] [--check <tolerance> [--baseline <path>]]
 //! ```
 //!
 //! `--check` compares the fresh numbers against a committed baseline
@@ -14,9 +14,18 @@
 //! regressions beyond `tolerance` (a fraction, e.g. `0.30` = 30%). The check
 //! is **warn-only**: it never fails the process — micro-benchmarks on shared
 //! CI runners are too noisy to gate on, but the deltas belong in the job log.
+//!
+//! `--sweep` sets the thread counts for the multi-thread scaling entries
+//! (default `1,2,4`): each multi-thread workload runs once per count and
+//! lands in the output as `<name>@t<N>`, so the committed baseline carries a
+//! `threads → ns/op` curve per workload and `--check` diffs curves
+//! point-wise with no extra machinery.
 
 use baselines::{DctlRuntime, NorecRuntime, TinyStmRuntime, Tl2Runtime};
+use harness::Zipf;
 use multiverse::{MultiverseConfig, MultiverseRuntime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
@@ -240,44 +249,99 @@ fn versioned_measurements(out: &mut Vec<(String, f64)>) {
     ));
     drop(h);
     rt.shutdown();
+}
 
-    // The same mixed churn with four workers sharing the runtime: version/
-    // VLT slots flow continuously between the threads' pool handles — the
-    // contention profile the sharded free lists target. Tracked so the
-    // multi-thread win (and any regression in the shard/steal machinery)
-    // is visible in BENCH_txset.json, alongside the single-thread entries.
-    let rt = MultiverseRuntime::start(MultiverseConfig {
-        k1_versioned_after: 0,
-        min_unversion_threshold: 1,
-        l_delta_samples: 1,
-        p_prefix_fraction: 1.0,
-        ..MultiverseConfig::small()
-    });
-    let vars: Vec<TVar<u64>> = (0..WORDS).map(|i| TVar::new(i as u64)).collect();
-    out.push((
-        "stm/multiverse/version_churn_mixed_mt4".into(),
-        measure_mt(4, 7, 3_000, |t| {
-            let mut h = rt.register();
-            let vars = &vars;
-            let mut i = (t as u64).wrapping_mul(0x9E37_79B9) + 1;
-            move || {
-                i += 1;
-                let sum = h.txn(TxKind::ReadOnly, |tx| {
-                    let mut sum = 0u64;
-                    for v in vars.iter().skip((i as usize) % 8).take(8) {
-                        sum = sum.wrapping_add(tx.read_var(v)?);
-                    }
-                    Ok(sum)
-                });
-                black_box(sum);
-                h.txn(TxKind::ReadWrite, |tx| {
-                    tx.write_var(&vars[(i as usize) % WORDS], i)?;
-                    tx.write_var(&vars[(i as usize + 31) % WORDS], i)
-                });
-            }
-        }),
-    ));
-    rt.shutdown();
+/// The multi-thread scaling curves: each workload runs once per thread count
+/// in `sweep`, landing in the output as `<name>@t<N>` so the baseline diff
+/// compares whole curves point-wise. Three contention profiles:
+///
+/// * `version_churn_mixed` — the mixed versioned churn above with the
+///   runtime shared: version/VLT slots flow continuously between the
+///   threads' pool handles, the profile the sharded free lists target.
+/// * `zipf_update` — read-modify-write on Zipf(θ=0.9)-skewed keys: the hot
+///   head keys collide, so this curve is abort-heavy and prices the commit
+///   clock's abort-path tick under contention.
+/// * `partitioned_update` — each thread updates only its own key range, so
+///   there are no data conflicts at all: any scaling loss left is shared
+///   infrastructure (clock line, pool, stripe tables), the floor the
+///   placement work targets.
+fn sweep_measurements(sweep: &[usize], out: &mut Vec<(String, f64)>) {
+    const WORDS: usize = 64;
+    const ZIPF_KEYS: u64 = 256;
+
+    for &threads in sweep {
+        let rt = MultiverseRuntime::start(MultiverseConfig {
+            k1_versioned_after: 0,
+            min_unversion_threshold: 1,
+            l_delta_samples: 1,
+            p_prefix_fraction: 1.0,
+            ..MultiverseConfig::small()
+        });
+        let vars: Vec<TVar<u64>> = (0..WORDS).map(|i| TVar::new(i as u64)).collect();
+        out.push((
+            format!("stm/multiverse/version_churn_mixed@t{threads}"),
+            measure_mt(threads, 7, 3_000, |t| {
+                let mut h = rt.register();
+                let vars = &vars;
+                let mut i = (t as u64).wrapping_mul(0x9E37_79B9) + 1;
+                move || {
+                    i += 1;
+                    let sum = h.txn(TxKind::ReadOnly, |tx| {
+                        let mut sum = 0u64;
+                        for v in vars.iter().skip((i as usize) % 8).take(8) {
+                            sum = sum.wrapping_add(tx.read_var(v)?);
+                        }
+                        Ok(sum)
+                    });
+                    black_box(sum);
+                    h.txn(TxKind::ReadWrite, |tx| {
+                        tx.write_var(&vars[(i as usize) % WORDS], i)?;
+                        tx.write_var(&vars[(i as usize + 31) % WORDS], i)
+                    });
+                }
+            }),
+        ));
+        rt.shutdown();
+
+        let rt = MultiverseRuntime::start(MultiverseConfig::small());
+        let vars: Vec<TVar<u64>> = (0..ZIPF_KEYS).map(TVar::new).collect();
+        out.push((
+            format!("stm/multiverse/zipf_update@t{threads}"),
+            measure_mt(threads, 7, 3_000, |t| {
+                let mut h = rt.register();
+                let vars = &vars;
+                let zipf = Zipf::new(ZIPF_KEYS, 0.9);
+                let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ t as u64);
+                move || {
+                    let k = zipf.sample(&mut rng) as usize;
+                    h.txn(TxKind::ReadWrite, |tx| {
+                        let v = tx.read_var(&vars[k])?;
+                        tx.write_var(&vars[k], v.wrapping_add(1))
+                    });
+                }
+            }),
+        ));
+        rt.shutdown();
+
+        let rt = MultiverseRuntime::start(MultiverseConfig::small());
+        let vars: Vec<TVar<u64>> = (0..WORDS * threads).map(|i| TVar::new(i as u64)).collect();
+        out.push((
+            format!("stm/multiverse/partitioned_update@t{threads}"),
+            measure_mt(threads, 7, 5_000, |t| {
+                let mut h = rt.register();
+                let mine = &vars[t * WORDS..(t + 1) * WORDS];
+                let mut i = 0u64;
+                move || {
+                    i += 1;
+                    h.txn(TxKind::ReadWrite, |tx| {
+                        tx.write_var(&mine[(i as usize) % WORDS], i)?;
+                        tx.write_var(&mine[(i as usize + 7) % WORDS], i)
+                    });
+                }
+            }),
+        ));
+        rt.shutdown();
+    }
 }
 
 /// The durability tax, priced as a back-to-back pair on the same workload
@@ -544,7 +608,30 @@ fn check_against_baseline(results: &[(String, f64)], baseline_path: &str, tolera
     }
 }
 
-const USAGE: &str = "usage: bench_trajectory [out.json] [--check <tolerance>] [--baseline <path>]";
+const USAGE: &str =
+    "usage: bench_trajectory [out.json] [--sweep 1,2,4] [--check <tolerance>] [--baseline <path>]";
+
+/// Parse a `--sweep` thread-count list: comma-separated, each in 1..=1024,
+/// de-duplicated but order-preserving (the curve is written in list order).
+fn parse_sweep(raw: &str) -> Result<Vec<usize>, String> {
+    let mut sweep = Vec::new();
+    for part in raw.split(',') {
+        let part = part.trim();
+        let n: usize = part
+            .parse()
+            .map_err(|_| format!("--sweep entry `{part}` is not a thread count"))?;
+        if n == 0 || n > 1024 {
+            return Err(format!("--sweep entry `{part}` must be in 1..=1024"));
+        }
+        if !sweep.contains(&n) {
+            sweep.push(n);
+        }
+    }
+    if sweep.is_empty() {
+        return Err("--sweep requires at least one thread count".into());
+    }
+    Ok(sweep)
+}
 
 /// Parsed command line. Every malformed input is a usage-style `Err` (no
 /// `.expect` panics): a typo'd flag or a missing/garbage flag argument
@@ -555,6 +642,7 @@ struct Args {
     out_path: String,
     check_tolerance: Option<f64>,
     baseline_path: String,
+    sweep: Vec<usize>,
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
@@ -562,10 +650,17 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         out_path: "BENCH_txset.json".to_string(),
         check_tolerance: None,
         baseline_path: "BENCH_txset.json".to_string(),
+        sweep: vec![1, 2, 4],
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--sweep" => {
+                let raw = it
+                    .next()
+                    .ok_or("--sweep requires a comma-separated thread-count list, e.g. 1,2,4")?;
+                parsed.sweep = parse_sweep(raw)?;
+            }
             "--check" => {
                 let raw = it
                     .next()
@@ -611,6 +706,7 @@ fn main() {
         &mut results,
     );
     versioned_measurements(&mut results);
+    sweep_measurements(&args.sweep, &mut results);
     wal_measurements(&mut results);
     structure_measurements(&mut results);
     server_measurements(&mut results);
@@ -673,5 +769,20 @@ mod tests {
         assert!(parse_args(&strings(&["--check", "inf"])).is_err());
         assert!(parse_args(&strings(&["--baseline"])).is_err());
         assert!(parse_args(&strings(&["--chekc", "0.3"])).is_err());
+    }
+
+    #[test]
+    fn sweep_parses_dedups_and_validates() {
+        let a = parse_args(&[]).unwrap();
+        assert_eq!(a.sweep, vec![1, 2, 4]);
+        let a = parse_args(&strings(&["--sweep", "1,2,4,8,16"])).unwrap();
+        assert_eq!(a.sweep, vec![1, 2, 4, 8, 16]);
+        let a = parse_args(&strings(&["--sweep", "4, 2,4"])).unwrap();
+        assert_eq!(a.sweep, vec![4, 2]);
+        assert!(parse_args(&strings(&["--sweep"])).is_err());
+        assert!(parse_args(&strings(&["--sweep", ""])).is_err());
+        assert!(parse_args(&strings(&["--sweep", "0"])).is_err());
+        assert!(parse_args(&strings(&["--sweep", "2000"])).is_err());
+        assert!(parse_args(&strings(&["--sweep", "two"])).is_err());
     }
 }

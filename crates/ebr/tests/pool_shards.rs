@@ -3,7 +3,9 @@
 //! on single-core runners), checking the accounting invariants end to end:
 //!
 //! * every allocation is classified as exactly one hit or miss
-//!   (`allocs == hits + misses`, with steals a subset of the hits),
+//!   (`allocs == hits + misses`; steals count the *slots* each cross-shard
+//!   drain adopted, so `steals` can exceed the number of stealing allocs
+//!   but never the hit total),
 //! * nothing is recycled that was not first retired
 //!   (`recycled <= retires`, with equality once the collector drains),
 //! * no slot is lost: after the churn quiesces, every slot ever grown is
@@ -44,9 +46,10 @@ fn classify(counts: &mut Counts, src: SlotSource) {
     counts.allocs += 1;
     match src {
         SlotSource::Hit => counts.hits += 1,
-        SlotSource::Steal => {
+        SlotSource::Steal(batch) => {
+            assert!(batch >= 1, "a steal adopts at least the returned slot");
             counts.hits += 1;
-            counts.steals += 1;
+            counts.steals += batch as u64;
         }
         SlotSource::Miss => counts.misses += 1,
     }
@@ -173,8 +176,8 @@ fn sharded_churn_conserves_slots_and_takes_the_steal_path() {
         let (p, src) = thief.alloc();
         borrowed.push(p);
         match src {
-            SlotSource::Steal => {
-                steals += 1;
+            SlotSource::Steal(batch) => {
+                steals += batch as u64;
                 break;
             }
             SlotSource::Miss => panic!("refill grew the pool while sibling shards held slots"),

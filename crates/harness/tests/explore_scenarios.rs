@@ -64,10 +64,15 @@ fn exhaustive_exploration_is_clean_with_protocol_intact() {
 /// a determinism bug.
 #[test]
 fn sleep_sets_strictly_reduce_pinned_schedule_counts() {
+    // Pins re-measured when the abort path moved from `increment`
+    // (one fetch_add) to the coalescing `tick` (load + CAS) — a different
+    // instrumented-op sequence, hence a different (still clean, still
+    // complete) schedule space. The before-sleep-set column predates that
+    // change; the strict reduction it documents still holds.
     const PINS: &[(ExploreScenario, u64, u64)] = &[
-        (ExploreScenario::Traverse, 254, 411),
-        (ExploreScenario::Supersede, 85, 96),
-        (ExploreScenario::ModeSwitch, 210, 221),
+        (ExploreScenario::Traverse, 247, 411),
+        (ExploreScenario::Supersede, 84, 96),
+        (ExploreScenario::ModeSwitch, 206, 221),
         (ExploreScenario::Commit, 102, 128),
     ];
     for &(scenario, pinned, before_sleep_sets) in PINS {
@@ -98,9 +103,9 @@ fn sleep_sets_strictly_reduce_pinned_schedule_counts() {
 #[test]
 fn structure_scenarios_have_pinned_schedule_counts() {
     const PINS: &[(ExploreScenario, u64)] = &[
-        (ExploreScenario::AbTree, 38),
-        (ExploreScenario::Avl, 39),
-        (ExploreScenario::ExtBst, 38),
+        (ExploreScenario::AbTree, 44),
+        (ExploreScenario::Avl, 45),
+        (ExploreScenario::ExtBst, 44),
         (ExploreScenario::HashMap, 134),
     ];
     for &(scenario, pinned) in PINS {

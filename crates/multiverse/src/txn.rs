@@ -14,6 +14,7 @@ use ebr::{LocalHandle, TxMem};
 use std::sync::Arc;
 use tm_api::abort::TxResult;
 use tm_api::backoff::SpinWait;
+use tm_api::clock::{ClockCache, Tick};
 use tm_api::sync::{fence, Ordering};
 use tm_api::traits::Dtor;
 use tm_api::txset::{InlineVec, LockedStripes, StripeReadSet, UndoLog};
@@ -66,6 +67,12 @@ pub struct MultiverseTx {
     /// Committed-but-superseded version nodes awaiting clock-gated
     /// retirement (see [`Self::flush_superseded`]).
     superseded: InlineVec<Superseded, SUPERSEDE_INLINE>,
+    /// Per-thread lower bound on the global clock, refreshed by the real
+    /// reads in [`Self::begin`] / [`Self::try_commit`]. Only stale-low-safe
+    /// consumers (the supersede gate pre-check, the commit-ts-delta
+    /// heuristic) recall it — never read-clock or commit-timestamp
+    /// acquisition, which stay real loads (see `tm_api::clock`).
+    clock_cache: ClockCache,
 
     // ---- per-attempt state ----
     kind: TxKind,
@@ -108,6 +115,7 @@ impl MultiverseTx {
             mem: TxMem::new(),
             pool: arena::pool_handle(),
             superseded: InlineVec::new(),
+            clock_cache: ClockCache::new(),
             kind: TxKind::ReadOnly,
             rv: 0,
             local_mode_counter: 0,
@@ -187,7 +195,10 @@ impl MultiverseTx {
             }
         }
         self.local_mode = Mode::from_counter(self.local_mode_counter);
-        self.rv = self.rt.clock.read();
+        // The read clock MUST be a real load (refresh, not recall): a cached
+        // rv would admit this attempt at a timestamp the supersede gate may
+        // already have retired behind (see `crate::arena`, safety point 2).
+        self.rv = self.clock_cache.refresh(&self.rt.clock);
         if self.versioned && self.initial_versioned_ts == INVALID_TS {
             // First attempt on the versioned path: remember the initial
             // versioned timestamp for the commit-timestamp-delta heuristic.
@@ -368,12 +379,13 @@ impl MultiverseTx {
         let (p, src) = self.pool.alloc();
         // `pool_allocs` is derived as hits + misses in the stats snapshot;
         // no third counter bump on this hot path. A steal is a hit (recycled
-        // memory) plus a cross-shard event.
+        // memory) plus the number of slots the cross-shard drain adopted
+        // (the batch; see the `pool_steals` counter doc).
         match src {
             SlotSource::Hit => self.stats.pool_hits.inc(),
-            SlotSource::Steal => {
+            SlotSource::Steal(batch) => {
                 self.stats.pool_hits.inc();
-                self.stats.pool_steals.inc();
+                self.stats.pool_steals.add(batch as u64);
             }
             SlotSource::Miss => self.stats.pool_misses.inc(),
         }
@@ -449,6 +461,20 @@ impl MultiverseTx {
     /// bump the clock ourselves (always safe — the clock is monotonic and a
     /// spurious tick only freshens future read clocks, exactly like the tick
     /// every abort already performs).
+    /// Advance the global clock past `observed` via the coalescing
+    /// [`GlobalClock::tick`](tm_api::clock::GlobalClock::tick), recording
+    /// contention stats and teaching the per-thread cache the result.
+    #[inline]
+    fn tick_clock(&mut self, observed: u64) -> Tick {
+        let tick = self.rt.clock.tick(observed);
+        self.stats.clock_ticks.inc();
+        if tick.retries != 0 {
+            self.stats.clock_tick_retries.add(tick.retries as u64);
+        }
+        self.clock_cache.note(tick.value);
+        tick
+    }
+
     fn flush_superseded(&mut self) {
         if self.superseded.is_empty() {
             return;
@@ -464,11 +490,17 @@ impl MultiverseTx {
         // Entries are queued in nondecreasing commit-timestamp order, so the
         // whole queue is flushable iff the newest entry is.
         let newest = self.superseded.as_slice()[self.superseded.len() - 1].commit_ts;
-        if !gate_disabled && newest >= self.rt.clock.read() {
+        // The gate pre-check recalls the per-thread clock lower bound instead
+        // of loading the shared line: a stale-low value can only delay
+        // retirement (conservative), and begin/commit refresh the cache every
+        // attempt, so the delay is at most one operation.
+        if !gate_disabled && newest >= self.clock_cache.recall() {
             if self.superseded.len() < SUPERSEDE_FORCE_AT {
                 return;
             }
-            self.rt.clock.increment();
+            // After the tick the clock strictly exceeds `newest`, so the
+            // whole queue is flushable below.
+            self.tick_clock(newest);
         }
         for &s in self.superseded.as_slice() {
             self.ebr.retire(
@@ -542,7 +574,10 @@ impl MultiverseTx {
                 return Err(Abort);
             }
         }
-        let commit_clock = self.rt.clock.read();
+        // The commit timestamp MUST be a real load (refresh, not recall): a
+        // stale value would stamp this commit behind read clocks that have
+        // already validated against newer state.
+        let commit_clock = self.clock_cache.refresh(&self.rt.clock);
         // Log the write set while the stripe locks are still held: the WAL
         // sequence number fetched inside is then ordered exactly as the lock
         // hand-off serializes conflicting commits, so log replay order is a
@@ -600,10 +635,13 @@ impl MultiverseTx {
     fn on_read_only_commit(&mut self) {
         if self.versioned {
             self.stats.versioned_commits.inc();
+            // The cached lower bound is enough here: the delta only feeds the
+            // unversioning heuristic, and understating it by a few ticks just
+            // makes that heuristic marginally more conservative — not worth a
+            // shared clock load on every read-only commit.
             let delta = self
-                .rt
-                .clock
-                .read()
+                .clock_cache
+                .recall()
                 .saturating_sub(self.initial_versioned_ts.min(self.rv));
             self.slot.announce_commit_ts_delta(delta);
             if self.local_mode == Mode::U {
@@ -680,19 +718,23 @@ impl MultiverseTx {
         self.vwrites.clear();
         // 3. Revoke retires and free buffered allocations.
         self.mem.on_abort();
-        // 4. Release the write-set locks at a fresh clock value (the deferred
-        //    clock advances on aborts).
+        // 4. Advance the clock past this attempt's read clock (the deferred
+        //    clock advances on aborts) and release the write-set locks at the
+        //    ticked value. The coalescing tick keeps the guarantee the old
+        //    unconditional increment provided — the retry's `begin` observes
+        //    a read clock strictly above `rv`, so a reader conflicting with
+        //    an already-committed write cannot spin on the same read clock —
+        //    but an abort storm performs at most one successful CAS per clock
+        //    value instead of one fetch_add per abort. Releasing locks at an
+        //    adopted (shared) clock value is fine: deferred-clock commits
+        //    already release at non-unique values.
+        let tick = self.tick_clock(self.rv);
         if !self.locked.is_empty() {
-            let next = self.rt.clock.increment();
-            self.locked.release_all(&self.rt.locks, next);
-        } else {
-            // Even read-only aborts advance the clock so their retry observes
-            // a fresher read clock (otherwise a reader that conflicts with an
-            // already-committed write would spin on the same read clock).
-            self.rt.clock.increment();
+            self.locked.release_all(&self.rt.locks, tick.value);
         }
-        // The clock just advanced past every queued commit timestamp, so the
-        // supersede queue is guaranteed to drain here.
+        // The clock now strictly exceeds `rv`, which is >= every queued
+        // commit timestamp (each was stamped by an earlier operation, before
+        // the `begin` that read `rv`), so the supersede queue drains here.
         self.flush_superseded();
         // 5. Heuristics: consider initiating the Mode Q -> QtoU transition.
         if self.kind == TxKind::ReadOnly {
@@ -742,7 +784,8 @@ impl Drop for MultiverseTx {
         // `LocalHandle` drops (which orphans its garbage onto the
         // collector). A forced clock tick makes the queue flushable.
         if !self.superseded.is_empty() {
-            self.rt.clock.increment();
+            let newest = self.superseded.as_slice()[self.superseded.len() - 1].commit_ts;
+            self.tick_clock(newest);
             self.flush_superseded();
         }
     }

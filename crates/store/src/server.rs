@@ -15,8 +15,12 @@
 //!   which registers **one** TM handle at startup and keeps it for life.
 //!   This pins each handle (and its `PoolHandle`/`ClassedHandle` arena
 //!   affinity) to one OS thread, the ownership discipline the node arenas
-//!   assume. Every job executes as one transaction — that is how pipelined
-//!   small requests batch into a single commit.
+//!   assume. Worker threads are additionally pinned to CPUs spread across
+//!   the machine's cache groups (`tm_api::topology`, best-effort — workers
+//!   float if the pin fails) so that arena homes and first-touch slab pages
+//!   stay local to where the handle runs. Every job executes as one
+//!   transaction — that is how pipelined small requests batch into a single
+//!   commit.
 //!
 //! ## Graceful shutdown
 //!
@@ -164,13 +168,25 @@ impl Server {
             batches: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
         });
+        // Spread the workers across the machine's cache groups and pin each
+        // to its CPU before it registers its TM handle: the handle's arena
+        // affinity (pool home shard, first-touch slab pages) then matches
+        // where the thread actually runs for the server's whole life. The
+        // pin is best-effort — on an unknown topology or a restricted
+        // container `pin_to_cpu` returns `false` and the worker just floats,
+        // exactly the pre-pinning behaviour.
+        let worker_cpus = tm_api::Topology::current().spread_cpus(cfg.workers);
         let workers = (0..cfg.workers)
             .map(|i| {
                 let rt = Arc::clone(rt);
                 let shared = Arc::clone(&shared);
+                let cpu = worker_cpus[i];
                 std::thread::Builder::new()
                     .name(format!("store-worker-{i}"))
-                    .spawn(move || worker_loop(&rt, &shared))
+                    .spawn(move || {
+                        tm_api::topology::pin_to_cpu(cpu);
+                        worker_loop(&rt, &shared)
+                    })
                     .expect("spawn worker")
             })
             .collect();

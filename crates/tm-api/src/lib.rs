@@ -32,6 +32,7 @@ pub mod padded;
 pub mod record;
 pub mod stats;
 pub mod sync;
+pub mod topology;
 pub mod traits;
 pub mod txset;
 pub mod txword;
@@ -40,10 +41,11 @@ pub mod vlock;
 pub use abort::{Abort, TxResult};
 pub use backoff::Backoff;
 pub use bloom::BloomTable;
-pub use clock::GlobalClock;
+pub use clock::{ClockCache, GlobalClock};
 pub use locktable::{LockTable, StripeIndex};
 pub use padded::CachePadded;
 pub use stats::{StatsRegistry, ThreadStats, TmStatsSnapshot};
+pub use topology::Topology;
 pub use traits::{TmHandle, TmRuntime, Transaction, TxKind, TxOutcome};
 pub use txset::{
     InlineVec, LockedStripes, RedoEntry, RedoLog, StripeReadSet, UndoEntry, UndoLog, ValueReadSet,

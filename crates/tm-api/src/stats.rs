@@ -135,10 +135,25 @@ stat_counters! {
     pool_misses,
     /// Nodes recycled into the pool after their EBR grace period.
     pool_recycled,
-    /// Pool refills served by detaching a *sibling* shard's free list
-    /// because the handle's home shard was empty (steal events, not slots;
-    /// the stolen slots themselves count as `pool_hits`).
+    /// Version/VLT node slots adopted from a *sibling* shard's free list
+    /// because the handle's home shard was empty. Counted in slots, not
+    /// steal events: a refill that drains a sibling wholesale contributes
+    /// the whole batch (the triggering alloc plus the chain it adopted into
+    /// the reserve), so single-slot and batched steals weigh the same.
+    /// The triggering slot also counts as a `pool_hit`; the adopted
+    /// remainder surfaces as `pool_hits` when later allocs consume it.
     pool_steals,
+    /// Commit-clock advances attempted by this thread (the deferred-clock
+    /// abort path and the supersede-queue force tick). Coalesced ticks —
+    /// where another thread had already advanced the clock past the
+    /// observed value, so no write was needed — are included; compare with
+    /// `clock_tick_retries` for the contention picture.
+    clock_ticks,
+    /// CAS retries inside `GlobalClock::tick` — each one is a clock-line
+    /// collision with another advancing thread. Sampled by nature (the
+    /// coalescing fast path returns without a CAS at all), so treat as a
+    /// contention signal, not an exact collision count.
+    clock_tick_retries,
     /// Version/VLT node slots handed out by the arena. Derived (hits +
     /// misses) in the runtime's snapshot rather than counted on the hot
     /// path; pinned by `crates/multiverse/tests/pool_churn.rs`.
@@ -157,7 +172,9 @@ stat_counters! {
     pool_class_hits,
     /// Structure-node allocations that grew a size-class slab.
     pool_class_misses,
-    /// Size-class refills served by stealing a sibling shard's free list.
+    /// Structure-node slots adopted by cross-shard steals (counted per
+    /// slot, like `pool_steals`: a wholesale drain contributes its whole
+    /// batch).
     pool_class_steals,
     /// Structure-node retires *deferred* by transaction attempts. Counted at
     /// defer time, so an aborted attempt's revoked retires are included —
@@ -210,7 +227,8 @@ pub struct StructPoolCounters {
     pub hits: AtomicU64,
     /// Allocations served from fresh slab memory.
     pub misses: AtomicU64,
-    /// Refills that adopted a sibling shard's free list.
+    /// Slots adopted from sibling shards by cross-shard steals (counted per
+    /// slot: a wholesale drain contributes its whole batch).
     pub steals: AtomicU64,
     /// Retires deferred by transaction attempts (counted at defer time;
     /// includes retires later revoked by an abort — see the

@@ -1,0 +1,603 @@
+//! Machine-topology discovery for shard placement and thread pinning.
+//!
+//! The sharded node pools (`ebr::pool`) and the store server's worker pool
+//! both want to know how the machine is actually laid out: which logical
+//! CPUs share a last-level cache (a "group" — one pool shard per group keeps
+//! the free-list head local to a core complex) and which NUMA node each
+//! group's memory should come from. This module answers both questions from
+//! Linux sysfs:
+//!
+//! * `/sys/devices/system/cpu/cpu<N>/cache/index*/` — per-CPU cache
+//!   hierarchy; the highest-level non-instruction cache's `shared_cpu_list`
+//!   defines the CPU's LLC **group**;
+//! * `/sys/devices/system/node/node<K>/cpulist` — NUMA node membership.
+//!
+//! Discovery is deliberately all-or-nothing per concern: if any file needed
+//! to place a CPU is missing or garbled, the whole sysfs parse is rejected
+//! and the caller falls back to [`Topology::fallback`], which groups CPUs
+//! `0..cores` into synthetic groups of [`FALLBACK_GROUP_CPUS`] on a single
+//! node — the same shape the pools used before topology discovery existed,
+//! so containers, macOS and stripped-down sysfs keep their previous
+//! behaviour. A missing `node` directory alone is *not* an error (most
+//! containers hide it): the parse then reports a single node.
+//!
+//! The parser takes an explicit filesystem root ([`Topology::from_sysfs_root`])
+//! so tests can run it over canned fixture trees; production callers use the
+//! process-wide singleton [`Topology::current`], resolved once.
+//!
+//! [`current_cpu`] and [`pin_to_cpu`] wrap the raw `getcpu(2)` /
+//! `sched_setaffinity(2)` syscalls (no libc dependency); on platforms
+//! without them they report `None` / `false` and callers stay unpinned.
+
+use std::fs;
+use std::path::Path;
+use std::sync::OnceLock;
+
+/// CPUs per synthetic group when topology discovery is unavailable: one
+/// group per 4 logical CPUs approximates core-complex granularity. Must stay
+/// in sync with `ebr::pool::CORES_PER_GROUP` (asserted by an ebr test).
+pub const FALLBACK_GROUP_CPUS: usize = 4;
+
+/// Largest CPU id the affinity mask covers (`sched_setaffinity` with a
+/// 1024-bit mask, the kernel's historical default).
+const MAX_CPUS: usize = 1024;
+
+/// Sentinel for "CPU id not online / not mapped".
+const UNMAPPED: u16 = u16::MAX;
+
+/// The machine's CPU layout: which CPUs exist, which last-level-cache group
+/// and NUMA node each belongs to.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Online CPU ids, ascending.
+    cpus: Vec<usize>,
+    /// CPU id -> LLC group id (dense, ordered by the group's smallest CPU);
+    /// [`UNMAPPED`] for offline / out-of-range ids.
+    group_of: Vec<u16>,
+    /// CPU id -> NUMA node id (dense); [`UNMAPPED`] for offline ids.
+    node_of: Vec<u16>,
+    /// Group id -> NUMA node id (the node of the group's smallest CPU).
+    group_node: Vec<u16>,
+    /// Number of NUMA nodes that hold at least one online CPU.
+    nodes: usize,
+    /// Whether this layout came from sysfs (false: synthetic fallback).
+    from_sysfs: bool,
+}
+
+impl Topology {
+    /// Parse a topology from a sysfs-shaped tree rooted at `root`
+    /// (production: `/sys/devices/system`, containing `cpu/` and `node/`).
+    ///
+    /// Returns `None` — caller falls back — when the tree is missing or any
+    /// per-CPU cache description is absent or garbled. A missing `node/`
+    /// directory is tolerated (single node).
+    pub fn from_sysfs_root(root: &Path) -> Option<Self> {
+        let cpu_root = root.join("cpu");
+        let cpus = match fs::read_to_string(cpu_root.join("online")) {
+            Ok(s) => parse_cpu_list(&s)?,
+            Err(_) => enumerate_numbered(&cpu_root, "cpu")?,
+        };
+        if cpus.is_empty() || cpus.iter().any(|&c| c >= MAX_CPUS) {
+            return None;
+        }
+        let max_cpu = *cpus.iter().max().expect("non-empty");
+
+        // Group CPUs by the shared_cpu_list of their highest-level
+        // non-instruction cache. Keying by the (sorted) list itself means a
+        // garbled tree where sharing is not symmetric still yields *some*
+        // consistent partition: every CPU joins the group keyed by its own
+        // view of the sharing set.
+        let mut group_of = vec![UNMAPPED; max_cpu + 1];
+        let mut group_keys: Vec<Vec<usize>> = Vec::new();
+        for &cpu in &cpus {
+            let list = llc_share_list(&cpu_root.join(format!("cpu{cpu}")), cpu)?;
+            let gid = match group_keys.iter().position(|k| *k == list) {
+                Some(i) => i,
+                None => {
+                    group_keys.push(list);
+                    group_keys.len() - 1
+                }
+            };
+            group_of[cpu] = gid as u16;
+        }
+        // Densify group ids in order of each group's smallest member so ids
+        // are stable under enumeration order.
+        let mut order: Vec<usize> = (0..group_keys.len()).collect();
+        order.sort_by_key(|&g| {
+            cpus.iter()
+                .find(|&&c| group_of[c] == g as u16)
+                .copied()
+                .unwrap_or(usize::MAX)
+        });
+        let mut remap = vec![0u16; group_keys.len()];
+        for (new, &old) in order.iter().enumerate() {
+            remap[old] = new as u16;
+        }
+        for &cpu in &cpus {
+            group_of[cpu] = remap[group_of[cpu] as usize];
+        }
+        let groups = group_keys.len();
+
+        // NUMA nodes. Memory-only nodes (no online CPUs) are skipped; a CPU
+        // claimed by no node is garbled input.
+        let mut node_of = vec![UNMAPPED; max_cpu + 1];
+        let node_root = root.join("node");
+        let mut nodes = 0usize;
+        if node_root.is_dir() {
+            let mut node_ids = enumerate_numbered(&node_root, "node")?;
+            node_ids.sort_unstable();
+            for id in node_ids {
+                let list = parse_cpu_list(
+                    &fs::read_to_string(node_root.join(format!("node{id}/cpulist"))).ok()?,
+                )?;
+                let mut has_cpu = false;
+                for c in list {
+                    if c <= max_cpu && group_of[c] != UNMAPPED {
+                        if node_of[c] != UNMAPPED {
+                            return None; // CPU claimed by two nodes
+                        }
+                        node_of[c] = nodes as u16;
+                        has_cpu = true;
+                    }
+                }
+                if has_cpu {
+                    nodes += 1;
+                }
+            }
+            if cpus.iter().any(|&c| node_of[c] == UNMAPPED) {
+                return None;
+            }
+        } else {
+            for &c in &cpus {
+                node_of[c] = 0;
+            }
+            nodes = 1;
+        }
+
+        let mut group_node = vec![0u16; groups];
+        for (g, slot) in group_node.iter_mut().enumerate() {
+            let first = cpus.iter().find(|&&c| group_of[c] == g as u16)?;
+            *slot = node_of[*first];
+        }
+        Some(Self {
+            cpus,
+            group_of,
+            node_of,
+            group_node,
+            nodes,
+            from_sysfs: true,
+        })
+    }
+
+    /// Synthetic single-node layout over CPUs `0..cores`, grouped in runs of
+    /// [`FALLBACK_GROUP_CPUS`] — the shape shard placement assumed before
+    /// topology discovery existed.
+    pub fn fallback(cores: usize) -> Self {
+        let cores = cores.clamp(1, MAX_CPUS);
+        let cpus: Vec<usize> = (0..cores).collect();
+        let group_of: Vec<u16> = cpus
+            .iter()
+            .map(|&c| (c / FALLBACK_GROUP_CPUS) as u16)
+            .collect();
+        let groups = cores.div_ceil(FALLBACK_GROUP_CPUS);
+        Self {
+            cpus,
+            group_of,
+            node_of: vec![0; cores],
+            group_node: vec![0; groups],
+            nodes: 1,
+            from_sysfs: false,
+        }
+    }
+
+    /// The process-wide topology: sysfs when parseable, otherwise the
+    /// fallback sized by `available_parallelism`. Resolved once.
+    pub fn current() -> &'static Topology {
+        static CURRENT: OnceLock<Topology> = OnceLock::new();
+        CURRENT.get_or_init(|| {
+            #[cfg(target_os = "linux")]
+            if let Some(t) = Topology::from_sysfs_root(Path::new("/sys/devices/system")) {
+                return t;
+            }
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            Topology::fallback(cores)
+        })
+    }
+
+    /// Online CPU ids, ascending.
+    pub fn cpus(&self) -> &[usize] {
+        &self.cpus
+    }
+
+    /// Number of online CPUs.
+    pub fn cpu_count(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// Number of LLC groups.
+    pub fn group_count(&self) -> usize {
+        self.group_node.len()
+    }
+
+    /// Number of NUMA nodes with at least one online CPU.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Whether the layout came from sysfs (`false`: synthetic fallback).
+    pub fn is_from_sysfs(&self) -> bool {
+        self.from_sysfs
+    }
+
+    /// LLC group of `cpu`, if that CPU is online.
+    pub fn group_of(&self, cpu: usize) -> Option<usize> {
+        match self.group_of.get(cpu) {
+            Some(&g) if g != UNMAPPED => Some(g as usize),
+            _ => None,
+        }
+    }
+
+    /// NUMA node of `cpu`, if that CPU is online.
+    pub fn node_of(&self, cpu: usize) -> Option<usize> {
+        match self.node_of.get(cpu) {
+            Some(&n) if n != UNMAPPED => Some(n as usize),
+            _ => None,
+        }
+    }
+
+    /// NUMA node of a group (the node of its smallest CPU).
+    pub fn node_of_group(&self, group: usize) -> usize {
+        self.group_node[group] as usize
+    }
+
+    /// The order in which a consumer homed on `home_group` should visit the
+    /// *other* groups: same-NUMA-node groups first, then remote-node groups,
+    /// each tier walked cyclically starting just past the home group so
+    /// different homes spread their first choice.
+    pub fn steal_order(&self, home_group: usize) -> Vec<usize> {
+        let n = self.group_count();
+        if n <= 1 {
+            return Vec::new();
+        }
+        let home = home_group % n;
+        let home_node = self.group_node[home];
+        let cyclic = (home + 1..n).chain(0..home);
+        let mut near = Vec::new();
+        let mut far = Vec::new();
+        for g in cyclic {
+            if self.group_node[g] == home_node {
+                near.push(g);
+            } else {
+                far.push(g);
+            }
+        }
+        near.extend(far);
+        near
+    }
+
+    /// Pick `n` CPUs spread round-robin across the LLC groups (first CPU of
+    /// every group, then second of every group, ...), wrapping when `n`
+    /// exceeds the online CPU count. Used to place pinned worker threads so
+    /// they cover the machine instead of piling onto one complex.
+    pub fn spread_cpus(&self, n: usize) -> Vec<usize> {
+        let mut by_group: Vec<Vec<usize>> = vec![Vec::new(); self.group_count()];
+        for &c in &self.cpus {
+            by_group[self.group_of[c] as usize].push(c);
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut depth = 0usize;
+        while out.len() < n {
+            let mut took = false;
+            for g in &by_group {
+                if let Some(&c) = g.get(depth) {
+                    out.push(c);
+                    took = true;
+                    if out.len() == n {
+                        return out;
+                    }
+                }
+            }
+            depth = if took { depth + 1 } else { 0 };
+        }
+        out
+    }
+}
+
+/// Parse a sysfs CPU-list string (`"0-3,8-11,16"`). Empty input is an empty
+/// list; malformed input is `None`.
+pub fn parse_cpu_list(s: &str) -> Option<Vec<usize>> {
+    let s = s.trim();
+    let mut out = Vec::new();
+    if s.is_empty() {
+        return Some(out);
+    }
+    for part in s.split(',') {
+        let part = part.trim();
+        if let Some((a, b)) = part.split_once('-') {
+            let a: usize = a.trim().parse().ok()?;
+            let b: usize = b.trim().parse().ok()?;
+            if b < a || b >= MAX_CPUS {
+                return None;
+            }
+            out.extend(a..=b);
+        } else {
+            let c: usize = part.parse().ok()?;
+            if c >= MAX_CPUS {
+                return None;
+            }
+            out.push(c);
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    Some(out)
+}
+
+/// `shared_cpu_list` of the highest-level non-instruction cache of one CPU.
+/// `None` when the cache directory is missing/garbled or the list does not
+/// contain the CPU itself.
+fn llc_share_list(cpu_dir: &Path, cpu: usize) -> Option<Vec<usize>> {
+    let cache = cpu_dir.join("cache");
+    let mut best: Option<(u32, Vec<usize>)> = None;
+    for entry in fs::read_dir(&cache).ok()? {
+        let entry = entry.ok()?;
+        let name = entry.file_name();
+        let name = name.to_str()?;
+        if !name.starts_with("index") {
+            continue;
+        }
+        let dir = entry.path();
+        let ty = fs::read_to_string(dir.join("type")).ok()?;
+        if ty.trim() == "Instruction" {
+            continue;
+        }
+        let level: u32 = fs::read_to_string(dir.join("level"))
+            .ok()?
+            .trim()
+            .parse()
+            .ok()?;
+        let list = parse_cpu_list(&fs::read_to_string(dir.join("shared_cpu_list")).ok()?)?;
+        if !list.contains(&cpu) {
+            return None;
+        }
+        if best.as_ref().is_none_or(|(l, _)| level > *l) {
+            best = Some((level, list));
+        }
+    }
+    best.map(|(_, list)| list)
+}
+
+/// Ids of `<prefix><number>` entries directly under `dir` (e.g. `cpu0`,
+/// `cpu1` → `[0, 1]`). `None` if the directory is unreadable.
+fn enumerate_numbered(dir: &Path, prefix: &str) -> Option<Vec<usize>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir).ok()? {
+        let entry = entry.ok()?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(rest) = name.strip_prefix(prefix) {
+            if !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()) {
+                if let Ok(id) = rest.parse::<usize>() {
+                    out.push(id);
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    Some(out)
+}
+
+/// The CPU the calling thread is currently running on, when the platform
+/// exposes `getcpu(2)`. `None` elsewhere — callers fall back to
+/// registration-order placement.
+pub fn current_cpu() -> Option<usize> {
+    sys::getcpu()
+}
+
+/// Pin the calling thread to `cpu` via `sched_setaffinity(2)`. Returns
+/// `false` (thread stays unpinned) when the platform or the syscall refuses.
+pub fn pin_to_cpu(cpu: usize) -> bool {
+    if cpu >= MAX_CPUS {
+        return false;
+    }
+    sys::setaffinity(cpu)
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod sys {
+    //! Raw syscall wrappers (the workspace builds without libc).
+
+    const SYS_GETCPU: usize = 309;
+    const SYS_SCHED_SETAFFINITY: usize = 203;
+
+    pub fn getcpu() -> Option<usize> {
+        let mut cpu: u32 = 0;
+        let ret: isize;
+        // Safety: getcpu writes one u32 through the first pointer; the
+        // second (node) and third (unused cache) arguments are optional.
+        unsafe {
+            core::arch::asm!(
+                "syscall",
+                inlateout("rax") SYS_GETCPU => ret,
+                in("rdi") &mut cpu as *mut u32,
+                in("rsi") core::ptr::null_mut::<u32>(),
+                in("rdx") core::ptr::null_mut::<u8>(),
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack)
+            );
+        }
+        (ret == 0).then_some(cpu as usize)
+    }
+
+    pub fn setaffinity(cpu: usize) -> bool {
+        let mut mask = [0u64; super::MAX_CPUS / 64];
+        mask[cpu / 64] = 1u64 << (cpu % 64);
+        let ret: isize;
+        // Safety: pid 0 = calling thread; the mask buffer outlives the call.
+        unsafe {
+            core::arch::asm!(
+                "syscall",
+                inlateout("rax") SYS_SCHED_SETAFFINITY => ret,
+                in("rdi") 0usize,
+                in("rsi") core::mem::size_of_val(&mask),
+                in("rdx") mask.as_ptr(),
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack)
+            );
+        }
+        ret == 0
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+mod sys {
+    //! Raw syscall wrappers (the workspace builds without libc).
+
+    const SYS_GETCPU: usize = 168;
+    const SYS_SCHED_SETAFFINITY: usize = 122;
+
+    pub fn getcpu() -> Option<usize> {
+        let mut cpu: u32 = 0;
+        let ret: isize;
+        // Safety: getcpu writes one u32 through the first pointer; the
+        // second (node) and third (unused cache) arguments are optional.
+        unsafe {
+            core::arch::asm!(
+                "svc 0",
+                in("x8") SYS_GETCPU,
+                inlateout("x0") &mut cpu as *mut u32 => ret,
+                in("x1") core::ptr::null_mut::<u32>(),
+                in("x2") core::ptr::null_mut::<u8>(),
+                options(nostack)
+            );
+        }
+        (ret == 0).then_some(cpu as usize)
+    }
+
+    pub fn setaffinity(cpu: usize) -> bool {
+        let mut mask = [0u64; super::MAX_CPUS / 64];
+        mask[cpu / 64] = 1u64 << (cpu % 64);
+        let ret: isize;
+        // Safety: pid 0 = calling thread; the mask buffer outlives the call.
+        unsafe {
+            core::arch::asm!(
+                "svc 0",
+                in("x8") SYS_SCHED_SETAFFINITY,
+                inlateout("x0") 0usize => ret,
+                in("x1") core::mem::size_of_val(&mask),
+                in("x2") mask.as_ptr(),
+                options(nostack)
+            );
+        }
+        ret == 0
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod sys {
+    pub fn getcpu() -> Option<usize> {
+        None
+    }
+
+    pub fn setaffinity(_cpu: usize) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_list_parsing() {
+        assert_eq!(parse_cpu_list("0"), Some(vec![0]));
+        assert_eq!(parse_cpu_list("0-3"), Some(vec![0, 1, 2, 3]));
+        assert_eq!(parse_cpu_list(" 0-1,4-5 \n"), Some(vec![0, 1, 4, 5]));
+        assert_eq!(parse_cpu_list("7,3"), Some(vec![3, 7]));
+        assert_eq!(parse_cpu_list("0,0-1"), Some(vec![0, 1]));
+        assert_eq!(parse_cpu_list(""), Some(vec![]));
+        assert_eq!(parse_cpu_list("3-1"), None);
+        assert_eq!(parse_cpu_list("a-b"), None);
+        assert_eq!(parse_cpu_list("1..4"), None);
+        assert_eq!(parse_cpu_list("99999999"), None);
+    }
+
+    #[test]
+    fn fallback_groups_in_runs_of_four() {
+        let t = Topology::fallback(10);
+        assert!(!t.is_from_sysfs());
+        assert_eq!(t.cpu_count(), 10);
+        assert_eq!(t.group_count(), 3);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.group_of(0), Some(0));
+        assert_eq!(t.group_of(3), Some(0));
+        assert_eq!(t.group_of(4), Some(1));
+        assert_eq!(t.group_of(9), Some(2));
+        assert_eq!(t.group_of(10), None);
+        assert_eq!(t.node_of(9), Some(0));
+    }
+
+    #[test]
+    fn fallback_never_empty() {
+        let t = Topology::fallback(0);
+        assert_eq!(t.cpu_count(), 1);
+        assert_eq!(t.group_count(), 1);
+    }
+
+    #[test]
+    fn steal_order_visits_all_other_groups_cyclically() {
+        let t = Topology::fallback(16); // 4 groups, one node
+        assert_eq!(t.steal_order(1), vec![2, 3, 0]);
+        assert_eq!(t.steal_order(3), vec![0, 1, 2]);
+        let mut all = t.steal_order(0);
+        all.sort_unstable();
+        assert_eq!(all, vec![1, 2, 3]);
+        assert_eq!(Topology::fallback(2).steal_order(0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn spread_cpus_round_robins_groups_and_wraps() {
+        let t = Topology::fallback(8); // groups {0..3}, {4..7}
+        assert_eq!(t.spread_cpus(2), vec![0, 4]);
+        assert_eq!(t.spread_cpus(4), vec![0, 4, 1, 5]);
+        assert_eq!(t.spread_cpus(10), vec![0, 4, 1, 5, 2, 6, 3, 7, 0, 4]);
+        assert_eq!(t.spread_cpus(0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn current_is_consistent() {
+        let t = Topology::current();
+        assert!(t.cpu_count() >= 1);
+        assert!(t.group_count() >= 1);
+        assert!(t.node_count() >= 1);
+        for &c in t.cpus() {
+            assert!(t.group_of(c).is_some());
+            assert!(t.node_of(c).is_some());
+            assert!(t.group_of(c).unwrap() < t.group_count());
+        }
+        for g in 0..t.group_count() {
+            assert!(t.node_of_group(g) < t.node_count());
+        }
+    }
+
+    #[test]
+    fn pinning_is_graceful() {
+        // On Linux this should pin to an online CPU and getcpu should agree;
+        // elsewhere both politely decline. Either way: no panic.
+        let t = Topology::current();
+        let cpu = t.cpus()[0];
+        if pin_to_cpu(cpu) {
+            if let Some(seen) = current_cpu() {
+                assert_eq!(seen, cpu, "pinned thread must run on its CPU");
+            }
+        }
+        assert!(!pin_to_cpu(usize::MAX), "out-of-range pin must refuse");
+    }
+}

@@ -1,0 +1,220 @@
+//! Fixture-driven tests for `tm_api::topology`: canned sysfs trees for the
+//! shapes the parser must handle (multi-socket NUMA, SMT sharing, a
+//! single-core container, and the missing/garbled inputs that must reject
+//! into the round-robin fallback).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use tm_api::topology::Topology;
+
+/// A throwaway sysfs-shaped tree under the system temp dir, removed on drop.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str) -> Self {
+        let root = std::env::temp_dir().join(format!(
+            "mv-topo-{}-{name}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("create fixture root");
+        Self { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) -> &Self {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("non-root path")).expect("create fixture dirs");
+        fs::write(path, content).expect("write fixture file");
+        self
+    }
+
+    fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// One CPU's cache directory: a per-CPU L1D, a per-CPU L1I (which the
+    /// parser must skip), and an L2 shared according to `llc`.
+    fn cpu_caches(&self, cpu: usize, llc: &str) -> &Self {
+        let base = format!("cpu/cpu{cpu}/cache");
+        self.write(&format!("{base}/index0/type"), "Data\n")
+            .write(&format!("{base}/index0/level"), "1\n")
+            .write(
+                &format!("{base}/index0/shared_cpu_list"),
+                &format!("{cpu}\n"),
+            )
+            .write(&format!("{base}/index1/type"), "Instruction\n")
+            .write(&format!("{base}/index1/level"), "1\n")
+            .write(
+                &format!("{base}/index1/shared_cpu_list"),
+                "0-1023\n", // garbled-looking I-cache sharing must be ignored
+            )
+            .write(&format!("{base}/index2/type"), "Unified\n")
+            .write(&format!("{base}/index2/level"), "2\n")
+            .write(
+                &format!("{base}/index2/shared_cpu_list"),
+                &format!("{llc}\n"),
+            )
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn multi_socket_numa_tree_groups_and_orders_by_distance() {
+    // Two sockets of four CPUs; LLC shared per CPU pair -> four groups, two
+    // per NUMA node.
+    let f = Fixture::new("numa");
+    f.write("cpu/online", "0-7\n");
+    for cpu in 0..8usize {
+        let pair = cpu / 2 * 2;
+        f.cpu_caches(cpu, &format!("{pair}-{}", pair + 1));
+    }
+    f.write("node/node0/cpulist", "0-3\n")
+        .write("node/node1/cpulist", "4-7\n");
+
+    let t = Topology::from_sysfs_root(f.root()).expect("well-formed tree must parse");
+    assert!(t.is_from_sysfs());
+    assert_eq!(t.cpu_count(), 8);
+    assert_eq!(t.group_count(), 4);
+    assert_eq!(t.node_count(), 2);
+    for cpu in 0..8 {
+        assert_eq!(t.group_of(cpu), Some(cpu / 2), "pairwise LLC groups");
+        assert_eq!(t.node_of(cpu), Some(cpu / 4), "socket nodes");
+    }
+    assert_eq!(t.node_of_group(0), 0);
+    assert_eq!(t.node_of_group(3), 1);
+    // Nearest-first: the same-node sibling group precedes both remote ones.
+    assert_eq!(t.steal_order(0), vec![1, 2, 3]);
+    assert_eq!(t.steal_order(1), vec![0, 2, 3]);
+    assert_eq!(t.steal_order(2), vec![3, 0, 1]);
+    assert_eq!(t.steal_order(3), vec![2, 0, 1]);
+    // Spreading pinned workers covers all four groups before reusing one.
+    let four = t.spread_cpus(4);
+    let groups: Vec<_> = four.iter().map(|&c| t.group_of(c).unwrap()).collect();
+    assert_eq!(groups, vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn smt_tree_collapses_hyperthreads_into_one_llc_group() {
+    // Four hardware threads all sharing one LLC (2 cores x 2-way SMT).
+    let f = Fixture::new("smt");
+    f.write("cpu/online", "0-3\n");
+    for cpu in 0..4usize {
+        f.cpu_caches(cpu, "0-3");
+    }
+    f.write("node/node0/cpulist", "0-3\n");
+
+    let t = Topology::from_sysfs_root(f.root()).expect("SMT tree must parse");
+    assert_eq!(t.group_count(), 1);
+    assert_eq!(t.node_count(), 1);
+    for cpu in 0..4 {
+        assert_eq!(t.group_of(cpu), Some(0));
+    }
+    assert_eq!(t.steal_order(0), Vec::<usize>::new());
+}
+
+#[test]
+fn single_core_container_without_node_dir_parses_as_one_node() {
+    // The shape this repo's CI container exposes: one CPU, no node/ dir.
+    let f = Fixture::new("container");
+    f.write("cpu/online", "0\n");
+    f.cpu_caches(0, "0");
+
+    let t = Topology::from_sysfs_root(f.root()).expect("container tree must parse");
+    assert!(t.is_from_sysfs());
+    assert_eq!(t.cpu_count(), 1);
+    assert_eq!(t.group_count(), 1);
+    assert_eq!(t.node_count(), 1, "missing node/ dir means a single node");
+    assert_eq!(t.group_of(0), Some(0));
+}
+
+#[test]
+fn missing_online_file_enumerates_cpu_directories() {
+    let f = Fixture::new("noonline");
+    f.cpu_caches(0, "0-1");
+    f.cpu_caches(1, "0-1");
+
+    let t = Topology::from_sysfs_root(f.root()).expect("dir enumeration must work");
+    assert_eq!(t.cpu_count(), 2);
+    assert_eq!(t.group_count(), 1);
+}
+
+#[test]
+fn missing_or_garbled_trees_reject_into_the_fallback() {
+    // Absent root.
+    let gone = std::env::temp_dir().join(format!("mv-topo-absent-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&gone);
+    assert!(Topology::from_sysfs_root(&gone).is_none());
+
+    // A CPU with no cache directory at all.
+    let f = Fixture::new("nocache");
+    f.write("cpu/online", "0-1\n");
+    f.cpu_caches(0, "0-1");
+    // cpu1 exists in `online` but has no cache tree.
+    assert!(Topology::from_sysfs_root(f.root()).is_none());
+
+    // Garbled shared_cpu_list (reversed range).
+    let f = Fixture::new("badrange");
+    f.write("cpu/online", "0\n");
+    f.cpu_caches(0, "3-1");
+    assert!(Topology::from_sysfs_root(f.root()).is_none());
+
+    // shared_cpu_list that does not contain the CPU itself.
+    let f = Fixture::new("selfless");
+    f.write("cpu/online", "0-1\n");
+    f.cpu_caches(0, "1");
+    f.cpu_caches(1, "1");
+    assert!(Topology::from_sysfs_root(f.root()).is_none());
+
+    // Non-numeric cache level.
+    let f = Fixture::new("badlevel");
+    f.write("cpu/online", "0\n");
+    f.cpu_caches(0, "0");
+    f.write("cpu/cpu0/cache/index2/level", "big\n");
+    assert!(Topology::from_sysfs_root(f.root()).is_none());
+
+    // Node dir present but a CPU is claimed by no node.
+    let f = Fixture::new("nodegap");
+    f.write("cpu/online", "0-1\n");
+    f.cpu_caches(0, "0-1");
+    f.cpu_caches(1, "0-1");
+    f.write("node/node0/cpulist", "0\n");
+    assert!(Topology::from_sysfs_root(f.root()).is_none());
+
+    // Node dir present with a CPU claimed by two nodes.
+    let f = Fixture::new("nodedup");
+    f.write("cpu/online", "0-1\n");
+    f.cpu_caches(0, "0-1");
+    f.cpu_caches(1, "0-1");
+    f.write("node/node0/cpulist", "0-1\n")
+        .write("node/node1/cpulist", "1\n");
+    assert!(Topology::from_sysfs_root(f.root()).is_none());
+
+    // The fallback the rejects land on keeps every CPU placed.
+    let fb = Topology::fallback(6);
+    assert!(!fb.is_from_sysfs());
+    assert_eq!(fb.group_count(), 2);
+    assert!((0..6).all(|c| fb.group_of(c).is_some() && fb.node_of(c) == Some(0)));
+}
+
+#[test]
+fn memory_only_numa_nodes_are_skipped() {
+    // CXL-style: node1 has memory but no CPUs (empty cpulist).
+    let f = Fixture::new("memnode");
+    f.write("cpu/online", "0-1\n");
+    f.cpu_caches(0, "0-1");
+    f.cpu_caches(1, "0-1");
+    f.write("node/node0/cpulist", "0-1\n")
+        .write("node/node1/cpulist", "\n");
+
+    let t = Topology::from_sysfs_root(f.root()).expect("memory-only node must not reject");
+    assert_eq!(t.node_count(), 1);
+    assert_eq!(t.node_of(0), Some(0));
+}

@@ -133,9 +133,12 @@ impl NodeCache {
     fn note(&mut self, src: SlotSource) {
         match src {
             SlotSource::Hit => self.hits += 1,
-            SlotSource::Steal => {
+            SlotSource::Steal(batch) => {
+                // The triggering alloc is a hit; the steal counter weighs
+                // the whole adopted batch so wholesale drains and
+                // single-slot steals are comparable (see `pool_class_steals`).
                 self.hits += 1;
-                self.steals += 1;
+                self.steals += batch as u64;
             }
             SlotSource::Miss => self.misses += 1,
         }
